@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Shared helpers for the figure/table reproduction binaries.
+ *
+ * Every binary prints the series of one paper table or figure through
+ * TextTable so outputs stay uniform and parseable. Seeds are fixed:
+ * each binary's output is identical run-to-run.
+ */
+
+#ifndef DRS_BENCH_COMMON_HH
+#define DRS_BENCH_COMMON_HH
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "base/table.hh"
+#include "core/deeprecsched.hh"
+
+namespace deeprecsys::bench {
+
+/** Queries per simulator evaluation used by the reproductions. */
+constexpr size_t benchQueries = 1500;
+
+/** The three SLA tiers evaluated by the paper. */
+inline const std::vector<SlaTier>&
+allTiers()
+{
+    static const std::vector<SlaTier> tiers = {
+        SlaTier::Low, SlaTier::Medium, SlaTier::High};
+    return tiers;
+}
+
+/** Standard experiment context for one model on Skylake. */
+inline InfraConfig
+defaultInfra(ModelId model, bool gpu = false)
+{
+    InfraConfig cfg;
+    cfg.model = model;
+    cfg.attachGpu = gpu;
+    cfg.numQueries = benchQueries;
+    return cfg;
+}
+
+/** Geometric mean of a series (requires positive entries). */
+inline double
+geomean(const std::vector<double>& values)
+{
+    if (values.empty())
+        return 0.0;
+    double log_sum = 0.0;
+    for (double v : values)
+        log_sum += std::log(v);
+    return std::exp(log_sum / static_cast<double>(values.size()));
+}
+
+} // namespace deeprecsys::bench
+
+#endif // DRS_BENCH_COMMON_HH

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Reproduces Figure 9: achievable QPS versus per-request batch size.
+ * Top: DLRM-RMC3 at two latency targets (optimum moves to a larger
+ * batch as the target relaxes). Bottom: the optimal batch differs
+ * across DLRM-RMC1 (embedding), DLRM-RMC3 (MLP), and DIEN (attention)
+ * model classes.
+ */
+
+#include "bench/bench_common.hh"
+
+using namespace deeprecsys;
+using namespace deeprecsys::bench;
+
+namespace {
+
+void
+sweep(const DeepRecInfra& infra, double sla_ms, const std::string& label)
+{
+    TextTable table({"batch", "QPS under p95<=" +
+                     TextTable::num(sla_ms, 0) + "ms"});
+    SchedulerPolicy policy;
+    double best_qps = 0.0;
+    size_t best_batch = 1;
+    for (size_t batch = 1; batch <= 1024; batch *= 2) {
+        policy.perRequestBatch = batch;
+        const double qps = infra.maxQps(policy, sla_ms).maxQps;
+        if (qps > best_qps * 1.02) {
+            best_qps = qps;
+            best_batch = batch;
+        }
+        table.addRow({std::to_string(batch), TextTable::num(qps, 0)});
+    }
+    printBanner(std::cout, label + " -> optimal batch " +
+                               std::to_string(best_batch));
+    table.print(std::cout);
+}
+
+} // namespace
+
+int
+main()
+{
+    // Top: DLRM-RMC3 at low (50ms) and medium (100ms) targets.
+    {
+        DeepRecInfra infra(defaultInfra(ModelId::DlrmRmc3));
+        sweep(infra, infra.slaMs(SlaTier::Low),
+              "Figure 9 (top): DLRM-RMC3, low latency target");
+        sweep(infra, infra.slaMs(SlaTier::Medium),
+              "Figure 9 (top): DLRM-RMC3, medium latency target");
+    }
+
+    // Bottom: model classes at their medium targets.
+    for (ModelId id :
+         {ModelId::DlrmRmc1, ModelId::DlrmRmc3, ModelId::Dien}) {
+        DeepRecInfra infra(defaultInfra(id));
+        sweep(infra, infra.slaMs(SlaTier::Medium),
+              "Figure 9 (bottom): " + modelName(id) +
+                  ", medium latency target");
+    }
+    return 0;
+}

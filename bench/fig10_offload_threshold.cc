@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Reproduces Figure 10: achievable QPS versus the accelerator
+ * query-size threshold. Threshold 1 offloads every query ("all GPU");
+ * beyond the maximum query size nothing offloads ("all CPU"). The
+ * optimum sits between and varies per model class.
+ */
+
+#include "bench/bench_common.hh"
+
+using namespace deeprecsys;
+using namespace deeprecsys::bench;
+
+int
+main()
+{
+    const std::vector<uint32_t> thresholds = {1,   64,  128, 192, 256,
+                                              320, 384, 512, 768, 1001};
+    for (ModelId id :
+         {ModelId::DlrmRmc1, ModelId::DlrmRmc3, ModelId::Dien}) {
+        DeepRecInfra infra(defaultInfra(id, /*gpu=*/true));
+        const double sla = infra.slaMs(SlaTier::Medium);
+
+        // The batch size for CPU-resident work comes from stage 1 of
+        // DeepRecSched (Section IV-C).
+        const TuningResult cpu = DeepRecSched::tuneCpu(infra, sla);
+        SchedulerPolicy policy = cpu.policy;
+        policy.gpuEnabled = true;
+
+        TextTable table({"threshold", "QPS", "GPU work frac"});
+        double best_qps = 0.0;
+        uint32_t best_threshold = 1;
+        for (uint32_t t : thresholds) {
+            policy.gpuQueryThreshold = t;
+            const QpsSearchResult r = infra.maxQps(policy, sla);
+            if (r.maxQps > best_qps * 1.02) {
+                best_qps = r.maxQps;
+                best_threshold = t;
+            }
+            table.addRow({std::to_string(t), TextTable::num(r.maxQps, 0),
+                          TextTable::num(
+                              r.atMax.gpuWorkFraction * 100.0, 1) + "%"});
+        }
+        printBanner(std::cout,
+                    "Figure 10: " + modelName(id) + " (medium target)" +
+                        " -> optimal threshold " +
+                        std::to_string(best_threshold));
+        table.print(std::cout);
+    }
+    return 0;
+}

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Reproduces Figure 12: how the optimal request-vs-batch parallelism
+ * point moves with (a) the SLA target and the query-size distribution
+ * (including the penalty for tuning against the wrong distribution),
+ * (b) the model architecture, and (c) the CPU platform (inclusive
+ * Broadwell vs exclusive Skylake cache hierarchies).
+ */
+
+#include "bench/bench_common.hh"
+#include "costmodel/cpu_cost.hh"
+
+using namespace deeprecsys;
+using namespace deeprecsys::bench;
+
+int
+main()
+{
+    // ---- (a) SLA targets and size distributions, DLRM-RMC1 ----
+    printBanner(std::cout,
+                "Figure 12(a): optimal batch vs SLA target and size "
+                "distribution (DLRM-RMC1)");
+    {
+        TextTable table({"tier", "production: batch", "QPS",
+                         "lognormal: batch", "QPS",
+                         "mis-tuned penalty"});
+        for (SlaTier tier : allTiers()) {
+            InfraConfig prod_cfg = defaultInfra(ModelId::DlrmRmc1);
+            DeepRecInfra prod(prod_cfg);
+            InfraConfig logn_cfg = prod_cfg;
+            logn_cfg.sizeDist = SizeDistKind::Lognormal;
+            DeepRecInfra logn(logn_cfg);
+
+            const double sla = prod.slaMs(tier);
+            const TuningResult rp = DeepRecSched::tuneCpu(prod, sla);
+            const TuningResult rl = DeepRecSched::tuneCpu(logn, sla);
+
+            // Apply the lognormal-tuned batch to production traffic:
+            // the penalty the paper quantifies as 1.2-1.7x.
+            SchedulerPolicy mistuned = rl.policy;
+            const double mistuned_qps =
+                prod.maxQps(mistuned, sla).maxQps;
+
+            table.addRow({slaTierName(tier),
+                          std::to_string(rp.policy.perRequestBatch),
+                          TextTable::num(rp.qps(), 0),
+                          std::to_string(rl.policy.perRequestBatch),
+                          TextTable::num(rl.qps(), 0),
+                          TextTable::num(rp.qps() / mistuned_qps, 2) +
+                              "x"});
+        }
+        table.print(std::cout);
+    }
+
+    // ---- (b) model architectures ----
+    printBanner(std::cout,
+                "Figure 12(b): optimal batch across models (high tier)");
+    {
+        TextTable table({"Model", "class", "optimal batch", "QPS"});
+        const std::vector<std::pair<ModelId, const char*>> models = {
+            {ModelId::DlrmRmc1, "embedding"},
+            {ModelId::Din, "embedding+attention"},
+            {ModelId::DlrmRmc3, "MLP"},
+            {ModelId::WideAndDeep, "MLP"},
+            {ModelId::Dien, "recurrent"},
+        };
+        for (const auto& [id, klass] : models) {
+            DeepRecInfra infra(defaultInfra(id));
+            const TuningResult r =
+                DeepRecSched::tuneCpu(infra, infra.slaMs(SlaTier::High));
+            table.addRow({modelName(id), klass,
+                          std::to_string(r.policy.perRequestBatch),
+                          TextTable::num(r.qps(), 0)});
+        }
+        table.print(std::cout);
+    }
+
+    // ---- (c) hardware platforms ----
+    printBanner(std::cout,
+                "Figure 12(c): DLRM-RMC3 at 175ms on Broadwell vs "
+                "Skylake");
+    {
+        TextTable table({"Platform", "LLC", "optimal batch", "QPS",
+                         "QPS@16 / QPS@opt",
+                         "contention @16", "contention @1024"});
+        for (const CpuPlatform& platform :
+             {CpuPlatform::broadwell(), CpuPlatform::skylake()}) {
+            InfraConfig cfg = defaultInfra(ModelId::DlrmRmc3);
+            cfg.platform = platform;
+            DeepRecInfra infra(cfg);
+            const TuningResult r = DeepRecSched::tuneCpu(infra, 175.0);
+
+            SchedulerPolicy small = r.policy;
+            small.perRequestBatch = 16;
+            const double qps_small = infra.maxQps(small, 175.0).maxQps;
+
+            const CpuCostModel& cost = infra.cpuModel();
+            table.addRow({platform.name,
+                          platform.inclusiveLlc ? "inclusive"
+                                                : "exclusive",
+                          std::to_string(r.policy.perRequestBatch),
+                          TextTable::num(r.qps(), 0),
+                          TextTable::num(qps_small / r.qps(), 2),
+                          TextTable::num(cost.contentionFactor(
+                              platform.cores, 16), 2),
+                          TextTable::num(cost.contentionFactor(
+                              platform.cores, 1024), 2)});
+        }
+        table.print(std::cout);
+        std::cout << "\nInclusive caches (Broadwell) pay a steep"
+                     " request-parallel penalty; batch parallelism"
+                     " recovers it (paper: L2 miss 55% at batch 16 vs"
+                     " 40% at 1024).\n";
+    }
+    return 0;
+}

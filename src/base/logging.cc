@@ -1,0 +1,33 @@
+#include "logging.hh"
+
+namespace deeprecsys {
+namespace detail {
+
+void
+fatalImpl(const std::string& msg, const char* file, int line)
+{
+    std::cerr << "fatal: " << msg << " (" << file << ":" << line << ")\n";
+    std::exit(1);
+}
+
+void
+panicImpl(const std::string& msg, const char* file, int line)
+{
+    std::cerr << "panic: " << msg << " (" << file << ":" << line << ")\n";
+    std::abort();
+}
+
+void
+warnImpl(const std::string& msg)
+{
+    std::cerr << "warn: " << msg << "\n";
+}
+
+void
+informImpl(const std::string& msg)
+{
+    std::cout << "info: " << msg << "\n";
+}
+
+} // namespace detail
+} // namespace deeprecsys

@@ -1,0 +1,84 @@
+#include "table.hh"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+namespace deeprecsys {
+
+TextTable::TextTable(std::vector<std::string> headers)
+    : headers(std::move(headers))
+{
+}
+
+void
+TextTable::addRow(std::vector<std::string> cells)
+{
+    cells.resize(headers.size());
+    rows.push_back(std::move(cells));
+}
+
+std::string
+TextTable::num(double value, int precision)
+{
+    std::ostringstream oss;
+    oss << std::fixed << std::setprecision(precision) << value;
+    return oss.str();
+}
+
+std::string
+TextTable::num(int64_t value)
+{
+    return std::to_string(value);
+}
+
+void
+TextTable::print(std::ostream& os) const
+{
+    std::vector<size_t> widths(headers.size(), 0);
+    for (size_t c = 0; c < headers.size(); c++)
+        widths[c] = headers[c].size();
+    for (const auto& row : rows)
+        for (size_t c = 0; c < row.size(); c++)
+            widths[c] = std::max(widths[c], row[c].size());
+
+    auto emit_row = [&](const std::vector<std::string>& row) {
+        for (size_t c = 0; c < row.size(); c++) {
+            os << std::left << std::setw(static_cast<int>(widths[c]) + 2)
+               << row[c];
+        }
+        os << "\n";
+    };
+
+    emit_row(headers);
+    size_t rule = 0;
+    for (size_t w : widths)
+        rule += w + 2;
+    os << std::string(rule, '-') << "\n";
+    for (const auto& row : rows)
+        emit_row(row);
+}
+
+void
+TextTable::printCsv(std::ostream& os) const
+{
+    auto emit_row = [&](const std::vector<std::string>& row) {
+        for (size_t c = 0; c < row.size(); c++) {
+            if (c)
+                os << ",";
+            os << row[c];
+        }
+        os << "\n";
+    };
+    emit_row(headers);
+    for (const auto& row : rows)
+        emit_row(row);
+}
+
+void
+printBanner(std::ostream& os, const std::string& title)
+{
+    os << "\n=== " << title << " ===\n";
+}
+
+} // namespace deeprecsys

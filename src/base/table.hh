@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Plain-text table and CSV emission for benchmark harnesses.
+ *
+ * Every figure/table reproduction binary prints its series through this
+ * helper so outputs are uniformly parseable (aligned table to stdout,
+ * optional CSV form for downstream plotting).
+ */
+
+#ifndef DRS_BASE_TABLE_HH
+#define DRS_BASE_TABLE_HH
+
+#include <initializer_list>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace deeprecsys {
+
+/** Accumulates rows of strings and prints them column-aligned. */
+class TextTable
+{
+  public:
+    /** Create a table with the given column headers. */
+    explicit TextTable(std::vector<std::string> headers);
+
+    /** Append a row of pre-formatted cells; pads/truncates to width. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Format a double with the given precision (helper for callers). */
+    static std::string num(double value, int precision = 2);
+
+    /** Format an integer. */
+    static std::string num(int64_t value);
+
+    /** Print with aligned columns to the stream. */
+    void print(std::ostream& os) const;
+
+    /** Print in CSV form to the stream. */
+    void printCsv(std::ostream& os) const;
+
+    /** Number of data rows. */
+    size_t numRows() const { return rows.size(); }
+
+  private:
+    std::vector<std::string> headers;
+    std::vector<std::vector<std::string>> rows;
+};
+
+/** Print a section banner used between experiment blocks. */
+void printBanner(std::ostream& os, const std::string& title);
+
+} // namespace deeprecsys
+
+#endif // DRS_BASE_TABLE_HH

@@ -1,0 +1,122 @@
+#include "deeprecsched.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "base/logging.hh"
+#include "loadgen/distributions.hh"
+
+namespace deeprecsys {
+
+size_t
+DeepRecSched::staticBaselineBatch(uint32_t max_query_size, size_t cores)
+{
+    drs_assert(cores >= 1, "baseline needs cores");
+    return std::max<size_t>(
+        1, (max_query_size + cores - 1) / cores);
+}
+
+TuningResult
+DeepRecSched::baseline(const DeepRecInfra& infra, double sla_ms)
+{
+    TuningResult result;
+    result.policy.perRequestBatch = staticBaselineBatch(
+        QuerySizeDistribution::maxSize, infra.config().platform.cores);
+    result.policy.gpuEnabled = false;
+    result.atBest = infra.maxQps(result.policy, sla_ms);
+    return result;
+}
+
+TuningResult
+DeepRecSched::tuneCpu(const DeepRecInfra& infra, double sla_ms)
+{
+    TuningResult result;
+    SchedulerPolicy policy;
+    policy.gpuEnabled = false;
+
+    double best_qps = -1.0;
+    size_t best_batch = 1;
+    QpsSearchResult best;
+
+    // Hill climbing from unit batch, doubling, per Section IV-C: the
+    // batch grows while the achievable QPS keeps improving by at
+    // least the slack margin. A second strike confirms the peak so a
+    // single noisy plateau step does not end the climb early.
+    size_t strikes = 0;
+    for (size_t batch = 1; batch <= maxBatch; batch *= 2) {
+        policy.perRequestBatch = batch;
+        const QpsSearchResult r = infra.maxQps(policy, sla_ms);
+        result.batchCurve.push_back(
+            {static_cast<double>(batch), r.maxQps});
+        if (r.maxQps > best_qps * (1.0 + climbSlack) || best_qps < 0.0) {
+            best_qps = r.maxQps;
+            best_batch = batch;
+            best = r;
+            strikes = 0;
+        } else if (++strikes >= 2) {
+            break;  // past the peak
+        }
+    }
+
+    result.policy = policy;
+    result.policy.perRequestBatch = best_batch;
+    result.atBest = best;
+    return result;
+}
+
+TuningResult
+DeepRecSched::tuneGpu(const DeepRecInfra& infra, double sla_ms)
+{
+    drs_assert(infra.gpuModel() != nullptr,
+               "tuneGpu needs an attached accelerator");
+
+    // Stage 1: batch size for the CPU-resident share of the work.
+    TuningResult cpu = tuneCpu(infra, sla_ms);
+
+    // Stage 2: climb the offload threshold from "everything on the
+    // accelerator" upward. Thresholds walk the query-size range
+    // geometrically; 1 offloads all queries, maxSize+1 would be none.
+    TuningResult result;
+    result.batchCurve = cpu.batchCurve;
+
+    SchedulerPolicy policy = cpu.policy;
+    policy.gpuEnabled = true;
+
+    double best_qps = -1.0;
+    uint32_t best_threshold = 1;
+    QpsSearchResult best;
+
+    uint32_t threshold = 1;
+    size_t strikes = 0;
+    while (threshold <= QuerySizeDistribution::maxSize) {
+        policy.gpuQueryThreshold = threshold;
+        const QpsSearchResult r = infra.maxQps(policy, sla_ms);
+        result.thresholdCurve.push_back(
+            {static_cast<double>(threshold), r.maxQps});
+        if (r.maxQps > best_qps * (1.0 + climbSlack) || best_qps < 0.0) {
+            best_qps = r.maxQps;
+            best_threshold = threshold;
+            best = r;
+            strikes = 0;
+        } else if (++strikes >= 2) {
+            break;
+        }
+        // Geometric walk with a floor step of 16 sizes.
+        threshold = std::max<uint32_t>(threshold + 16,
+            static_cast<uint32_t>(std::lround(threshold * 1.5)));
+    }
+
+    // The CPU-only configuration remains a candidate: if keeping all
+    // queries on cores beats every offload split, use it.
+    if (cpu.qps() > best_qps) {
+        result.policy = cpu.policy;
+        result.atBest = cpu.atBest;
+    } else {
+        result.policy = policy;
+        result.policy.gpuQueryThreshold = best_threshold;
+        result.atBest = best;
+    }
+    return result;
+}
+
+} // namespace deeprecsys

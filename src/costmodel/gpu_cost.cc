@@ -1,0 +1,85 @@
+#include "gpu_cost.hh"
+
+#include <algorithm>
+
+#include "base/logging.hh"
+
+namespace deeprecsys {
+
+GpuCostModel::GpuCostModel(const ModelProfile& profile,
+                           const GpuPlatform& platform,
+                           const GpuCostParams& params)
+    : profile_(profile), platform_(platform), params_(params)
+{
+}
+
+double
+GpuCostModel::transferSeconds(size_t size) const
+{
+    const double bytes = profile_.inputBytesPerSample *
+                         static_cast<double>(size) *
+                         params_.transferOverheadFactor;
+    return platform_.pcieLatencyS + bytes / (platform_.pcieBwGBs * 1e9);
+}
+
+double
+GpuCostModel::computeSeconds(size_t size) const
+{
+    const double b = static_cast<double>(size);
+    double seconds = platform_.kernelLaunchS;
+
+    // FC / GEMM work.
+    if (profile_.denseFlopsPerSample > 0.0) {
+        const double eff = params_.fcPeakEfficiency * b /
+                           (b + params_.fcHalfBatch);
+        seconds += profile_.denseFlopsPerSample * b /
+                   (platform_.peakFlops * eff);
+    }
+    // Embedding gathers from device memory.
+    if (profile_.embBytesPerSample > 0.0) {
+        const double eff = params_.gatherEfficiency * b /
+                           (b + params_.gatherHalfBatch);
+        seconds += profile_.embBytesPerSample * b /
+                   (platform_.memBwGBs * 1e9 * eff);
+    }
+    // Attention kernels batch into GEMMs and use the FC curve.
+    if (profile_.attnFlopsPerSample > 0.0) {
+        const double eff = 0.5 * params_.fcPeakEfficiency * b /
+                           (b + params_.fcHalfBatch);
+        seconds += profile_.attnFlopsPerSample * b /
+                   (platform_.peakFlops * eff);
+    }
+    // Recurrent kernels serialize across steps; GPUs dislike them.
+    if (profile_.recFlopsPerSample > 0.0) {
+        const double eff = params_.seqPeakEfficiency * b /
+                           (b + params_.seqHalfBatch);
+        seconds += profile_.recFlopsPerSample * b /
+                   (platform_.peakFlops * eff);
+    }
+    return seconds;
+}
+
+double
+GpuCostModel::querySeconds(size_t size) const
+{
+    drs_assert(size >= 1, "query size must be >= 1");
+    return transferSeconds(size) + computeSeconds(size);
+}
+
+double
+GpuCostModel::speedupOverCpu(const CpuCostModel& cpu, size_t size) const
+{
+    return cpu.requestSeconds(size, 1) / querySeconds(size);
+}
+
+size_t
+GpuCostModel::crossoverBatch(const CpuCostModel& cpu, size_t limit) const
+{
+    for (size_t b = 1; b <= limit; b++) {
+        if (speedupOverCpu(cpu, b) > 1.0)
+            return b;
+    }
+    return 0;
+}
+
+} // namespace deeprecsys

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * GPU accelerator model (paper Section V).
+ *
+ * The paper evaluates DeepRecSched-GPU through "a GPU accelerator
+ * model constructed with the performance profiles of each
+ * recommendation model across the range of query sizes over a real
+ * GTX 1080Ti". We rebuild that model analytically: an offloaded query
+ * pays a fixed PCIe/launch latency, a transfer term proportional to
+ * input bytes, and a compute term whose efficiency grows with batch.
+ * Data loading dominates (60-80% of end-to-end time) at small and
+ * medium batches, matching Figure 4's observation, and the
+ * CPU-crossover batch size differs per model.
+ */
+
+#ifndef DRS_COSTMODEL_GPU_COST_HH
+#define DRS_COSTMODEL_GPU_COST_HH
+
+#include <cstddef>
+
+#include "costmodel/cpu_cost.hh"
+#include "costmodel/model_profile.hh"
+#include "costmodel/platform.hh"
+
+namespace deeprecsys {
+
+/** Calibration constants of the GPU cost model. */
+struct GpuCostParams
+{
+    /// Fraction of peak device FLOPs at full batch for GEMM-like work.
+    double fcPeakEfficiency = 0.45;
+    /// Batch at which device FC efficiency half-saturates (GPUs need
+    /// large batches to fill their SMs).
+    double fcHalfBatch = 256.0;
+    /// Fraction of device memory bandwidth for embedding gathers.
+    double gatherEfficiency = 0.18;
+    /// Batch at which gather bandwidth half-saturates.
+    double gatherHalfBatch = 160.0;
+    /// Fraction of peak FLOPs for attention/recurrent kernels.
+    double seqPeakEfficiency = 0.035;
+    /// Batch at which sequence kernels half-saturate.
+    double seqHalfBatch = 96.0;
+    /// Multiplier on profile input bytes for transfer framing
+    /// (per-feature tensors ship as many small buffers).
+    double transferOverheadFactor = 1.5;
+};
+
+/** End-to-end service time of a query executed on the accelerator. */
+class GpuCostModel
+{
+  public:
+    GpuCostModel(const ModelProfile& profile, const GpuPlatform& platform,
+                 const GpuCostParams& params = GpuCostParams{});
+
+    /** Host->device data-loading seconds for a query of @p size. */
+    double transferSeconds(size_t size) const;
+
+    /** Device compute seconds for a query of @p size. */
+    double computeSeconds(size_t size) const;
+
+    /** End-to-end seconds: transfer + compute. */
+    double querySeconds(size_t size) const;
+
+    /**
+     * Speedup of the GPU over a single CPU core executing the same
+     * query as one request (Figure 4's metric).
+     */
+    double speedupOverCpu(const CpuCostModel& cpu, size_t size) const;
+
+    /**
+     * Smallest batch in [1, limit] where the GPU outperforms one CPU
+     * core, or 0 when it never does (Figure 4 annotations).
+     */
+    size_t crossoverBatch(const CpuCostModel& cpu,
+                          size_t limit = 1024) const;
+
+    const ModelProfile& profile() const { return profile_; }
+    const GpuPlatform& platform() const { return platform_; }
+
+  private:
+    ModelProfile profile_;
+    GpuPlatform platform_;
+    GpuCostParams params_;
+};
+
+} // namespace deeprecsys
+
+#endif // DRS_COSTMODEL_GPU_COST_HH

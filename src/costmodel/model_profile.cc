@@ -1,0 +1,61 @@
+#include "model_profile.hh"
+
+#include "models/rec_model.hh"
+
+namespace deeprecsys {
+
+ModelProfile
+ModelProfile::fromModel(const RecModel& model)
+{
+    const ModelConfig& cfg = model.config();
+    ModelProfile p;
+    p.id = cfg.id;
+    p.name = cfg.name;
+    p.denseFlopsPerSample =
+        static_cast<double>(model.denseFlopsPerSample());
+    p.attnFlopsPerSample =
+        static_cast<double>(model.attentionFlopsPerSample());
+    p.recFlopsPerSample =
+        static_cast<double>(model.recurrentFlopsPerSample());
+    p.seqFlopsPerSample =
+        static_cast<double>(model.sequenceFlopsPerSample());
+    p.embBytesPerSample =
+        static_cast<double>(model.embeddingBytesPerSample());
+    p.denseParamBytes = static_cast<double>(model.denseParamBytes());
+    p.logicalEmbeddingBytes =
+        static_cast<double>(model.logicalEmbeddingBytes());
+    p.expectedBottleneck = cfg.expectedBottleneck;
+    p.slaMediumMs = cfg.slaMediumMs;
+
+    // Host->device bytes per sample: fp32 dense features plus int64
+    // sparse indices (regular lookups, behaviors, candidate).
+    const double sparse_indices =
+        static_cast<double>(cfg.numTables) * cfg.lookupsPerTable +
+        static_cast<double>(cfg.seqLen) +
+        ((cfg.useAttention || cfg.useRecurrent) ? 1.0 : 0.0);
+    p.inputBytesPerSample =
+        static_cast<double>(cfg.denseInputDim) * sizeof(float) +
+        sparse_indices * sizeof(int64_t);
+    return p;
+}
+
+ModelProfile
+ModelProfile::forModel(ModelId id)
+{
+    const RecModel tiny(modelConfig(id), /*seed=*/7, ModelScale::tiny());
+    // Tiny scale truncates physical rows only; logical byte accounting
+    // is unaffected, so the profile matches a full-scale build.
+    return fromModel(tiny);
+}
+
+double
+ModelProfile::intensity(double batch) const
+{
+    const double flops_total = flops(batch);
+    const double bytes_total =
+        embBytesPerSample * batch + denseParamBytes +
+        inputBytesPerSample * batch;
+    return bytes_total > 0 ? flops_total / bytes_total : 0.0;
+}
+
+} // namespace deeprecsys

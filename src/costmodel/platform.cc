@@ -1,0 +1,33 @@
+#include "platform.hh"
+
+namespace deeprecsys {
+
+CpuPlatform
+CpuPlatform::broadwell()
+{
+    CpuPlatform p;
+    p.name = "Broadwell";
+    p.cores = 28;
+    p.freqGhz = 2.4;
+    p.simdFloats = 8;       // AVX-2: 256-bit / 32-bit floats
+    p.inclusiveLlc = true;
+    p.dramBwGBs = 60.0;
+    p.tdpWatts = 120.0;
+    return p;
+}
+
+CpuPlatform
+CpuPlatform::skylake()
+{
+    CpuPlatform p;
+    p.name = "Skylake";
+    p.cores = 40;
+    p.freqGhz = 2.0;
+    p.simdFloats = 16;      // AVX-512
+    p.inclusiveLlc = false; // exclusive L2/L3
+    p.dramBwGBs = 85.0;
+    p.tdpWatts = 125.0;
+    return p;
+}
+
+} // namespace deeprecsys

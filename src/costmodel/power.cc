@@ -1,0 +1,37 @@
+#include "power.hh"
+
+#include <algorithm>
+
+#include "base/logging.hh"
+
+namespace deeprecsys {
+
+PowerModel::PowerModel(const CpuPlatform& cpu)
+    : cpuTdp(cpu.tdpWatts), hasGpu(false)
+{
+}
+
+PowerModel::PowerModel(const CpuPlatform& cpu, const GpuPlatform& gpu)
+    : cpuTdp(cpu.tdpWatts), hasGpu(true), gpuIdle(gpu.idleWatts),
+      gpuTdp(gpu.tdpWatts)
+{
+}
+
+double
+PowerModel::watts(double gpu_utilization) const
+{
+    drs_assert(gpu_utilization >= 0.0 && gpu_utilization <= 1.0,
+               "utilization must be in [0,1], got ", gpu_utilization);
+    double w = cpuTdp;
+    if (hasGpu)
+        w += gpuIdle + gpu_utilization * (gpuTdp - gpuIdle);
+    return w;
+}
+
+double
+PowerModel::qpsPerWatt(double qps, double gpu_utilization) const
+{
+    return qps / watts(gpu_utilization);
+}
+
+} // namespace deeprecsys

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Power model for infrastructure-efficiency (QPS/Watt) accounting.
+ *
+ * The paper normalizes power efficiency against CPU TDP (Section V);
+ * the GPU adds idle board power plus a utilization-proportional active
+ * component. This reproduces the paper's asymmetry: DeepRecSched-GPU
+ * improves raw QPS more than QPS/Watt, and memory-bound models can
+ * lose power efficiency when offloading.
+ */
+
+#ifndef DRS_COSTMODEL_POWER_HH
+#define DRS_COSTMODEL_POWER_HH
+
+#include "costmodel/platform.hh"
+
+namespace deeprecsys {
+
+/** System power under a given accelerator utilization. */
+class PowerModel
+{
+  public:
+    /** CPU-only system. */
+    explicit PowerModel(const CpuPlatform& cpu);
+
+    /** CPU + attached accelerator. */
+    PowerModel(const CpuPlatform& cpu, const GpuPlatform& gpu);
+
+    /**
+     * System watts when the GPU is busy @p gpu_utilization of the
+     * time (ignored for CPU-only systems).
+     */
+    double watts(double gpu_utilization = 0.0) const;
+
+    /** QPS per watt at the given throughput and GPU utilization. */
+    double qpsPerWatt(double qps, double gpu_utilization = 0.0) const;
+
+  private:
+    double cpuTdp;
+    bool hasGpu;
+    double gpuIdle = 0.0;
+    double gpuTdp = 0.0;
+};
+
+} // namespace deeprecsys
+
+#endif // DRS_COSTMODEL_POWER_HH

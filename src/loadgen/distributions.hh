@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Query arrival processes and working-set-size distributions
+ * (paper Section III-C, Figure 5).
+ *
+ * Arrivals follow a Poisson process as observed in production; sizes
+ * follow a heavy-tailed distribution (lognormal body + Pareto tail)
+ * whose top quartile carries roughly half the total work, the property
+ * Figure 6 builds on. Fixed / normal / lognormal alternatives are
+ * provided for the ablations of Figure 12a.
+ */
+
+#ifndef DRS_LOADGEN_DISTRIBUTIONS_HH
+#define DRS_LOADGEN_DISTRIBUTIONS_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "base/random.hh"
+
+namespace deeprecsys {
+
+/** Inter-arrival time models. */
+enum class ArrivalKind { Poisson, Fixed, Uniform };
+
+/** Generates inter-arrival gaps for a target average rate. */
+class ArrivalProcess
+{
+  public:
+    /**
+     * @param kind process type
+     * @param qps average queries per second (> 0)
+     * @param seed deterministic stream seed
+     */
+    ArrivalProcess(ArrivalKind kind, double qps, uint64_t seed);
+
+    /** Seconds until the next arrival. */
+    double nextGap();
+
+    /** The configured average rate. */
+    double qps() const { return rate; }
+
+  private:
+    ArrivalKind kind;
+    double rate;
+    Rng rng;
+};
+
+/** Query working-set-size distribution families. */
+enum class SizeDistKind { Production, Lognormal, Normal, Fixed };
+
+/** Name for printing. */
+const char* sizeDistName(SizeDistKind kind);
+
+/**
+ * Samples query sizes in [1, maxSize].
+ *
+ * The production distribution mixes a lognormal body with a Pareto
+ * tail (20% tail weight, shape 1.3) clipped at maxSize = 1000, giving
+ * the heavier-than-lognormal tail of Figure 5.
+ */
+class QuerySizeDistribution
+{
+  public:
+    /** Production heavy-tail distribution (Figure 5, default). */
+    static QuerySizeDistribution production(uint64_t seed);
+
+    /** Canonical lognormal comparison (same body as production). */
+    static QuerySizeDistribution lognormal(uint64_t seed);
+
+    /** Normal(mean, stddev) clipped to [1, maxSize]. */
+    static QuerySizeDistribution normal(uint64_t seed, double mean = 140.0,
+                                        double stddev = 60.0);
+
+    /** Every query has the same size. */
+    static QuerySizeDistribution fixed(uint64_t seed, uint32_t size = 140);
+
+    /** Build by kind with default parameters. */
+    static QuerySizeDistribution byKind(SizeDistKind kind, uint64_t seed);
+
+    /** Draw one query size. */
+    uint32_t sample();
+
+    /** The distribution family. */
+    SizeDistKind kind() const { return kind_; }
+
+    /** Largest size this distribution can emit. */
+    static constexpr uint32_t maxSize = 1000;
+
+  private:
+    QuerySizeDistribution(SizeDistKind kind, uint64_t seed, double a,
+                          double b);
+
+    SizeDistKind kind_;
+    Rng rng;
+    double paramA;  ///< mu / mean / fixed size
+    double paramB;  ///< sigma / stddev
+};
+
+/**
+ * Diurnal traffic profile: a day-long sinusoidal load swing around
+ * the mean rate, used by the fleet experiments (Figure 13).
+ */
+class DiurnalProfile
+{
+  public:
+    /**
+     * @param peak_to_trough ratio of the busiest to the quietest hour
+     * @param period_seconds length of one cycle (default 24 h)
+     */
+    explicit DiurnalProfile(double peak_to_trough = 2.0,
+                            double period_seconds = 86400.0);
+
+    /** Rate multiplier (mean 1.0) at an absolute time. */
+    double multiplier(double t_seconds) const;
+
+  private:
+    double amplitude;
+    double period;
+};
+
+} // namespace deeprecsys
+
+#endif // DRS_LOADGEN_DISTRIBUTIONS_HH

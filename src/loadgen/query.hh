@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Query representation for at-scale recommendation inference.
+ *
+ * A query asks the model to score `size` candidate items for one user
+ * (the working-set size of Section III-C); the scheduler may split it
+ * into several requests of smaller batch size.
+ */
+
+#ifndef DRS_LOADGEN_QUERY_HH
+#define DRS_LOADGEN_QUERY_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace deeprecsys {
+
+/** One inference query: score `size` items for one user. */
+struct Query
+{
+    uint64_t id = 0;            ///< monotonically increasing identifier
+    double arrivalSeconds = 0;  ///< arrival time from stream start
+    uint32_t size = 1;          ///< candidate items to score
+};
+
+/** A generated query trace. */
+using QueryTrace = std::vector<Query>;
+
+} // namespace deeprecsys
+
+#endif // DRS_LOADGEN_QUERY_HH

@@ -1,0 +1,36 @@
+#include "query_stream.hh"
+
+namespace deeprecsys {
+
+QueryStream::QueryStream(const LoadSpec& spec)
+    : spec_(spec), arrivals(spec.arrival, spec.qps, spec.arrivalSeed),
+      sizes(QuerySizeDistribution::byKind(spec.sizes, spec.sizeSeed))
+{
+}
+
+QueryTrace
+QueryStream::generate(size_t count)
+{
+    QueryTrace trace;
+    trace.reserve(count);
+    for (size_t i = 0; i < count; i++) {
+        clock += arrivals.nextGap();
+        Query q;
+        q.id = nextId++;
+        q.arrivalSeconds = clock;
+        q.size = sizes.sample();
+        trace.push_back(q);
+    }
+    return trace;
+}
+
+void
+QueryStream::reset()
+{
+    arrivals = ArrivalProcess(spec_.arrival, spec_.qps, spec_.arrivalSeed);
+    sizes = QuerySizeDistribution::byKind(spec_.sizes, spec_.sizeSeed);
+    clock = 0.0;
+    nextId = 0;
+}
+
+} // namespace deeprecsys

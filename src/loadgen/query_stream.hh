@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Query trace generation combining an arrival process with a size
+ * distribution — the DeepRecInfra load generator front-end (Figure 8).
+ */
+
+#ifndef DRS_LOADGEN_QUERY_STREAM_HH
+#define DRS_LOADGEN_QUERY_STREAM_HH
+
+#include <cstdint>
+
+#include "loadgen/distributions.hh"
+#include "loadgen/query.hh"
+
+namespace deeprecsys {
+
+/** Configuration of one generated query stream. */
+struct LoadSpec
+{
+    ArrivalKind arrival = ArrivalKind::Poisson;
+    SizeDistKind sizes = SizeDistKind::Production;
+    double qps = 100.0;
+    uint64_t arrivalSeed = 1;
+    uint64_t sizeSeed = 2;
+};
+
+/**
+ * Generates query traces. Sizes are drawn from a stream independent of
+ * the arrival stream so that sweeping the rate (e.g. during max-QPS
+ * bisection) re-times the *same* query population, which keeps search
+ * results monotone and reproducible.
+ */
+class QueryStream
+{
+  public:
+    explicit QueryStream(const LoadSpec& spec);
+
+    /** Generate the next @p count queries of the trace. */
+    QueryTrace generate(size_t count);
+
+    /** Reset to the start of the trace (same seeds). */
+    void reset();
+
+    const LoadSpec& spec() const { return spec_; }
+
+  private:
+    LoadSpec spec_;
+    ArrivalProcess arrivals;
+    QuerySizeDistribution sizes;
+    double clock = 0.0;
+    uint64_t nextId = 0;
+};
+
+} // namespace deeprecsys
+
+#endif // DRS_LOADGEN_QUERY_STREAM_HH

@@ -1,0 +1,75 @@
+#include "trace_io.hh"
+
+#include <fstream>
+#include <sstream>
+
+#include "base/logging.hh"
+
+namespace deeprecsys {
+
+namespace {
+constexpr const char* traceMagic = "deeprecsys-trace";
+constexpr const char* traceVersion = "v1";
+} // namespace
+
+void
+writeTrace(std::ostream& os, const QueryTrace& trace)
+{
+    os << traceMagic << " " << traceVersion << " " << trace.size()
+       << "\n";
+    os.precision(17);
+    for (const Query& q : trace)
+        os << q.id << " " << q.arrivalSeconds << " " << q.size << "\n";
+}
+
+void
+saveTrace(const std::string& path, const QueryTrace& trace)
+{
+    std::ofstream out(path);
+    if (!out)
+        drs_fatal("cannot open trace file for writing: ", path);
+    writeTrace(out, trace);
+    if (!out)
+        drs_fatal("error while writing trace file: ", path);
+}
+
+QueryTrace
+readTrace(std::istream& is)
+{
+    std::string magic;
+    std::string version;
+    size_t count = 0;
+    if (!(is >> magic >> version >> count))
+        drs_fatal("trace stream has no header");
+    if (magic != traceMagic)
+        drs_fatal("not a deeprecsys trace (bad magic: ", magic, ")");
+    if (version != traceVersion)
+        drs_fatal("unsupported trace version: ", version);
+
+    QueryTrace trace;
+    trace.reserve(count);
+    double prev_arrival = -1.0;
+    for (size_t i = 0; i < count; i++) {
+        Query q;
+        if (!(is >> q.id >> q.arrivalSeconds >> q.size))
+            drs_fatal("trace truncated at query ", i, " of ", count);
+        if (q.size < 1)
+            drs_fatal("trace query ", i, " has zero size");
+        if (q.arrivalSeconds < prev_arrival)
+            drs_fatal("trace arrivals not sorted at query ", i);
+        prev_arrival = q.arrivalSeconds;
+        trace.push_back(q);
+    }
+    return trace;
+}
+
+QueryTrace
+loadTrace(const std::string& path)
+{
+    std::ifstream in(path);
+    if (!in)
+        drs_fatal("cannot open trace file: ", path);
+    return readTrace(in);
+}
+
+} // namespace deeprecsys

@@ -1,0 +1,77 @@
+#include "attention.hh"
+
+#include <algorithm>
+
+namespace deeprecsys {
+
+LocalActivationUnit::LocalActivationUnit(size_t dim, size_t hidden, Rng& rng)
+    : dim_(dim), scorer({3 * dim, hidden, 1}, rng, Activation::Sigmoid)
+{
+    drs_assert(dim > 0 && hidden > 0, "attention dims must be positive");
+}
+
+std::vector<float>
+LocalActivationUnit::scores(const Tensor& behaviors, const float* candidate,
+                            OperatorStats* stats) const
+{
+    ScopedOpTimer timer(stats, OpClass::Attention);
+    drs_assert(behaviors.rank() == 2 && behaviors.dim(1) == dim_,
+               "behavior tensor must be [seq, dim]");
+    const size_t seq = behaviors.dim(0);
+
+    // Pack [behavior, candidate, behavior*candidate] rows, score all
+    // pairs with one FC pass.
+    Tensor packed = Tensor::mat(seq, 3 * dim_);
+    for (size_t t = 0; t < seq; t++) {
+        const float* b = behaviors.row(t);
+        float* dst = packed.row(t);
+        for (size_t d = 0; d < dim_; d++) {
+            dst[d] = b[d];
+            dst[dim_ + d] = candidate[d];
+            dst[2 * dim_ + d] = b[d] * candidate[d];
+        }
+    }
+    // Note: the scorer is an FC stack, but its time is the attention
+    // unit's time; charge it to Attention, not Fc, to match Figure 3's
+    // operator accounting. Pass nullptr so Mlp does not double-charge.
+    Tensor out = scorer.forward(packed, nullptr);
+    std::vector<float> result(seq);
+    for (size_t t = 0; t < seq; t++)
+        result[t] = out.at(t, 0);
+    return result;
+}
+
+Tensor
+LocalActivationUnit::pool(const Tensor& behaviors, const Tensor& candidates,
+                          OperatorStats* stats) const
+{
+    drs_assert(behaviors.rank() == 3, "behaviors must be [batch, seq, dim]");
+    drs_assert(behaviors.dim(2) == dim_, "behavior dim mismatch");
+    drs_assert(candidates.rank() == 2 && candidates.dim(1) == dim_,
+               "candidates must be [batch, dim]");
+    const size_t batch = behaviors.dim(0);
+    const size_t seq = behaviors.dim(1);
+    drs_assert(candidates.dim(0) == batch, "batch size mismatch");
+
+    Tensor out = Tensor::mat(batch, dim_);
+    for (size_t i = 0; i < batch; i++) {
+        // View one sample's behaviors as a [seq, dim] matrix.
+        Tensor sample = Tensor::mat(seq, dim_);
+        const float* src = behaviors.data() + i * seq * dim_;
+        std::copy(src, src + seq * dim_, sample.data());
+
+        const std::vector<float> w =
+            scores(sample, candidates.row(i), stats);
+
+        ScopedOpTimer timer(stats, OpClass::Attention);
+        float* dst = out.row(i);
+        for (size_t t = 0; t < seq; t++) {
+            const float* b = sample.row(t);
+            for (size_t d = 0; d < dim_; d++)
+                dst[d] += w[t] * b[d];
+        }
+    }
+    return out;
+}
+
+} // namespace deeprecsys

@@ -1,0 +1,166 @@
+/**
+ * @file
+ * Embedding tables and pooled lookup (EmbeddingBag) for sparse
+ * categorical features.
+ *
+ * Production tables can reach billions of logical rows; to keep host
+ * memory bounded the table distinguishes logical rows (the category
+ * cardinality used for index validation and capacity accounting) from
+ * physical rows (allocated vectors). Logical indices hash onto physical
+ * rows, preserving the irregular, table-wide access pattern that makes
+ * embedding lookups memory-bound.
+ */
+
+#ifndef DRS_NN_EMBEDDING_HH
+#define DRS_NN_EMBEDDING_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "base/random.hh"
+#include "nn/op_stats.hh"
+#include "tensor/tensor.hh"
+
+namespace deeprecsys {
+
+/** Pooling operator applied over the rows gathered for one sample. */
+enum class Pooling { Sum, Mean, Concat };
+
+/**
+ * Sparse feature batch in CSR form: for sample i, its indices are
+ * indices[offsets[i] .. offsets[i+1]).
+ */
+struct SparseBatch
+{
+    std::vector<uint64_t> indices;
+    std::vector<size_t> offsets;    ///< size batchSize()+1, offsets[0]==0
+
+    /** Number of samples in the batch. */
+    size_t batchSize() const { return offsets.empty() ? 0 : offsets.size() - 1; }
+
+    /** Number of indices for one sample. */
+    size_t
+    lookups(size_t sample) const
+    {
+        return offsets[sample + 1] - offsets[sample];
+    }
+
+    /** Build a batch with a fixed number of lookups per sample. */
+    static SparseBatch uniform(size_t batch, size_t lookups_per_sample,
+                               uint64_t num_rows, Rng& rng);
+};
+
+/** One embedding table plus its pooled-lookup operation. */
+class EmbeddingTable
+{
+  public:
+    /**
+     * @param logical_rows category cardinality (may be billions)
+     * @param dim latent vector width
+     * @param rng initialization stream
+     * @param max_physical_rows allocation cap; logical indices hash
+     *        onto this many resident rows
+     */
+    EmbeddingTable(uint64_t logical_rows, size_t dim, Rng& rng,
+                   uint64_t max_physical_rows = 1ull << 20);
+
+    /** Category cardinality this table represents. */
+    uint64_t logicalRows() const { return logicalRows_; }
+
+    /** Rows actually resident in memory. */
+    uint64_t physicalRows() const { return physicalRows_; }
+
+    /** Latent dimension. */
+    size_t dim() const { return dim_; }
+
+    /** Bytes this table would occupy at full logical size (float32). */
+    uint64_t logicalBytes() const
+    {
+        return logicalRows_ * static_cast<uint64_t>(dim_) * sizeof(float);
+    }
+
+    /** Pointer to the physical row backing a logical index. */
+    const float* rowFor(uint64_t logical_index) const;
+
+    /**
+     * Pooled lookup: gathers each sample's rows and pools them.
+     * Output is [batch, dim] for Sum/Mean. For Concat every sample
+     * must have the same lookup count L and output is [batch, L*dim].
+     * Time is charged to OpClass::Embedding of @p stats when non-null.
+     */
+    Tensor bagForward(const SparseBatch& batch, Pooling pooling,
+                      OperatorStats* stats = nullptr) const;
+
+    /**
+     * Unpooled gather producing a behavior sequence tensor
+     * [batch, L, dim]; every sample must have the same lookup count L.
+     * Used for the attention (DIN) and recurrent (DIEN) paths which
+     * consume per-step embeddings rather than a pooled vector.
+     */
+    Tensor gatherSequence(const SparseBatch& batch,
+                          OperatorStats* stats = nullptr) const;
+
+  private:
+    uint64_t logicalRows_;
+    uint64_t physicalRows_;
+    size_t dim_;
+    std::vector<float> storage;     ///< physicalRows_ x dim_
+};
+
+/**
+ * The sparse side of a recommendation model: a set of embedding tables
+ * that share a lookup count and pooling operator (Table I columns
+ * "Tables", "Lookup", "Pooling").
+ */
+class EmbeddingGroup
+{
+  public:
+    /**
+     * @param num_tables number of embedding tables
+     * @param logical_rows per-table category cardinality
+     * @param dim latent dimension
+     * @param lookups_per_table multi-hot lookup count per sample
+     * @param pooling pooling operator
+     * @param rng initialization stream
+     * @param max_physical_rows residency cap per table
+     */
+    EmbeddingGroup(size_t num_tables, uint64_t logical_rows, size_t dim,
+                   size_t lookups_per_table, Pooling pooling, Rng& rng,
+                   uint64_t max_physical_rows = 1ull << 20);
+
+    size_t numTables() const { return tables.size(); }
+    size_t dim() const { return tables.empty() ? 0 : tables.front().dim(); }
+    size_t lookupsPerTable() const { return lookupsPerTable_; }
+    Pooling pooling() const { return pooling_; }
+
+    /** Per-table access. */
+    const EmbeddingTable& table(size_t i) const { return tables[i]; }
+
+    /**
+     * Forward all tables over a per-table sparse batch and return the
+     * per-table pooled outputs.
+     */
+    std::vector<Tensor> forward(const std::vector<SparseBatch>& batches,
+                                OperatorStats* stats = nullptr) const;
+
+    /** Generate a random sparse batch for every table. */
+    std::vector<SparseBatch> randomBatches(size_t batch, Rng& rng) const;
+
+    /** Output width per sample after pooling all tables and concat. */
+    size_t pooledWidth() const;
+
+    /** Total embedding bytes touched per sample (gather traffic). */
+    uint64_t bytesPerSample() const;
+
+    /** Full logical parameter bytes across tables. */
+    uint64_t logicalBytes() const;
+
+  private:
+    std::vector<EmbeddingTable> tables;
+    size_t lookupsPerTable_;
+    Pooling pooling_;
+};
+
+} // namespace deeprecsys
+
+#endif // DRS_NN_EMBEDDING_HH

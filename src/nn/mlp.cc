@@ -1,0 +1,114 @@
+#include "mlp.hh"
+
+#include <cmath>
+
+namespace deeprecsys {
+
+namespace {
+
+void
+applyActivation(Tensor& t, Activation act)
+{
+    switch (act) {
+      case Activation::None:
+        break;
+      case Activation::Relu:
+        reluInPlace(t);
+        break;
+      case Activation::Sigmoid:
+        sigmoidInPlace(t);
+        break;
+      case Activation::Tanh:
+        tanhInPlace(t);
+        break;
+    }
+}
+
+} // namespace
+
+FcLayer::FcLayer(size_t in_dim, size_t out_dim, Activation act, Rng& rng)
+    : weights(Tensor::mat(out_dim, in_dim)), bias(Tensor::vec(out_dim)),
+      act(act)
+{
+    drs_assert(in_dim > 0 && out_dim > 0, "FC layer dims must be positive");
+    // Xavier-uniform keeps activations in a sane range so sigmoid
+    // outputs are meaningful CTR-like values.
+    const double bound =
+        std::sqrt(6.0 / static_cast<double>(in_dim + out_dim));
+    for (size_t i = 0; i < weights.numel(); i++)
+        weights.at(i) = static_cast<float>(rng.uniform(-bound, bound));
+    bias.fill(0.0f);
+}
+
+void
+FcLayer::forward(const Tensor& x, Tensor& out) const
+{
+    drs_assert(x.rank() == 2 && x.dim(1) == inDim(),
+               "FC input width ", x.dim(1), " != expected ", inDim());
+    matmulBiasTransB(x, weights, bias, out);
+    applyActivation(out, act);
+}
+
+uint64_t
+FcLayer::paramBytes() const
+{
+    return (weights.numel() + bias.numel()) * sizeof(float);
+}
+
+Mlp::Mlp(const std::vector<size_t>& dims, Rng& rng, Activation final_act)
+{
+    drs_assert(dims.size() >= 2, "MLP needs at least input and output dims");
+    for (size_t i = 0; i + 1 < dims.size(); i++) {
+        const bool last = (i + 2 == dims.size());
+        layers.emplace_back(dims[i], dims[i + 1],
+                            last ? final_act : Activation::Relu, rng);
+    }
+}
+
+size_t
+Mlp::inDim() const
+{
+    drs_assert(!layers.empty(), "inDim of empty MLP");
+    return layers.front().inDim();
+}
+
+size_t
+Mlp::outDim() const
+{
+    drs_assert(!layers.empty(), "outDim of empty MLP");
+    return layers.back().outDim();
+}
+
+Tensor
+Mlp::forward(const Tensor& x, OperatorStats* stats) const
+{
+    ScopedOpTimer timer(stats, OpClass::Fc);
+    drs_assert(!layers.empty(), "forward through empty MLP");
+    Tensor cur = x;
+    Tensor next;
+    for (const FcLayer& layer : layers) {
+        layer.forward(cur, next);
+        std::swap(cur, next);
+    }
+    return cur;
+}
+
+uint64_t
+Mlp::flopsPerSample() const
+{
+    uint64_t flops = 0;
+    for (const FcLayer& layer : layers)
+        flops += layer.flopsPerSample();
+    return flops;
+}
+
+uint64_t
+Mlp::paramBytes() const
+{
+    uint64_t bytes = 0;
+    for (const FcLayer& layer : layers)
+        bytes += layer.paramBytes();
+    return bytes;
+}
+
+} // namespace deeprecsys

@@ -1,0 +1,53 @@
+#include "op_stats.hh"
+
+namespace deeprecsys {
+
+const char*
+opClassName(OpClass c)
+{
+    switch (c) {
+      case OpClass::Fc: return "FC";
+      case OpClass::Embedding: return "Embedding";
+      case OpClass::Interaction: return "Interaction";
+      case OpClass::Attention: return "Attention";
+      case OpClass::Recurrent: return "Recurrent";
+      case OpClass::Other: return "Other";
+      default: return "Unknown";
+    }
+}
+
+double
+OperatorStats::total() const
+{
+    double t = 0.0;
+    for (double s : seconds_)
+        t += s;
+    return t;
+}
+
+double
+OperatorStats::fraction(OpClass c) const
+{
+    const double t = total();
+    return t > 0.0 ? seconds(c) / t : 0.0;
+}
+
+OpClass
+OperatorStats::dominant() const
+{
+    size_t best = 0;
+    for (size_t i = 1; i < numClasses; i++) {
+        if (seconds_[i] > seconds_[best])
+            best = i;
+    }
+    return static_cast<OpClass>(best);
+}
+
+void
+OperatorStats::merge(const OperatorStats& other)
+{
+    for (size_t i = 0; i < numClasses; i++)
+        seconds_[i] += other.seconds_[i];
+}
+
+} // namespace deeprecsys

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Per-operator-class timing instrumentation.
+ *
+ * Figure 3 of the paper breaks inference runtime into operator classes
+ * (FC, embedding lookup, concat/sum interaction, attention, recurrent).
+ * Layers report their execution time here so the breakdown can be
+ * measured from real kernel execution.
+ */
+
+#ifndef DRS_NN_OP_STATS_HH
+#define DRS_NN_OP_STATS_HH
+
+#include <array>
+#include <chrono>
+#include <cstddef>
+#include <string>
+
+namespace deeprecsys {
+
+/** Operator classes used for runtime breakdowns (Figure 3). */
+enum class OpClass : size_t {
+    Fc = 0,         ///< fully-connected / MLP layers
+    Embedding,      ///< embedding table lookup + pooling
+    Interaction,    ///< concat / sum feature interaction
+    Attention,      ///< local-activation attention units
+    Recurrent,      ///< GRU / AUGRU layers
+    Other,          ///< activations, glue
+    NumClasses
+};
+
+/** Human-readable name of an operator class. */
+const char* opClassName(OpClass c);
+
+/** Accumulated execution seconds per operator class. */
+class OperatorStats
+{
+  public:
+    static constexpr size_t numClasses =
+        static_cast<size_t>(OpClass::NumClasses);
+
+    /** Add elapsed seconds to one class. */
+    void
+    add(OpClass c, double seconds)
+    {
+        seconds_[static_cast<size_t>(c)] += seconds;
+    }
+
+    /** Accumulated seconds for one class. */
+    double
+    seconds(OpClass c) const
+    {
+        return seconds_[static_cast<size_t>(c)];
+    }
+
+    /** Total accumulated seconds across all classes. */
+    double total() const;
+
+    /** Fraction of total time in one class (0 when total is 0). */
+    double fraction(OpClass c) const;
+
+    /** Class with the largest accumulated time. */
+    OpClass dominant() const;
+
+    /** Merge another accumulator into this one. */
+    void merge(const OperatorStats& other);
+
+    /** Reset all accumulators to zero. */
+    void clear() { seconds_.fill(0.0); }
+
+  private:
+    std::array<double, numClasses> seconds_{};
+};
+
+/**
+ * RAII timer: charges the enclosing scope's wall time to one operator
+ * class of an OperatorStats. A null stats pointer disables timing so
+ * hot paths can skip instrumentation entirely.
+ */
+class ScopedOpTimer
+{
+  public:
+    ScopedOpTimer(OperatorStats* stats, OpClass c)
+        : stats(stats), opClass(c)
+    {
+        if (stats)
+            start = std::chrono::steady_clock::now();
+    }
+
+    ~ScopedOpTimer()
+    {
+        if (stats) {
+            const auto end = std::chrono::steady_clock::now();
+            stats->add(opClass,
+                       std::chrono::duration<double>(end - start).count());
+        }
+    }
+
+    ScopedOpTimer(const ScopedOpTimer&) = delete;
+    ScopedOpTimer& operator=(const ScopedOpTimer&) = delete;
+
+  private:
+    OperatorStats* stats;
+    OpClass opClass;
+    std::chrono::steady_clock::time_point start;
+};
+
+} // namespace deeprecsys
+
+#endif // DRS_NN_OP_STATS_HH

@@ -1,0 +1,174 @@
+#include "engine.hh"
+
+#include <algorithm>
+#include <chrono>
+
+#include "base/logging.hh"
+
+namespace deeprecsys {
+
+ServingEngine::ServingEngine(const RecModel& model, const EngineConfig& config)
+    : model(model), cfg(config)
+{
+    drs_assert(cfg.numWorkers >= 1, "engine needs at least one worker");
+    drs_assert(cfg.perRequestBatch >= 1, "batch must be >= 1");
+    workers.reserve(cfg.numWorkers);
+    for (size_t w = 0; w < cfg.numWorkers; w++)
+        workers.emplace_back([this, w] { workerLoop(w); });
+}
+
+ServingEngine::~ServingEngine()
+{
+    {
+        std::lock_guard<std::mutex> lock(mtx);
+        stopping = true;
+    }
+    cv.notify_all();
+    for (auto& t : workers)
+        t.join();
+}
+
+void
+ServingEngine::submitQuery(size_t query_idx, uint32_t size)
+{
+    auto& book = books[query_idx];
+    const uint32_t batch = static_cast<uint32_t>(
+        std::min<size_t>(cfg.perRequestBatch, size));
+    uint32_t remaining = size;
+    uint32_t parts = 0;
+    std::vector<Request> reqs;
+    while (remaining > 0) {
+        const uint32_t take = std::min(remaining, batch);
+        reqs.push_back({query_idx, take});
+        remaining -= take;
+        parts++;
+    }
+    book->start = std::chrono::steady_clock::now();
+    book->requestsLeft.store(parts, std::memory_order_release);
+    {
+        std::lock_guard<std::mutex> lock(mtx);
+        for (const Request& r : reqs)
+            queue.push_back(r);
+    }
+    cv.notify_all();
+}
+
+void
+ServingEngine::workerLoop(size_t worker_idx)
+{
+    Rng rng(cfg.inputSeed + worker_idx * 0x9e37ULL);
+    while (true) {
+        Request req{};
+        {
+            std::unique_lock<std::mutex> lock(mtx);
+            cv.wait(lock, [this] { return stopping || !queue.empty(); });
+            if (stopping && queue.empty())
+                break;
+            req = queue.front();
+            queue.pop_front();
+        }
+
+        // Synthesize the input batch (stands in for deserialization)
+        // and run the real forward pass.
+        OperatorStats local;
+        const RecBatch batch = model.makeBatch(req.batch, rng);
+        model.forward(batch, &local);
+        {
+            std::lock_guard<std::mutex> lock(statsMtx);
+            opStats.merge(local);
+        }
+        requestsDone.fetch_add(1, std::memory_order_relaxed);
+
+        auto& book = books[req.queryIdx];
+        if (book->requestsLeft.fetch_sub(1, std::memory_order_acq_rel)
+                == 1) {
+            const auto end = std::chrono::steady_clock::now();
+            const double latency =
+                std::chrono::duration<double>(end - book->start).count();
+            {
+                std::lock_guard<std::mutex> lock(statsMtx);
+                latencies.add(latency);
+            }
+            queriesDone.fetch_add(1, std::memory_order_release);
+        }
+    }
+}
+
+EngineResult
+ServingEngine::serveAll(const QueryTrace& trace)
+{
+    {
+        std::lock_guard<std::mutex> lock(statsMtx);
+        latencies.clear();
+        opStats.clear();
+    }
+    queriesDone.store(0);
+    requestsDone.store(0);
+    books.clear();
+    books.reserve(trace.size());
+    for (size_t i = 0; i < trace.size(); i++)
+        books.push_back(std::make_unique<QueryBook>());
+
+    const auto wall_start = std::chrono::steady_clock::now();
+    for (size_t i = 0; i < trace.size(); i++)
+        submitQuery(i, trace[i].size);
+    while (queriesDone.load(std::memory_order_acquire) < trace.size())
+        std::this_thread::sleep_for(std::chrono::microseconds(50));
+    const auto wall_end = std::chrono::steady_clock::now();
+
+    EngineResult result;
+    {
+        std::lock_guard<std::mutex> lock(statsMtx);
+        result.queryLatencySeconds = latencies;
+        result.operatorBreakdown = opStats;
+    }
+    result.wallSeconds =
+        std::chrono::duration<double>(wall_end - wall_start).count();
+    result.numQueries = trace.size();
+    result.numRequests = requestsDone.load();
+    return result;
+}
+
+EngineResult
+ServingEngine::serveOpenLoop(const QueryTrace& trace, double time_scale)
+{
+    drs_assert(time_scale > 0.0, "time scale must be positive");
+    {
+        std::lock_guard<std::mutex> lock(statsMtx);
+        latencies.clear();
+        opStats.clear();
+    }
+    queriesDone.store(0);
+    requestsDone.store(0);
+    books.clear();
+    books.reserve(trace.size());
+    for (size_t i = 0; i < trace.size(); i++)
+        books.push_back(std::make_unique<QueryBook>());
+
+    const auto wall_start = std::chrono::steady_clock::now();
+    for (size_t i = 0; i < trace.size(); i++) {
+        const auto release = wall_start + std::chrono::duration_cast<
+            std::chrono::steady_clock::duration>(
+                std::chrono::duration<double>(
+                    trace[i].arrivalSeconds * time_scale));
+        std::this_thread::sleep_until(release);
+        submitQuery(i, trace[i].size);
+    }
+    while (queriesDone.load(std::memory_order_acquire) < trace.size())
+        std::this_thread::sleep_for(std::chrono::microseconds(50));
+    const auto wall_end = std::chrono::steady_clock::now();
+
+    EngineResult result;
+    {
+        std::lock_guard<std::mutex> lock(statsMtx);
+        result.queryLatencySeconds = latencies;
+        result.operatorBreakdown = opStats;
+    }
+    result.wallSeconds =
+        std::chrono::duration<double>(wall_end - wall_start).count();
+    result.numQueries = trace.size();
+    result.numRequests = requestsDone.load();
+    return result;
+}
+
+} // namespace deeprecsys

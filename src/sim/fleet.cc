@@ -1,0 +1,81 @@
+#include "fleet.hh"
+
+#include <cmath>
+
+#include "base/logging.hh"
+#include "base/random.hh"
+#include "loadgen/query_stream.hh"
+
+namespace deeprecsys {
+
+SampleStats
+FleetResult::subsample(const std::vector<size_t>& machines) const
+{
+    SampleStats pooled;
+    for (size_t m : machines) {
+        drs_assert(m < perMachine.size(), "machine index out of range");
+        pooled.addAll(perMachine[m].raw());
+    }
+    return pooled;
+}
+
+FleetSimulator::FleetSimulator(SimConfig base_in, FleetConfig cfg_in)
+    : base(std::move(base_in)), cfg(std::move(cfg_in))
+{
+    drs_assert(cfg.numMachines >= 1, "fleet needs machines");
+    drs_assert(cfg.numWindows >= 1, "fleet needs at least one window");
+}
+
+FleetResult
+FleetSimulator::run() const
+{
+    FleetResult result;
+    result.perMachine.resize(cfg.numMachines);
+    Rng fleet_rng(cfg.seed);
+    const DiurnalProfile diurnal(cfg.diurnalPeakToTrough);
+
+    double util_sum = 0.0;
+    size_t util_count = 0;
+
+    for (size_t m = 0; m < cfg.numMachines; m++) {
+        Rng machine_rng = fleet_rng.fork();
+        // Persistent machine speed: lognormal around 1.0.
+        const double speed =
+            std::exp(machine_rng.normal(0.0, cfg.speedSigma));
+
+        for (size_t w = 0; w < cfg.numWindows; w++) {
+            // Window position in the (simulated) day drives the
+            // diurnal rate swing.
+            const double t_frac = cfg.numWindows > 1
+                ? static_cast<double>(w) /
+                  static_cast<double>(cfg.numWindows)
+                : 0.25;
+            const double rate = cfg.perMachineQps *
+                diurnal.multiplier(t_frac * 86400.0);
+
+            SimConfig machine = base;
+            machine.slowdown = 1.0 / speed;
+            if (machine_rng.uniform() < cfg.interferenceProb)
+                machine.slowdown *= cfg.interferenceSlowdown;
+
+            LoadSpec load = cfg.load;
+            load.qps = rate;
+            load.arrivalSeed = machine_rng();
+            load.sizeSeed = machine_rng();
+            QueryStream stream(load);
+            const QueryTrace trace = stream.generate(cfg.queriesPerWindow);
+
+            ServingSimulator sim(machine);
+            const SimResult r = sim.run(trace);
+            result.perMachine[m].addAll(r.queryLatencySeconds.raw());
+            result.fleetLatency.addAll(r.queryLatencySeconds.raw());
+            util_sum += r.cpuUtilization;
+            util_count++;
+        }
+    }
+    if (util_count > 0)
+        result.meanCpuUtilization = util_sum / double(util_count);
+    return result;
+}
+
+} // namespace deeprecsys

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Datacenter fleet simulator (paper Sections III-D and VI-B).
+ *
+ * Hundreds of serving machines receive slices of the global query
+ * stream. Machines are heterogeneous: each gets a persistent speed
+ * multiplier (silicon/provisioning variation) and occasional
+ * co-runner interference windows. Figure 7 compares the latency
+ * distribution of the whole fleet against a small subsample; Figure 13
+ * measures p95/p99 across the fleet over a diurnal day of traffic for
+ * a fixed versus tuned batch size.
+ */
+
+#ifndef DRS_SIM_FLEET_HH
+#define DRS_SIM_FLEET_HH
+
+#include <vector>
+
+#include "base/stats.hh"
+#include "loadgen/distributions.hh"
+#include "loadgen/query_stream.hh"
+#include "sim/serving_sim.hh"
+
+namespace deeprecsys {
+
+/** Configuration of a simulated fleet. */
+struct FleetConfig
+{
+    size_t numMachines = 200;
+    /** Lognormal sigma of the per-machine speed multiplier. */
+    double speedSigma = 0.06;
+    /** Probability a machine runs with a co-runner in a window. */
+    double interferenceProb = 0.15;
+    /** Slowdown multiplier while interfered. */
+    double interferenceSlowdown = 1.30;
+    /** Per-machine offered load (QPS). */
+    double perMachineQps = 100.0;
+    /** Queries per machine per traffic window. */
+    size_t queriesPerWindow = 1500;
+    /** Number of traffic windows (24 = hourly day simulation). */
+    size_t numWindows = 1;
+    /** Diurnal peak-to-trough load ratio across windows. */
+    double diurnalPeakToTrough = 1.0;
+    uint64_t seed = 1234;
+    LoadSpec load;      ///< qps overridden per machine/window
+};
+
+/** Latency outcome of one fleet run. */
+struct FleetResult
+{
+    SampleStats fleetLatency;               ///< all machines pooled
+    std::vector<SampleStats> perMachine;    ///< per-machine samples
+    double meanCpuUtilization = 0.0;
+
+    /** Pooled latency of a machine subset (for Figure 7). */
+    SampleStats subsample(const std::vector<size_t>& machines) const;
+
+    /** Fleet-wide percentile in milliseconds. */
+    double
+    tailMs(double pct) const
+    {
+        return fleetLatency.percentile(pct) * 1e3;
+    }
+};
+
+/** Simulates every machine of the fleet independently. */
+class FleetSimulator
+{
+  public:
+    /**
+     * @param base single-machine configuration (slowdown overridden)
+     * @param cfg fleet shape and heterogeneity parameters
+     */
+    FleetSimulator(SimConfig base, FleetConfig cfg);
+
+    /** Run all machines over all traffic windows. */
+    FleetResult run() const;
+
+  private:
+    SimConfig base;
+    FleetConfig cfg;
+};
+
+} // namespace deeprecsys
+
+#endif // DRS_SIM_FLEET_HH

@@ -1,0 +1,73 @@
+#include "qps_search.hh"
+
+#include <algorithm>
+
+#include "base/logging.hh"
+
+namespace deeprecsys {
+
+SimResult
+evaluateAtQps(const SimConfig& sim, const LoadSpec& load, double qps,
+              size_t num_queries)
+{
+    LoadSpec spec = load;
+    spec.qps = qps;
+    QueryStream stream(spec);
+    const QueryTrace trace = stream.generate(num_queries);
+    ServingSimulator simulator(sim);
+    return simulator.run(trace);
+}
+
+QpsSearchResult
+findMaxQps(const SimConfig& sim, const QpsSearchSpec& spec)
+{
+    drs_assert(spec.slaMs > 0.0, "SLA target must be positive");
+    QpsSearchResult result;
+
+    auto meets = [&](double qps, SimResult& out) {
+        out = evaluateAtQps(sim, spec.load, qps, spec.numQueries);
+        result.evaluations++;
+        return out.tailMs(spec.percentile) <= spec.slaMs;
+    };
+
+    // Feasibility probe: if the SLA cannot be met when the machine is
+    // effectively unloaded, no rate will help.
+    SimResult probe;
+    if (!meets(spec.qpsFloor, probe))
+        return result;
+
+    // Exponential growth until the SLA breaks (or the ceiling).
+    double lo = spec.qpsFloor;
+    SimResult atLo = probe;
+    double hi = std::max(2.0 * lo, 64.0);
+    while (hi < spec.qpsCeiling) {
+        SimResult r;
+        if (!meets(hi, r))
+            break;
+        lo = hi;
+        atLo = r;
+        hi *= 2.0;
+    }
+    if (hi >= spec.qpsCeiling) {
+        result.maxQps = lo;
+        result.atMax = atLo;
+        return result;
+    }
+
+    // Bisection on the feasible boundary.
+    while ((hi - lo) / hi > spec.relTolerance) {
+        const double mid = 0.5 * (lo + hi);
+        SimResult r;
+        if (meets(mid, r)) {
+            lo = mid;
+            atLo = r;
+        } else {
+            hi = mid;
+        }
+    }
+    result.maxQps = lo;
+    result.atMax = atLo;
+    return result;
+}
+
+} // namespace deeprecsys

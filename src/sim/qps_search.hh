@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Latency-bounded throughput measurement: the maximum sustainable
+ * query arrival rate whose tail latency meets an SLA target (the
+ * paper's QPS-under-p95 metric, Section III-B).
+ */
+
+#ifndef DRS_SIM_QPS_SEARCH_HH
+#define DRS_SIM_QPS_SEARCH_HH
+
+#include "loadgen/query_stream.hh"
+#include "sim/serving_sim.hh"
+
+namespace deeprecsys {
+
+/** Parameters of the max-QPS bisection. */
+struct QpsSearchSpec
+{
+    double slaMs = 100.0;       ///< tail-latency target
+    double percentile = 95.0;   ///< which tail (p95 by default)
+    size_t numQueries = 3000;   ///< trace length per evaluation
+    LoadSpec load;              ///< arrival/size config (qps overridden)
+    double relTolerance = 0.02; ///< bisection termination width
+    double qpsFloor = 0.5;      ///< declare infeasible below this rate
+    double qpsCeiling = 2e6;    ///< search upper bound
+};
+
+/** Outcome of a max-QPS search. */
+struct QpsSearchResult
+{
+    double maxQps = 0.0;        ///< 0 when the SLA is unachievable
+    SimResult atMax;            ///< simulation stats at the found rate
+    size_t evaluations = 0;     ///< simulator runs performed
+};
+
+/**
+ * Find the maximum Poisson arrival rate at which the simulated
+ * machine's tail latency meets the SLA. Deterministic: the same seeds
+ * re-time the same query population at every candidate rate.
+ */
+QpsSearchResult findMaxQps(const SimConfig& sim, const QpsSearchSpec& spec);
+
+/** Evaluate one (policy, rate) point. */
+SimResult evaluateAtQps(const SimConfig& sim, const LoadSpec& load,
+                        double qps, size_t num_queries);
+
+} // namespace deeprecsys
+
+#endif // DRS_SIM_QPS_SEARCH_HH

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Discrete-event simulator of one recommendation-serving machine.
+ *
+ * Queries arrive on a trace; the scheduler policy either offloads a
+ * query whole to the accelerator (size >= threshold) or splits it into
+ * requests of at most `perRequestBatch` samples, which are served by a
+ * pool of identical cores fed from one FIFO queue. A query completes
+ * when its last request completes; its latency is the span from
+ * arrival to that completion. Service times come from the analytical
+ * cost models, with the contention term evaluated against the number
+ * of cores busy at dispatch.
+ */
+
+#ifndef DRS_SIM_SERVING_SIM_HH
+#define DRS_SIM_SERVING_SIM_HH
+
+#include <optional>
+#include <vector>
+
+#include "base/stats.hh"
+#include "costmodel/cpu_cost.hh"
+#include "costmodel/gpu_cost.hh"
+#include "loadgen/query.hh"
+
+namespace deeprecsys {
+
+/** The two knobs DeepRecSched tunes (Figure 8, right). */
+struct SchedulerPolicy
+{
+    /** Maximum samples per CPU request (queries split above this). */
+    size_t perRequestBatch = 25;
+
+    /** Offload queries of size >= threshold to the accelerator. */
+    bool gpuEnabled = false;
+    uint32_t gpuQueryThreshold = 1;
+};
+
+/** Configuration of one simulated serving machine. */
+struct SimConfig
+{
+    CpuCostModel cpu;
+    std::optional<GpuCostModel> gpu;
+    SchedulerPolicy policy;
+
+    /** Fraction of leading queries excluded from statistics. */
+    double warmupFraction = 0.05;
+
+    /** Machine speed multiplier (>1 is slower; fleet heterogeneity). */
+    double slowdown = 1.0;
+};
+
+/** Aggregate outcome of one simulation run. */
+struct SimResult
+{
+    SampleStats queryLatencySeconds;   ///< measured queries only
+    double spanSeconds = 0;            ///< measured arrival..completion
+    double offeredQps = 0;             ///< from the trace
+    double achievedQps = 0;            ///< measured completions / span
+    uint64_t numQueries = 0;
+    uint64_t numRequests = 0;          ///< CPU requests dispatched
+    double cpuBusyCoreSeconds = 0;     ///< integral of busy cores
+    double cpuUtilization = 0;         ///< busy-core-seconds / (span*cores)
+    double gpuBusySeconds = 0;
+    double gpuUtilization = 0;
+    double gpuWorkFraction = 0;        ///< samples offloaded / total samples
+
+    /** p95 latency in milliseconds. */
+    double p95Ms() const { return queryLatencySeconds.percentile(95) * 1e3; }
+
+    /** p99 latency in milliseconds. */
+    double p99Ms() const { return queryLatencySeconds.percentile(99) * 1e3; }
+
+    /** Mean latency in milliseconds. */
+    double meanMs() const { return queryLatencySeconds.mean() * 1e3; }
+
+    /** Tail latency at an arbitrary percentile, in milliseconds. */
+    double
+    tailMs(double pct) const
+    {
+        return queryLatencySeconds.percentile(pct) * 1e3;
+    }
+};
+
+/** Single-machine serving simulator. */
+class ServingSimulator
+{
+  public:
+    explicit ServingSimulator(SimConfig config);
+
+    /**
+     * Run the trace to completion and gather statistics.
+     * The trace must be sorted by arrival time.
+     */
+    SimResult run(const QueryTrace& trace);
+
+    const SimConfig& config() const { return cfg; }
+
+  private:
+    SimConfig cfg;
+};
+
+} // namespace deeprecsys
+
+#endif // DRS_SIM_SERVING_SIM_HH

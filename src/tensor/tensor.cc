@@ -1,0 +1,267 @@
+#include "tensor.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace deeprecsys {
+
+namespace {
+
+size_t
+shapeNumel(const std::vector<size_t>& shape)
+{
+    size_t n = 1;
+    for (size_t d : shape)
+        n *= d;
+    return shape.empty() ? 0 : n;
+}
+
+} // namespace
+
+Tensor::Tensor(std::vector<size_t> shape)
+    : shape_(std::move(shape)), data_(shapeNumel(shape_), 0.0f)
+{
+    drs_assert(shape_.size() >= 1 && shape_.size() <= 3,
+               "tensor rank must be 1..3, got ", shape_.size());
+}
+
+Tensor::Tensor(std::vector<size_t> shape, std::vector<float> data)
+    : shape_(std::move(shape)), data_(std::move(data))
+{
+    drs_assert(shape_.size() >= 1 && shape_.size() <= 3,
+               "tensor rank must be 1..3, got ", shape_.size());
+    drs_assert(data_.size() == shapeNumel(shape_),
+               "data size ", data_.size(), " does not match shape numel ",
+               shapeNumel(shape_));
+}
+
+float&
+Tensor::at(size_t i)
+{
+    drs_assert(i < data_.size(), "flat index out of range");
+    return data_[i];
+}
+
+float
+Tensor::at(size_t i) const
+{
+    drs_assert(i < data_.size(), "flat index out of range");
+    return data_[i];
+}
+
+float&
+Tensor::at(size_t r, size_t c)
+{
+    drs_assert(rank() == 2, "2-index access on non-matrix");
+    drs_assert(r < shape_[0] && c < shape_[1], "matrix index out of range");
+    return data_[r * shape_[1] + c];
+}
+
+float
+Tensor::at(size_t r, size_t c) const
+{
+    drs_assert(rank() == 2, "2-index access on non-matrix");
+    drs_assert(r < shape_[0] && c < shape_[1], "matrix index out of range");
+    return data_[r * shape_[1] + c];
+}
+
+float*
+Tensor::row(size_t r)
+{
+    drs_assert(rank() >= 2, "row access on rank-1 tensor");
+    drs_assert(r < shape_[0], "row index out of range");
+    return data_.data() + r * rowSize();
+}
+
+const float*
+Tensor::row(size_t r) const
+{
+    drs_assert(rank() >= 2, "row access on rank-1 tensor");
+    drs_assert(r < shape_[0], "row index out of range");
+    return data_.data() + r * rowSize();
+}
+
+size_t
+Tensor::rowSize() const
+{
+    drs_assert(rank() >= 2, "rowSize on rank-1 tensor");
+    size_t n = 1;
+    for (size_t d = 1; d < shape_.size(); d++)
+        n *= shape_[d];
+    return n;
+}
+
+void
+Tensor::fill(float value)
+{
+    std::fill(data_.begin(), data_.end(), value);
+}
+
+void
+Tensor::reshape(std::vector<size_t> new_shape)
+{
+    drs_assert(shapeNumel(new_shape) == data_.size(),
+               "reshape changes element count");
+    shape_ = std::move(new_shape);
+}
+
+void
+matmulBiasTransB(const Tensor& a, const Tensor& b, const Tensor& bias,
+                 Tensor& out)
+{
+    drs_assert(a.rank() == 2 && b.rank() == 2, "matmul needs matrices");
+    const size_t m = a.dim(0);
+    const size_t k = a.dim(1);
+    const size_t n = b.dim(0);
+    drs_assert(b.dim(1) == k, "inner dimensions mismatch: ", k, " vs ",
+               b.dim(1));
+    drs_assert(bias.numel() == n, "bias size mismatch");
+    if (out.rank() != 2 || out.dim(0) != m || out.dim(1) != n)
+        out = Tensor::mat(m, n);
+
+    const float* a_data = a.data();
+    const float* b_data = b.data();
+    const float* bias_data = bias.data();
+    float* out_data = out.data();
+
+    // Eight independent accumulator lanes break the serial FP-add
+    // chain so the compiler can vectorize the dot product without
+    // -ffast-math reassociation.
+    constexpr size_t lanes = 8;
+    for (size_t i = 0; i < m; i++) {
+        const float* a_row = a_data + i * k;
+        float* out_row = out_data + i * n;
+        for (size_t j = 0; j < n; j++) {
+            const float* b_row = b_data + j * k;
+            float acc[lanes] = {};
+            const size_t vec_end = k - (k % lanes);
+            for (size_t p = 0; p < vec_end; p += lanes) {
+                for (size_t l = 0; l < lanes; l++)
+                    acc[l] += a_row[p + l] * b_row[p + l];
+            }
+            float total = bias_data[j];
+            for (size_t p = vec_end; p < k; p++)
+                total += a_row[p] * b_row[p];
+            for (size_t l = 0; l < lanes; l++)
+                total += acc[l];
+            out_row[j] = total;
+        }
+    }
+}
+
+void
+reluInPlace(Tensor& t)
+{
+    float* d = t.data();
+    for (size_t i = 0; i < t.numel(); i++)
+        d[i] = d[i] > 0.0f ? d[i] : 0.0f;
+}
+
+void
+sigmoidInPlace(Tensor& t)
+{
+    float* d = t.data();
+    for (size_t i = 0; i < t.numel(); i++)
+        d[i] = 1.0f / (1.0f + std::exp(-d[i]));
+}
+
+void
+tanhInPlace(Tensor& t)
+{
+    float* d = t.data();
+    for (size_t i = 0; i < t.numel(); i++)
+        d[i] = std::tanh(d[i]);
+}
+
+void
+softmaxRows(Tensor& t)
+{
+    drs_assert(t.rank() == 2, "softmaxRows needs a matrix");
+    const size_t rows = t.dim(0);
+    const size_t cols = t.dim(1);
+    for (size_t r = 0; r < rows; r++) {
+        float* row = t.row(r);
+        float mx = row[0];
+        for (size_t c = 1; c < cols; c++)
+            mx = std::max(mx, row[c]);
+        float sum = 0.0f;
+        for (size_t c = 0; c < cols; c++) {
+            row[c] = std::exp(row[c] - mx);
+            sum += row[c];
+        }
+        for (size_t c = 0; c < cols; c++)
+            row[c] /= sum;
+    }
+}
+
+Tensor
+concatCols(const std::vector<const Tensor*>& parts)
+{
+    drs_assert(!parts.empty(), "concat of zero tensors");
+    const size_t rows = parts.front()->dim(0);
+    size_t cols = 0;
+    for (const Tensor* p : parts) {
+        drs_assert(p->rank() == 2, "concatCols needs matrices");
+        drs_assert(p->dim(0) == rows, "concatCols row count mismatch");
+        cols += p->dim(1);
+    }
+    Tensor out = Tensor::mat(rows, cols);
+    for (size_t r = 0; r < rows; r++) {
+        float* dst = out.row(r);
+        for (const Tensor* p : parts) {
+            const float* src = p->row(r);
+            dst = std::copy(src, src + p->dim(1), dst);
+        }
+    }
+    return out;
+}
+
+Tensor
+elementwiseSum(const std::vector<const Tensor*>& parts)
+{
+    drs_assert(!parts.empty(), "sum of zero tensors");
+    Tensor out = *parts.front();
+    for (size_t i = 1; i < parts.size(); i++) {
+        const Tensor* p = parts[i];
+        drs_assert(p->numel() == out.numel(), "elementwiseSum shape mismatch");
+        float* dst = out.data();
+        const float* src = p->data();
+        for (size_t j = 0; j < out.numel(); j++)
+            dst[j] += src[j];
+    }
+    return out;
+}
+
+void
+elementwiseMul(const Tensor& a, const Tensor& b, Tensor& out)
+{
+    drs_assert(a.numel() == b.numel(), "elementwiseMul shape mismatch");
+    if (out.numel() != a.numel())
+        out = a;
+    const float* pa = a.data();
+    const float* pb = b.data();
+    float* po = out.data();
+    for (size_t i = 0; i < a.numel(); i++)
+        po[i] = pa[i] * pb[i];
+}
+
+Tensor
+rowwiseDot(const Tensor& a, const Tensor& b)
+{
+    drs_assert(a.rank() == 2 && b.rank() == 2, "rowwiseDot needs matrices");
+    drs_assert(a.dim(0) == b.dim(0) && a.dim(1) == b.dim(1),
+               "rowwiseDot shape mismatch");
+    Tensor out = Tensor::mat(a.dim(0), 1);
+    for (size_t r = 0; r < a.dim(0); r++) {
+        const float* pa = a.row(r);
+        const float* pb = b.row(r);
+        float acc = 0.0f;
+        for (size_t c = 0; c < a.dim(1); c++)
+            acc += pa[c] * pb[c];
+        out.at(r, 0) = acc;
+    }
+    return out;
+}
+
+} // namespace deeprecsys

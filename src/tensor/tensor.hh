@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Minimal dense float32 tensor used by the NN substrate.
+ *
+ * Recommendation inference needs only rank-1/2/3 dense tensors; this
+ * keeps the type simple: contiguous row-major storage, value semantics,
+ * and explicit shape checks that panic on misuse (internal invariants).
+ */
+
+#ifndef DRS_TENSOR_TENSOR_HH
+#define DRS_TENSOR_TENSOR_HH
+
+#include <cstddef>
+#include <initializer_list>
+#include <vector>
+
+#include "base/logging.hh"
+
+namespace deeprecsys {
+
+/** Dense row-major float32 tensor of rank 1..3. */
+class Tensor
+{
+  public:
+    /** Empty (rank-0, zero elements) tensor. */
+    Tensor() = default;
+
+    /** Zero-filled tensor with the given shape. */
+    explicit Tensor(std::vector<size_t> shape);
+
+    /** Tensor with the given shape and flat data (size must match). */
+    Tensor(std::vector<size_t> shape, std::vector<float> data);
+
+    /** Convenience rank-1 constructor. */
+    static Tensor vec(size_t n) { return Tensor({n}); }
+
+    /** Convenience rank-2 constructor. */
+    static Tensor mat(size_t rows, size_t cols)
+    {
+        return Tensor({rows, cols});
+    }
+
+    /** Number of dimensions. */
+    size_t rank() const { return shape_.size(); }
+
+    /** Size along the given dimension. */
+    size_t
+    dim(size_t d) const
+    {
+        drs_assert(d < shape_.size(), "dim index out of range");
+        return shape_[d];
+    }
+
+    /** Full shape vector. */
+    const std::vector<size_t>& shape() const { return shape_; }
+
+    /** Total number of elements. */
+    size_t numel() const { return data_.size(); }
+
+    /** True when the tensor holds no elements. */
+    bool empty() const { return data_.empty(); }
+
+    /** Flat element access. */
+    float& at(size_t i);
+    float at(size_t i) const;
+
+    /** Rank-2 element access (row, col). */
+    float& at(size_t r, size_t c);
+    float at(size_t r, size_t c) const;
+
+    /** Raw pointer to contiguous storage. */
+    float* data() { return data_.data(); }
+    const float* data() const { return data_.data(); }
+
+    /** Pointer to the start of row r (rank >= 2). */
+    float* row(size_t r);
+    const float* row(size_t r) const;
+
+    /** Elements per row for rank >= 2 tensors. */
+    size_t rowSize() const;
+
+    /** Fill every element with the given value. */
+    void fill(float value);
+
+    /**
+     * Reinterpret the flat data with a new shape of identical numel.
+     */
+    void reshape(std::vector<size_t> new_shape);
+
+  private:
+    std::vector<size_t> shape_;
+    std::vector<float> data_;
+};
+
+/**
+ * C = A * B^T + bias, the fully-connected primitive.
+ *
+ * A is [m, k] (batch of activations), B is [n, k] (weights stored one
+ * output neuron per row, which makes the inner loop a dot product over
+ * contiguous memory), bias is [n] and broadcast over rows.
+ */
+void matmulBiasTransB(const Tensor& a, const Tensor& b, const Tensor& bias,
+                      Tensor& out);
+
+/** In-place ReLU. */
+void reluInPlace(Tensor& t);
+
+/** In-place logistic sigmoid. */
+void sigmoidInPlace(Tensor& t);
+
+/** In-place tanh. */
+void tanhInPlace(Tensor& t);
+
+/** Row-wise softmax over a rank-2 tensor. */
+void softmaxRows(Tensor& t);
+
+/**
+ * Concatenate rank-2 tensors along columns. All inputs must share the
+ * same row count.
+ */
+Tensor concatCols(const std::vector<const Tensor*>& parts);
+
+/** Elementwise sum of equally-shaped tensors. */
+Tensor elementwiseSum(const std::vector<const Tensor*>& parts);
+
+/** Elementwise product of two equally-shaped tensors into out. */
+void elementwiseMul(const Tensor& a, const Tensor& b, Tensor& out);
+
+/** Row-wise dot product of two [m, k] tensors producing [m, 1]. */
+Tensor rowwiseDot(const Tensor& a, const Tensor& b);
+
+} // namespace deeprecsys
+
+#endif // DRS_TENSOR_TENSOR_HH

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Unit tests for the DIN-style local activation (attention) unit.
+ */
+
+#include <gtest/gtest.h>
+
+#include "nn/attention.hh"
+
+namespace deeprecsys {
+namespace {
+
+TEST(LocalActivationUnit, ScoreCountMatchesSequence)
+{
+    Rng rng(1);
+    LocalActivationUnit att(8, 16, rng);
+    Tensor behaviors = Tensor::mat(5, 8);
+    std::vector<float> cand(8, 0.1f);
+    const auto scores = att.scores(behaviors, cand.data());
+    EXPECT_EQ(scores.size(), 5u);
+}
+
+TEST(LocalActivationUnit, ScoresAreSigmoidBounded)
+{
+    Rng rng(2);
+    LocalActivationUnit att(8, 16, rng);
+    Tensor behaviors = Tensor::mat(10, 8);
+    for (size_t i = 0; i < behaviors.numel(); i++)
+        behaviors.at(i) = static_cast<float>(rng.normal());
+    std::vector<float> cand(8);
+    for (auto& v : cand)
+        v = static_cast<float>(rng.normal());
+    const auto scores = att.scores(behaviors, cand.data());
+    for (float s : scores) {
+        EXPECT_GT(s, 0.0f);
+        EXPECT_LT(s, 1.0f);
+    }
+}
+
+TEST(LocalActivationUnit, PoolShape)
+{
+    Rng rng(3);
+    LocalActivationUnit att(6, 12, rng);
+    Tensor behaviors({4, 7, 6});
+    Tensor candidates = Tensor::mat(4, 6);
+    const Tensor out = att.pool(behaviors, candidates);
+    EXPECT_EQ(out.dim(0), 4u);
+    EXPECT_EQ(out.dim(1), 6u);
+}
+
+TEST(LocalActivationUnit, ZeroBehaviorsPoolToZero)
+{
+    Rng rng(4);
+    LocalActivationUnit att(4, 8, rng);
+    Tensor behaviors({2, 3, 4});    // all zeros
+    Tensor candidates = Tensor::mat(2, 4);
+    candidates.fill(1.0f);
+    const Tensor out = att.pool(behaviors, candidates);
+    for (size_t i = 0; i < out.numel(); i++)
+        EXPECT_FLOAT_EQ(out.at(i), 0.0f);
+}
+
+TEST(LocalActivationUnit, PoolIsWeightedSumOfBehaviors)
+{
+    Rng rng(5);
+    LocalActivationUnit att(4, 8, rng);
+    // Single behavior: pool = score * behavior.
+    Tensor behaviors({1, 1, 4});
+    for (size_t i = 0; i < 4; i++)
+        behaviors.at(i) = static_cast<float>(i + 1);
+    Tensor candidates = Tensor::mat(1, 4);
+    candidates.fill(0.5f);
+
+    Tensor sample = Tensor::mat(1, 4);
+    for (size_t i = 0; i < 4; i++)
+        sample.at(0, i) = behaviors.at(i);
+    const auto scores = att.scores(sample, candidates.row(0));
+    const Tensor out = att.pool(behaviors, candidates);
+    for (size_t d = 0; d < 4; d++)
+        EXPECT_NEAR(out.at(0, d), scores[0] * behaviors.at(d), 1e-5);
+}
+
+TEST(LocalActivationUnit, ChargesAttentionTime)
+{
+    Rng rng(6);
+    LocalActivationUnit att(8, 16, rng);
+    Tensor behaviors({2, 16, 8});
+    Tensor candidates = Tensor::mat(2, 8);
+    OperatorStats stats;
+    att.pool(behaviors, candidates, &stats);
+    EXPECT_GT(stats.seconds(OpClass::Attention), 0.0);
+    EXPECT_DOUBLE_EQ(stats.seconds(OpClass::Fc), 0.0);
+}
+
+TEST(LocalActivationUnit, FlopsPerPairPositive)
+{
+    Rng rng(7);
+    LocalActivationUnit att(64, 36, rng);
+    // Scorer is (3*64) -> 36 -> 1.
+    EXPECT_EQ(att.flopsPerPair(), 2ull * (192 * 36 + 36 * 1));
+}
+
+TEST(LocalActivationUnit, DeterministicGivenSeed)
+{
+    Rng rng_a(8);
+    Rng rng_b(8);
+    LocalActivationUnit a(4, 8, rng_a);
+    LocalActivationUnit b(4, 8, rng_b);
+    Tensor behaviors = Tensor::mat(3, 4);
+    behaviors.fill(0.25f);
+    std::vector<float> cand(4, -0.5f);
+    const auto sa = a.scores(behaviors, cand.data());
+    const auto sb = b.scores(behaviors, cand.data());
+    for (size_t i = 0; i < sa.size(); i++)
+        EXPECT_FLOAT_EQ(sa[i], sb[i]);
+}
+
+} // namespace
+} // namespace deeprecsys

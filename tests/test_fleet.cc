@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Tests for the datacenter fleet simulator (Figures 7 and 13 substrate).
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/fleet.hh"
+
+namespace deeprecsys {
+namespace {
+
+SimConfig
+baseConfig(size_t batch = 256)
+{
+    const ModelProfile profile = ModelProfile::forModel(ModelId::DlrmRmc1);
+    SchedulerPolicy policy;
+    policy.perRequestBatch = batch;
+    return SimConfig{CpuCostModel(profile, CpuPlatform::skylake()),
+                     std::nullopt, policy, 0.05, 1.0};
+}
+
+FleetConfig
+smallFleet()
+{
+    FleetConfig cfg;
+    cfg.numMachines = 24;
+    cfg.perMachineQps = 400.0;
+    cfg.queriesPerWindow = 400;
+    cfg.numWindows = 1;
+    return cfg;
+}
+
+TEST(Fleet, PerMachineResultsMatchCount)
+{
+    FleetSimulator fleet(baseConfig(), smallFleet());
+    const FleetResult r = fleet.run();
+    EXPECT_EQ(r.perMachine.size(), 24u);
+    for (const auto& m : r.perMachine)
+        EXPECT_GT(m.count(), 0u);
+}
+
+TEST(Fleet, PooledLatencyAggregatesMachines)
+{
+    FleetSimulator fleet(baseConfig(), smallFleet());
+    const FleetResult r = fleet.run();
+    size_t total = 0;
+    for (const auto& m : r.perMachine)
+        total += m.count();
+    EXPECT_EQ(r.fleetLatency.count(), total);
+}
+
+TEST(Fleet, SubsamplePoolsRequestedMachines)
+{
+    FleetSimulator fleet(baseConfig(), smallFleet());
+    const FleetResult r = fleet.run();
+    const SampleStats sub = r.subsample({0, 1, 2});
+    EXPECT_EQ(sub.count(), r.perMachine[0].count() +
+                               r.perMachine[1].count() +
+                               r.perMachine[2].count());
+}
+
+TEST(Fleet, SubsampleTracksFleetTail)
+{
+    // Figure 7: a handful of machines reproduces the datacenter tail
+    // to within ~10%.
+    FleetConfig cfg = smallFleet();
+    cfg.numMachines = 40;
+    FleetSimulator fleet(baseConfig(), cfg);
+    const FleetResult r = fleet.run();
+    const SampleStats sub = r.subsample({0, 1, 2, 3});
+    const double fleet_p95 = r.fleetLatency.percentile(95);
+    const double sub_p95 = sub.percentile(95);
+    EXPECT_NEAR(sub_p95 / fleet_p95, 1.0, 0.25);
+}
+
+TEST(Fleet, DeterministicGivenSeed)
+{
+    FleetSimulator a(baseConfig(), smallFleet());
+    FleetSimulator b(baseConfig(), smallFleet());
+    EXPECT_DOUBLE_EQ(a.run().fleetLatency.percentile(95),
+                     b.run().fleetLatency.percentile(95));
+}
+
+TEST(Fleet, SeedChangesOutcome)
+{
+    FleetConfig cfg = smallFleet();
+    FleetSimulator a(baseConfig(), cfg);
+    cfg.seed = 999;
+    FleetSimulator b(baseConfig(), cfg);
+    EXPECT_NE(a.run().fleetLatency.percentile(95),
+              b.run().fleetLatency.percentile(95));
+}
+
+TEST(Fleet, HeterogeneityWidensDistribution)
+{
+    FleetConfig uniform = smallFleet();
+    uniform.speedSigma = 0.0;
+    uniform.interferenceProb = 0.0;
+    FleetConfig varied = smallFleet();
+    varied.speedSigma = 0.15;
+    varied.interferenceProb = 0.4;
+    varied.interferenceSlowdown = 1.6;
+    FleetSimulator a(baseConfig(), uniform);
+    FleetSimulator b(baseConfig(), varied);
+    const FleetResult ra = a.run();
+    const FleetResult rb = b.run();
+    EXPECT_GT(rb.fleetLatency.stddev(), ra.fleetLatency.stddev());
+}
+
+TEST(Fleet, DiurnalPeaksRaiseTail)
+{
+    FleetConfig flat = smallFleet();
+    flat.numMachines = 8;
+    flat.numWindows = 6;
+    flat.diurnalPeakToTrough = 1.0;
+    flat.perMachineQps = 900.0;
+    FleetConfig diurnal = flat;
+    diurnal.diurnalPeakToTrough = 2.5;
+    FleetSimulator a(baseConfig(), flat);
+    FleetSimulator b(baseConfig(), diurnal);
+    // Peak-hour overload dominates the pooled tail.
+    EXPECT_GT(b.run().fleetLatency.percentile(99),
+              a.run().fleetLatency.percentile(99));
+}
+
+TEST(Fleet, MeanUtilizationReported)
+{
+    FleetSimulator fleet(baseConfig(), smallFleet());
+    const FleetResult r = fleet.run();
+    EXPECT_GT(r.meanCpuUtilization, 0.0);
+    EXPECT_LE(r.meanCpuUtilization, 1.0);
+}
+
+} // namespace
+} // namespace deeprecsys

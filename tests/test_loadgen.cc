@@ -1,0 +1,267 @@
+/**
+ * @file
+ * Tests for the query load generator: arrival processes, size
+ * distributions (including the production heavy tail of Figure 5),
+ * and trace generation.
+ */
+
+#include <algorithm>
+#include <gtest/gtest.h>
+#include <numeric>
+
+#include "loadgen/query_stream.hh"
+
+namespace deeprecsys {
+namespace {
+
+TEST(ArrivalProcess, PoissonMeanGap)
+{
+    ArrivalProcess p(ArrivalKind::Poisson, 100.0, 1);
+    double sum = 0.0;
+    const int n = 50000;
+    for (int i = 0; i < n; i++)
+        sum += p.nextGap();
+    EXPECT_NEAR(sum / n, 0.01, 0.001);
+}
+
+TEST(ArrivalProcess, FixedGapExact)
+{
+    ArrivalProcess p(ArrivalKind::Fixed, 50.0, 1);
+    for (int i = 0; i < 10; i++)
+        EXPECT_DOUBLE_EQ(p.nextGap(), 0.02);
+}
+
+TEST(ArrivalProcess, UniformGapBounds)
+{
+    ArrivalProcess p(ArrivalKind::Uniform, 10.0, 1);
+    for (int i = 0; i < 1000; i++) {
+        const double g = p.nextGap();
+        EXPECT_GE(g, 0.05);
+        EXPECT_LT(g, 0.15);
+    }
+}
+
+TEST(ArrivalProcess, PoissonCoefficientOfVariation)
+{
+    // Exponential gaps have CV = 1; fixed gaps CV = 0.
+    ArrivalProcess p(ArrivalKind::Poisson, 10.0, 2);
+    std::vector<double> gaps;
+    for (int i = 0; i < 20000; i++)
+        gaps.push_back(p.nextGap());
+    const double mean =
+        std::accumulate(gaps.begin(), gaps.end(), 0.0) / gaps.size();
+    double var = 0.0;
+    for (double g : gaps)
+        var += (g - mean) * (g - mean);
+    var /= gaps.size();
+    EXPECT_NEAR(std::sqrt(var) / mean, 1.0, 0.05);
+}
+
+TEST(QuerySizeDistribution, SamplesWithinRange)
+{
+    for (auto kind : {SizeDistKind::Production, SizeDistKind::Lognormal,
+                      SizeDistKind::Normal, SizeDistKind::Fixed}) {
+        auto dist = QuerySizeDistribution::byKind(kind, 3);
+        for (int i = 0; i < 20000; i++) {
+            const uint32_t s = dist.sample();
+            EXPECT_GE(s, 1u);
+            EXPECT_LE(s, QuerySizeDistribution::maxSize);
+        }
+    }
+}
+
+TEST(QuerySizeDistribution, FixedIsConstant)
+{
+    auto dist = QuerySizeDistribution::fixed(4, 140);
+    for (int i = 0; i < 100; i++)
+        EXPECT_EQ(dist.sample(), 140u);
+}
+
+TEST(QuerySizeDistribution, DeterministicGivenSeed)
+{
+    auto a = QuerySizeDistribution::production(5);
+    auto b = QuerySizeDistribution::production(5);
+    for (int i = 0; i < 1000; i++)
+        EXPECT_EQ(a.sample(), b.sample());
+}
+
+TEST(QuerySizeDistribution, ProductionHeavierTailThanLognormal)
+{
+    // Figure 5: the production distribution has more mass at large
+    // query sizes than the lognormal with the same body.
+    auto prod = QuerySizeDistribution::production(6);
+    auto logn = QuerySizeDistribution::lognormal(6);
+    const int n = 100000;
+    int prod_large = 0;
+    int logn_large = 0;
+    for (int i = 0; i < n; i++) {
+        prod_large += (prod.sample() >= 400);
+        logn_large += (logn.sample() >= 400);
+    }
+    EXPECT_GT(prod_large, 2 * logn_large);
+}
+
+TEST(QuerySizeDistribution, ProductionTopQuartileCarriesHalfTheWork)
+{
+    // Figure 6: ~25% of large queries contribute ~50% of total items.
+    auto prod = QuerySizeDistribution::production(7);
+    const int n = 200000;
+    std::vector<uint32_t> sizes(n);
+    for (int i = 0; i < n; i++)
+        sizes[i] = prod.sample();
+    std::sort(sizes.begin(), sizes.end());
+    const double total =
+        std::accumulate(sizes.begin(), sizes.end(), 0.0);
+    const double top_quarter = std::accumulate(
+        sizes.begin() + (3 * n) / 4, sizes.end(), 0.0);
+    EXPECT_GT(top_quarter / total, 0.40);
+    EXPECT_LT(top_quarter / total, 0.70);
+}
+
+TEST(QuerySizeDistribution, ProductionP75IsModerate)
+{
+    auto prod = QuerySizeDistribution::production(8);
+    const int n = 100001;
+    std::vector<uint32_t> sizes(n);
+    for (int i = 0; i < n; i++)
+        sizes[i] = prod.sample();
+    std::nth_element(sizes.begin(), sizes.begin() + (3 * n) / 4,
+                     sizes.end());
+    const uint32_t p75 = sizes[(3 * n) / 4];
+    // Body median is 60; p75 sits between the body and the tail.
+    EXPECT_GT(p75, 80u);
+    EXPECT_LT(p75, 300u);
+}
+
+TEST(QuerySizeDistribution, MaxSizeReachable)
+{
+    auto prod = QuerySizeDistribution::production(9);
+    uint32_t max_seen = 0;
+    for (int i = 0; i < 100000; i++)
+        max_seen = std::max(max_seen, prod.sample());
+    EXPECT_EQ(max_seen, QuerySizeDistribution::maxSize);
+}
+
+TEST(QuerySizeDistribution, NormalClampsAtOne)
+{
+    auto dist = QuerySizeDistribution::normal(10, 5.0, 50.0);
+    uint32_t min_seen = QuerySizeDistribution::maxSize;
+    for (int i = 0; i < 10000; i++)
+        min_seen = std::min(min_seen, dist.sample());
+    EXPECT_EQ(min_seen, 1u);
+}
+
+TEST(QueryStream, ArrivalTimesMonotone)
+{
+    LoadSpec spec;
+    spec.qps = 500.0;
+    QueryStream stream(spec);
+    const QueryTrace trace = stream.generate(1000);
+    ASSERT_EQ(trace.size(), 1000u);
+    for (size_t i = 1; i < trace.size(); i++)
+        EXPECT_GE(trace[i].arrivalSeconds, trace[i - 1].arrivalSeconds);
+}
+
+TEST(QueryStream, IdsAreSequential)
+{
+    LoadSpec spec;
+    QueryStream stream(spec);
+    const QueryTrace trace = stream.generate(100);
+    for (size_t i = 0; i < trace.size(); i++)
+        EXPECT_EQ(trace[i].id, i);
+}
+
+TEST(QueryStream, OfferedRateMatchesSpec)
+{
+    LoadSpec spec;
+    spec.qps = 250.0;
+    QueryStream stream(spec);
+    const QueryTrace trace = stream.generate(20000);
+    const double span = trace.back().arrivalSeconds;
+    EXPECT_NEAR(trace.size() / span, 250.0, 10.0);
+}
+
+TEST(QueryStream, ResetReplaysTrace)
+{
+    LoadSpec spec;
+    QueryStream stream(spec);
+    const QueryTrace a = stream.generate(50);
+    stream.reset();
+    const QueryTrace b = stream.generate(50);
+    for (size_t i = 0; i < a.size(); i++) {
+        EXPECT_DOUBLE_EQ(a[i].arrivalSeconds, b[i].arrivalSeconds);
+        EXPECT_EQ(a[i].size, b[i].size);
+    }
+}
+
+TEST(QueryStream, SizeSequenceIndependentOfRate)
+{
+    // Rate sweeps must re-time the same query population.
+    LoadSpec lo;
+    lo.qps = 10.0;
+    LoadSpec hi = lo;
+    hi.qps = 10000.0;
+    QueryStream a(lo);
+    QueryStream b(hi);
+    const QueryTrace ta = a.generate(200);
+    const QueryTrace tb = b.generate(200);
+    for (size_t i = 0; i < ta.size(); i++)
+        EXPECT_EQ(ta[i].size, tb[i].size);
+}
+
+TEST(DiurnalProfile, MeanMultiplierIsOne)
+{
+    DiurnalProfile profile(2.0);
+    double sum = 0.0;
+    const int n = 2400;
+    for (int i = 0; i < n; i++)
+        sum += profile.multiplier(86400.0 * i / n);
+    EXPECT_NEAR(sum / n, 1.0, 1e-6);
+}
+
+TEST(DiurnalProfile, PeakToTroughRatio)
+{
+    DiurnalProfile profile(2.0);
+    double lo = 1e9;
+    double hi = 0.0;
+    for (int i = 0; i < 2400; i++) {
+        const double m = profile.multiplier(86400.0 * i / 2400);
+        lo = std::min(lo, m);
+        hi = std::max(hi, m);
+    }
+    EXPECT_NEAR(hi / lo, 2.0, 0.01);
+}
+
+TEST(DiurnalProfile, FlatProfileIsConstant)
+{
+    DiurnalProfile profile(1.0);
+    for (int i = 0; i < 24; i++)
+        EXPECT_DOUBLE_EQ(profile.multiplier(3600.0 * i), 1.0);
+}
+
+/** Every distribution kind drives a stream without issue. */
+class StreamKinds : public ::testing::TestWithParam<SizeDistKind>
+{
+};
+
+TEST_P(StreamKinds, GeneratesValidTrace)
+{
+    LoadSpec spec;
+    spec.sizes = GetParam();
+    spec.qps = 100.0;
+    QueryStream stream(spec);
+    const QueryTrace trace = stream.generate(500);
+    for (const Query& q : trace) {
+        EXPECT_GE(q.size, 1u);
+        EXPECT_LE(q.size, QuerySizeDistribution::maxSize);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Kinds, StreamKinds,
+                         ::testing::Values(SizeDistKind::Production,
+                                           SizeDistKind::Lognormal,
+                                           SizeDistKind::Normal,
+                                           SizeDistKind::Fixed));
+
+} // namespace
+} // namespace deeprecsys

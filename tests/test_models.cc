@@ -1,0 +1,233 @@
+/**
+ * @file
+ * Tests for the model zoo: every model in Table I builds, scores
+ * batches, and reports consistent resource accounting.
+ */
+
+#include <gtest/gtest.h>
+
+#include "models/rec_model.hh"
+
+namespace deeprecsys {
+namespace {
+
+TEST(ModelConfig, EightModels)
+{
+    EXPECT_EQ(allModelIds().size(), 8u);
+}
+
+TEST(ModelConfig, NamesRoundTrip)
+{
+    for (ModelId id : allModelIds())
+        EXPECT_EQ(modelFromName(modelName(id)), id);
+}
+
+TEST(ModelConfig, TableOneParameters)
+{
+    // Spot checks against Table I of the paper.
+    const ModelConfig ncf = modelConfig(ModelId::Ncf);
+    EXPECT_EQ(ncf.numTables, 4u);
+    EXPECT_EQ(ncf.lookupsPerTable, 1u);
+    EXPECT_TRUE(ncf.denseFcDims.empty());
+
+    const ModelConfig rmc1 = modelConfig(ModelId::DlrmRmc1);
+    EXPECT_EQ(rmc1.denseFcDims, (std::vector<size_t>{256, 128, 32}));
+    EXPECT_EQ(rmc1.predictFcDims, (std::vector<size_t>{256, 64}));
+    EXPECT_LE(rmc1.numTables, 10u);
+    EXPECT_NEAR(rmc1.lookupsPerTable, 80u, 0);
+
+    const ModelConfig rmc2 = modelConfig(ModelId::DlrmRmc2);
+    EXPECT_LE(rmc2.numTables, 40u);
+    EXPECT_GT(rmc2.numTables, rmc1.numTables);
+
+    const ModelConfig rmc3 = modelConfig(ModelId::DlrmRmc3);
+    EXPECT_EQ(rmc3.denseFcDims.front(), 2560u);
+    EXPECT_NEAR(rmc3.lookupsPerTable, 20u, 0);
+
+    const ModelConfig mt = modelConfig(ModelId::MtWideAndDeep);
+    EXPECT_GT(mt.numTasks, 1u);
+
+    const ModelConfig din = modelConfig(ModelId::Din);
+    EXPECT_TRUE(din.useAttention);
+    EXPECT_FALSE(din.useRecurrent);
+    EXPECT_GE(din.seqLen, 100u);    // hundreds of behavior lookups
+
+    const ModelConfig dien = modelConfig(ModelId::Dien);
+    EXPECT_TRUE(dien.useRecurrent);
+    EXPECT_LT(dien.seqLen, din.seqLen);   // tens of lookups
+}
+
+TEST(ModelConfig, SlaTargetsMatchTableTwo)
+{
+    EXPECT_DOUBLE_EQ(modelConfig(ModelId::DlrmRmc1).slaMediumMs, 100.0);
+    EXPECT_DOUBLE_EQ(modelConfig(ModelId::DlrmRmc2).slaMediumMs, 400.0);
+    EXPECT_DOUBLE_EQ(modelConfig(ModelId::DlrmRmc3).slaMediumMs, 100.0);
+    EXPECT_DOUBLE_EQ(modelConfig(ModelId::Ncf).slaMediumMs, 5.0);
+    EXPECT_DOUBLE_EQ(modelConfig(ModelId::WideAndDeep).slaMediumMs, 25.0);
+    EXPECT_DOUBLE_EQ(modelConfig(ModelId::MtWideAndDeep).slaMediumMs, 25.0);
+    EXPECT_DOUBLE_EQ(modelConfig(ModelId::Din).slaMediumMs, 100.0);
+    EXPECT_DOUBLE_EQ(modelConfig(ModelId::Dien).slaMediumMs, 35.0);
+}
+
+TEST(ModelConfig, SlaTiersBracketMedium)
+{
+    const ModelConfig cfg = modelConfig(ModelId::DlrmRmc1);
+    EXPECT_DOUBLE_EQ(slaTargetMs(cfg, SlaTier::Low), 50.0);
+    EXPECT_DOUBLE_EQ(slaTargetMs(cfg, SlaTier::Medium), 100.0);
+    EXPECT_DOUBLE_EQ(slaTargetMs(cfg, SlaTier::High), 150.0);
+}
+
+/** Parameterized over the full model zoo. */
+class ModelZoo : public ::testing::TestWithParam<ModelId>
+{
+  protected:
+    static RecModel
+    build()
+    {
+        return RecModel(modelConfig(GetParam()), /*seed=*/11,
+                        ModelScale::tiny());
+    }
+};
+
+TEST_P(ModelZoo, BuildsAtTinyScale)
+{
+    const RecModel model = build();
+    EXPECT_EQ(model.config().id, GetParam());
+    EXPECT_GT(model.interactionWidth(), 0u);
+}
+
+TEST_P(ModelZoo, ForwardShapeAndRange)
+{
+    const RecModel model = build();
+    Rng rng(3);
+    const RecBatch batch = model.makeBatch(4, rng);
+    EXPECT_EQ(batch.batchSize(), 4u);
+    const Tensor out = model.forward(batch);
+    EXPECT_EQ(out.dim(0), 4u);
+    EXPECT_EQ(out.dim(1), model.config().numTasks);
+    for (size_t i = 0; i < out.numel(); i++) {
+        EXPECT_GT(out.at(i), 0.0f);   // sigmoid CTR
+        EXPECT_LT(out.at(i), 1.0f);
+    }
+}
+
+TEST_P(ModelZoo, ForwardDeterministicGivenSeeds)
+{
+    const RecModel a(modelConfig(GetParam()), 11, ModelScale::tiny());
+    const RecModel b(modelConfig(GetParam()), 11, ModelScale::tiny());
+    Rng rng_a(5);
+    Rng rng_b(5);
+    const RecBatch batch_a = a.makeBatch(2, rng_a);
+    const RecBatch batch_b = b.makeBatch(2, rng_b);
+    const Tensor out_a = a.forward(batch_a);
+    const Tensor out_b = b.forward(batch_b);
+    for (size_t i = 0; i < out_a.numel(); i++)
+        EXPECT_FLOAT_EQ(out_a.at(i), out_b.at(i));
+}
+
+TEST_P(ModelZoo, BatchSizeOneWorks)
+{
+    const RecModel model = build();
+    Rng rng(7);
+    const RecBatch batch = model.makeBatch(1, rng);
+    const Tensor out = model.forward(batch);
+    EXPECT_EQ(out.dim(0), 1u);
+}
+
+TEST_P(ModelZoo, FlopAccountingPositive)
+{
+    const RecModel model = build();
+    EXPECT_GT(model.denseFlopsPerSample(), 0u);
+    EXPECT_GT(model.flopsPerSample(), 0u);
+    EXPECT_EQ(model.flopsPerSample(),
+              model.denseFlopsPerSample() +
+                  model.sequenceFlopsPerSample());
+    EXPECT_EQ(model.sequenceFlopsPerSample(),
+              model.attentionFlopsPerSample() +
+                  model.recurrentFlopsPerSample());
+}
+
+TEST_P(ModelZoo, EmbeddingBytesPositiveWhenSparse)
+{
+    const RecModel model = build();
+    if (model.config().numTables > 0 || model.config().seqLen > 0) {
+        EXPECT_GT(model.embeddingBytesPerSample(), 0u);
+    }
+}
+
+TEST_P(ModelZoo, OperatorBreakdownAccumulates)
+{
+    const RecModel model = build();
+    Rng rng(9);
+    const OperatorStats stats = model.measureBreakdown(4, 2, rng);
+    EXPECT_GT(stats.total(), 0.0);
+    EXPECT_GT(stats.seconds(OpClass::Fc), 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllModels, ModelZoo, ::testing::ValuesIn(allModelIds()),
+    [](const ::testing::TestParamInfo<ModelId>& info) {
+        std::string name = modelName(info.param);
+        for (char& c : name) {
+            if (!std::isalnum(static_cast<unsigned char>(c)))
+                c = '_';
+        }
+        return name;
+    });
+
+TEST(RecModel, SequenceFlopsOnlyForSequenceModels)
+{
+    const RecModel ncf(modelConfig(ModelId::Ncf), 1, ModelScale::tiny());
+    EXPECT_EQ(ncf.sequenceFlopsPerSample(), 0u);
+    const RecModel din(modelConfig(ModelId::Din), 1, ModelScale::tiny());
+    EXPECT_GT(din.attentionFlopsPerSample(), 0u);
+    EXPECT_EQ(din.recurrentFlopsPerSample(), 0u);
+    const RecModel dien(modelConfig(ModelId::Dien), 1, ModelScale::tiny());
+    EXPECT_GT(dien.recurrentFlopsPerSample(), 0u);
+}
+
+TEST(RecModel, DlrmConcatenatesSumPooledTables)
+{
+    // Table I: DLRM pools each multi-hot table by sum, then the
+    // dense-stack output and the per-table vectors concatenate into
+    // the predictor input: 32 + 8 * 32.
+    const RecModel rmc1(modelConfig(ModelId::DlrmRmc1), 1,
+                        ModelScale::tiny());
+    EXPECT_EQ(rmc1.interactionWidth(), 32u + 8u * 32u);
+}
+
+TEST(RecModel, WndBypassesDenseStack)
+{
+    const ModelConfig cfg = modelConfig(ModelId::WideAndDeep);
+    EXPECT_TRUE(cfg.denseFcDims.empty());
+    EXPECT_GT(cfg.denseInputDim, 0u);
+    const RecModel wnd(cfg, 1, ModelScale::tiny());
+    // Raw dense width + per-table embedding width.
+    EXPECT_EQ(wnd.interactionWidth(),
+              cfg.denseInputDim + cfg.numTables * cfg.embeddingDim);
+}
+
+TEST(RecModel, LogicalEmbeddingBytesExceedPhysical)
+{
+    // DIN's behavior table has 1e8 logical rows; tiny scale keeps
+    // physical rows capped yet logical accounting intact.
+    const RecModel din(modelConfig(ModelId::Din), 1, ModelScale::tiny());
+    EXPECT_GT(din.logicalEmbeddingBytes(),
+              10ull * 1024 * 1024 * 1024 / 4);  // > 2.5 GB
+}
+
+TEST(RecModel, MultiTaskSharesTrunk)
+{
+    // MT-WnD adds task heads, not whole towers: its per-sample FLOPs
+    // exceed WnD's by under 5%.
+    const RecModel wnd(modelConfig(ModelId::WideAndDeep), 1,
+                       ModelScale::tiny());
+    const RecModel mt(modelConfig(ModelId::MtWideAndDeep), 1,
+                      ModelScale::tiny());
+    EXPECT_GT(mt.denseFlopsPerSample(), wnd.denseFlopsPerSample());
+    EXPECT_LT(static_cast<double>(mt.denseFlopsPerSample()),
+              static_cast<double>(wnd.denseFlopsPerSample()) * 1.05);
+}
+
+} // namespace
+} // namespace deeprecsys

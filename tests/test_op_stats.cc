@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Tests for the per-operator-class timing accumulator.
+ */
+
+#include <gtest/gtest.h>
+#include <thread>
+
+#include "nn/op_stats.hh"
+
+namespace deeprecsys {
+namespace {
+
+TEST(OperatorStats, StartsEmpty)
+{
+    OperatorStats stats;
+    EXPECT_DOUBLE_EQ(stats.total(), 0.0);
+    for (size_t i = 0; i < OperatorStats::numClasses; i++)
+        EXPECT_DOUBLE_EQ(stats.seconds(static_cast<OpClass>(i)), 0.0);
+}
+
+TEST(OperatorStats, AddAccumulates)
+{
+    OperatorStats stats;
+    stats.add(OpClass::Fc, 1.0);
+    stats.add(OpClass::Fc, 2.0);
+    stats.add(OpClass::Embedding, 3.0);
+    EXPECT_DOUBLE_EQ(stats.seconds(OpClass::Fc), 3.0);
+    EXPECT_DOUBLE_EQ(stats.total(), 6.0);
+}
+
+TEST(OperatorStats, FractionSumsToOne)
+{
+    OperatorStats stats;
+    stats.add(OpClass::Fc, 1.0);
+    stats.add(OpClass::Embedding, 1.0);
+    stats.add(OpClass::Recurrent, 2.0);
+    double sum = 0.0;
+    for (size_t i = 0; i < OperatorStats::numClasses; i++)
+        sum += stats.fraction(static_cast<OpClass>(i));
+    EXPECT_NEAR(sum, 1.0, 1e-12);
+}
+
+TEST(OperatorStats, FractionOfEmptyIsZero)
+{
+    OperatorStats stats;
+    EXPECT_DOUBLE_EQ(stats.fraction(OpClass::Fc), 0.0);
+}
+
+TEST(OperatorStats, DominantPicksLargest)
+{
+    OperatorStats stats;
+    stats.add(OpClass::Fc, 1.0);
+    stats.add(OpClass::Attention, 5.0);
+    stats.add(OpClass::Embedding, 2.0);
+    EXPECT_EQ(stats.dominant(), OpClass::Attention);
+}
+
+TEST(OperatorStats, MergeAddsClasswise)
+{
+    OperatorStats a;
+    OperatorStats b;
+    a.add(OpClass::Fc, 1.0);
+    b.add(OpClass::Fc, 2.0);
+    b.add(OpClass::Recurrent, 4.0);
+    a.merge(b);
+    EXPECT_DOUBLE_EQ(a.seconds(OpClass::Fc), 3.0);
+    EXPECT_DOUBLE_EQ(a.seconds(OpClass::Recurrent), 4.0);
+}
+
+TEST(OperatorStats, ClearResets)
+{
+    OperatorStats stats;
+    stats.add(OpClass::Other, 9.0);
+    stats.clear();
+    EXPECT_DOUBLE_EQ(stats.total(), 0.0);
+}
+
+TEST(OperatorStats, NamesAreDistinct)
+{
+    std::set<std::string> names;
+    for (size_t i = 0; i < OperatorStats::numClasses; i++)
+        names.insert(opClassName(static_cast<OpClass>(i)));
+    EXPECT_EQ(names.size(), OperatorStats::numClasses);
+}
+
+TEST(ScopedOpTimer, ChargesElapsedTime)
+{
+    OperatorStats stats;
+    {
+        ScopedOpTimer timer(&stats, OpClass::Fc);
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+    EXPECT_GT(stats.seconds(OpClass::Fc), 0.001);
+}
+
+TEST(ScopedOpTimer, NullStatsIsNoOp)
+{
+    // Must not crash and must cost (almost) nothing.
+    ScopedOpTimer timer(nullptr, OpClass::Fc);
+    SUCCEED();
+}
+
+} // namespace
+} // namespace deeprecsys

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Tests for the latency-bounded max-QPS search.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/qps_search.hh"
+
+namespace deeprecsys {
+namespace {
+
+SimConfig
+rmc1Config(size_t batch)
+{
+    const ModelProfile profile = ModelProfile::forModel(ModelId::DlrmRmc1);
+    SchedulerPolicy policy;
+    policy.perRequestBatch = batch;
+    return SimConfig{CpuCostModel(profile, CpuPlatform::skylake()),
+                     std::nullopt, policy, 0.05, 1.0};
+}
+
+QpsSearchSpec
+spec(double sla_ms, size_t num_queries = 1200)
+{
+    QpsSearchSpec s;
+    s.slaMs = sla_ms;
+    s.numQueries = num_queries;
+    return s;
+}
+
+TEST(QpsSearch, FeasibleSlaGivesPositiveQps)
+{
+    const QpsSearchResult r = findMaxQps(rmc1Config(256), spec(100.0));
+    EXPECT_GT(r.maxQps, 100.0);
+    EXPECT_GT(r.evaluations, 2u);
+}
+
+TEST(QpsSearch, ImpossibleSlaGivesZero)
+{
+    // 0.01 ms is below any single-request service time.
+    const QpsSearchResult r = findMaxQps(rmc1Config(256), spec(0.01));
+    EXPECT_DOUBLE_EQ(r.maxQps, 0.0);
+}
+
+TEST(QpsSearch, RelaxedSlaSustainsMoreLoad)
+{
+    const double tight = findMaxQps(rmc1Config(256), spec(50.0)).maxQps;
+    const double loose = findMaxQps(rmc1Config(256), spec(150.0)).maxQps;
+    EXPECT_GT(loose, tight);
+}
+
+TEST(QpsSearch, ResultMeetsSla)
+{
+    const QpsSearchResult r = findMaxQps(rmc1Config(256), spec(100.0));
+    EXPECT_LE(r.atMax.p95Ms(), 100.0);
+}
+
+TEST(QpsSearch, DeterministicAcrossCalls)
+{
+    const double a = findMaxQps(rmc1Config(256), spec(100.0)).maxQps;
+    const double b = findMaxQps(rmc1Config(256), spec(100.0)).maxQps;
+    EXPECT_DOUBLE_EQ(a, b);
+}
+
+TEST(QpsSearch, PercentileChoiceMatters)
+{
+    QpsSearchSpec p95 = spec(100.0);
+    QpsSearchSpec p99 = spec(100.0);
+    p99.percentile = 99.0;
+    const double q95 = findMaxQps(rmc1Config(256), p95).maxQps;
+    const double q99 = findMaxQps(rmc1Config(256), p99).maxQps;
+    EXPECT_GE(q95, q99);    // p99 is a stricter constraint
+}
+
+TEST(QpsSearch, EvaluateAtQpsRunsTrace)
+{
+    LoadSpec load;
+    const SimResult r = evaluateAtQps(rmc1Config(256), load, 200.0, 800);
+    EXPECT_GT(r.numQueries, 0u);
+    EXPECT_NEAR(r.offeredQps, 200.0, 30.0);
+}
+
+TEST(QpsSearch, BatchSizeChangesThroughput)
+{
+    // The core premise of DeepRecSched: the knob matters.
+    const double q_small = findMaxQps(rmc1Config(8), spec(100.0)).maxQps;
+    const double q_large =
+        findMaxQps(rmc1Config(1024), spec(100.0)).maxQps;
+    EXPECT_GT(q_large, 1.3 * q_small);
+}
+
+} // namespace
+} // namespace deeprecsys

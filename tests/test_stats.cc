@@ -1,0 +1,237 @@
+/**
+ * @file
+ * Unit tests for summary statistics, histograms, and CDFs.
+ */
+
+#include <gtest/gtest.h>
+
+#include "base/stats.hh"
+
+namespace deeprecsys {
+namespace {
+
+TEST(SampleStats, EmptyIsZero)
+{
+    SampleStats s;
+    EXPECT_TRUE(s.empty());
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+    EXPECT_DOUBLE_EQ(s.percentile(95), 0.0);
+    EXPECT_DOUBLE_EQ(s.min(), 0.0);
+    EXPECT_DOUBLE_EQ(s.max(), 0.0);
+}
+
+TEST(SampleStats, SingleSample)
+{
+    SampleStats s;
+    s.add(42.0);
+    EXPECT_DOUBLE_EQ(s.mean(), 42.0);
+    EXPECT_DOUBLE_EQ(s.percentile(0), 42.0);
+    EXPECT_DOUBLE_EQ(s.percentile(50), 42.0);
+    EXPECT_DOUBLE_EQ(s.percentile(100), 42.0);
+    EXPECT_DOUBLE_EQ(s.min(), 42.0);
+    EXPECT_DOUBLE_EQ(s.max(), 42.0);
+}
+
+TEST(SampleStats, MeanAndSum)
+{
+    SampleStats s;
+    for (int i = 1; i <= 10; i++)
+        s.add(i);
+    EXPECT_DOUBLE_EQ(s.sum(), 55.0);
+    EXPECT_DOUBLE_EQ(s.mean(), 5.5);
+    EXPECT_EQ(s.count(), 10u);
+}
+
+TEST(SampleStats, PercentileInterpolation)
+{
+    SampleStats s;
+    s.add(10.0);
+    s.add(20.0);
+    // Ranks 0 and 1; p50 interpolates halfway.
+    EXPECT_DOUBLE_EQ(s.percentile(50), 15.0);
+    EXPECT_DOUBLE_EQ(s.percentile(0), 10.0);
+    EXPECT_DOUBLE_EQ(s.percentile(100), 20.0);
+}
+
+TEST(SampleStats, PercentileOrderInsensitive)
+{
+    SampleStats a;
+    SampleStats b;
+    const std::vector<double> vals{5, 1, 9, 3, 7, 2, 8, 4, 6, 0};
+    for (double v : vals)
+        a.add(v);
+    for (auto it = vals.rbegin(); it != vals.rend(); ++it)
+        b.add(*it);
+    for (double p : {10.0, 25.0, 50.0, 75.0, 95.0, 99.0})
+        EXPECT_DOUBLE_EQ(a.percentile(p), b.percentile(p)) << p;
+}
+
+TEST(SampleStats, PercentileMonotoneInP)
+{
+    SampleStats s;
+    for (int i = 0; i < 1000; i++)
+        s.add((i * 37) % 1000);
+    double prev = s.percentile(0);
+    for (int p = 1; p <= 100; p++) {
+        const double cur = s.percentile(p);
+        EXPECT_GE(cur, prev) << "p=" << p;
+        prev = cur;
+    }
+}
+
+TEST(SampleStats, StddevKnownValue)
+{
+    SampleStats s;
+    for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        s.add(v);
+    EXPECT_NEAR(s.stddev(), 2.0, 1e-12);
+}
+
+TEST(SampleStats, ClearResets)
+{
+    SampleStats s;
+    s.add(1.0);
+    s.add(2.0);
+    s.clear();
+    EXPECT_TRUE(s.empty());
+    EXPECT_DOUBLE_EQ(s.sum(), 0.0);
+    s.add(5.0);
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+}
+
+TEST(SampleStats, AddAllMatchesLoop)
+{
+    SampleStats a;
+    SampleStats b;
+    std::vector<double> vals;
+    for (int i = 0; i < 100; i++)
+        vals.push_back(i * 0.5);
+    a.addAll(vals);
+    for (double v : vals)
+        b.add(v);
+    EXPECT_DOUBLE_EQ(a.percentile(95), b.percentile(95));
+    EXPECT_DOUBLE_EQ(a.mean(), b.mean());
+}
+
+TEST(SampleStats, TailShortcuts)
+{
+    SampleStats s;
+    for (int i = 1; i <= 100; i++)
+        s.add(i);
+    EXPECT_DOUBLE_EQ(s.p50(), s.percentile(50));
+    EXPECT_DOUBLE_EQ(s.p75(), s.percentile(75));
+    EXPECT_DOUBLE_EQ(s.p95(), s.percentile(95));
+    EXPECT_DOUBLE_EQ(s.p99(), s.percentile(99));
+    EXPECT_GT(s.p99(), s.p95());
+}
+
+TEST(SampleStats, InterleavedAddAndQuery)
+{
+    // The sorted cache must invalidate on each add.
+    SampleStats s;
+    s.add(10.0);
+    EXPECT_DOUBLE_EQ(s.max(), 10.0);
+    s.add(20.0);
+    EXPECT_DOUBLE_EQ(s.max(), 20.0);
+    s.add(5.0);
+    EXPECT_DOUBLE_EQ(s.min(), 5.0);
+}
+
+TEST(Histogram, BinAssignment)
+{
+    Histogram h(0.0, 10.0, 10);
+    h.add(0.5);
+    h.add(5.5);
+    h.add(9.99);
+    EXPECT_EQ(h.binCount(0), 1u);
+    EXPECT_EQ(h.binCount(5), 1u);
+    EXPECT_EQ(h.binCount(9), 1u);
+    EXPECT_EQ(h.totalCount(), 3u);
+}
+
+TEST(Histogram, OutOfRangeClampsToEdges)
+{
+    Histogram h(0.0, 10.0, 10);
+    h.add(-5.0);
+    h.add(100.0);
+    EXPECT_EQ(h.binCount(0), 1u);
+    EXPECT_EQ(h.binCount(9), 1u);
+}
+
+TEST(Histogram, BinLowAndFraction)
+{
+    Histogram h(0.0, 100.0, 4);
+    EXPECT_DOUBLE_EQ(h.binLow(0), 0.0);
+    EXPECT_DOUBLE_EQ(h.binLow(3), 75.0);
+    h.add(10.0);
+    h.add(80.0);
+    h.add(90.0);
+    EXPECT_NEAR(h.binFraction(0), 1.0 / 3.0, 1e-12);
+    EXPECT_NEAR(h.binFraction(3), 2.0 / 3.0, 1e-12);
+}
+
+TEST(Histogram, QuantileRoughlyCorrect)
+{
+    Histogram h(0.0, 1000.0, 100);
+    for (int i = 0; i < 1000; i++)
+        h.add(i);
+    EXPECT_NEAR(h.quantile(0.5), 500.0, 15.0);
+    EXPECT_NEAR(h.quantile(0.95), 950.0, 15.0);
+}
+
+TEST(Cdf, AtAndInverse)
+{
+    Cdf c({1.0, 2.0, 3.0, 4.0});
+    EXPECT_DOUBLE_EQ(c.at(0.5), 0.0);
+    EXPECT_DOUBLE_EQ(c.at(2.0), 0.5);
+    EXPECT_DOUBLE_EQ(c.at(10.0), 1.0);
+    EXPECT_DOUBLE_EQ(c.inverse(0.0), 1.0);
+    EXPECT_DOUBLE_EQ(c.inverse(0.5), 3.0);
+}
+
+TEST(Cdf, KsDistanceIdentical)
+{
+    Cdf a({1.0, 2.0, 3.0});
+    Cdf b({1.0, 2.0, 3.0});
+    EXPECT_DOUBLE_EQ(a.ksDistance(b), 0.0);
+}
+
+TEST(Cdf, KsDistanceDisjoint)
+{
+    Cdf a({1.0, 2.0});
+    Cdf b({10.0, 20.0});
+    EXPECT_DOUBLE_EQ(a.ksDistance(b), 1.0);
+}
+
+TEST(Cdf, KsDistanceSymmetric)
+{
+    Cdf a({1.0, 5.0, 9.0, 12.0});
+    Cdf b({2.0, 5.0, 7.0});
+    EXPECT_DOUBLE_EQ(a.ksDistance(b), b.ksDistance(a));
+}
+
+/** Percentile agrees with a naive nearest-rank reference on sweeps. */
+class PercentileSweep : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(PercentileSweep, BoundedByMinMax)
+{
+    const int n = GetParam();
+    SampleStats s;
+    for (int i = 0; i < n; i++)
+        s.add((i * 7919) % 1000);
+    for (double p : {0.0, 10.0, 50.0, 90.0, 95.0, 99.0, 100.0}) {
+        const double v = s.percentile(p);
+        EXPECT_GE(v, s.min());
+        EXPECT_LE(v, s.max());
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, PercentileSweep,
+                         ::testing::Values(1, 2, 3, 10, 100, 1000, 4096));
+
+} // namespace
+} // namespace deeprecsys

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Unit tests for the text-table printer.
+ */
+
+#include <gtest/gtest.h>
+#include <sstream>
+
+#include "base/table.hh"
+
+namespace deeprecsys {
+namespace {
+
+TEST(TextTable, PrintsHeadersAndRows)
+{
+    TextTable t({"model", "qps"});
+    t.addRow({"NCF", "123"});
+    std::ostringstream oss;
+    t.print(oss);
+    const std::string out = oss.str();
+    EXPECT_NE(out.find("model"), std::string::npos);
+    EXPECT_NE(out.find("NCF"), std::string::npos);
+    EXPECT_NE(out.find("123"), std::string::npos);
+}
+
+TEST(TextTable, CsvHasCommas)
+{
+    TextTable t({"a", "b", "c"});
+    t.addRow({"1", "2", "3"});
+    std::ostringstream oss;
+    t.printCsv(oss);
+    EXPECT_EQ(oss.str(), "a,b,c\n1,2,3\n");
+}
+
+TEST(TextTable, ShortRowsArePadded)
+{
+    TextTable t({"a", "b"});
+    t.addRow({"only"});
+    std::ostringstream oss;
+    t.printCsv(oss);
+    EXPECT_EQ(oss.str(), "a,b\nonly,\n");
+}
+
+TEST(TextTable, NumFormatting)
+{
+    EXPECT_EQ(TextTable::num(3.14159, 2), "3.14");
+    EXPECT_EQ(TextTable::num(3.14159, 0), "3");
+    EXPECT_EQ(TextTable::num(static_cast<int64_t>(42)), "42");
+}
+
+TEST(TextTable, RowCount)
+{
+    TextTable t({"x"});
+    EXPECT_EQ(t.numRows(), 0u);
+    t.addRow({"1"});
+    t.addRow({"2"});
+    EXPECT_EQ(t.numRows(), 2u);
+}
+
+TEST(Banner, ContainsTitle)
+{
+    std::ostringstream oss;
+    printBanner(oss, "Figure 11");
+    EXPECT_NE(oss.str().find("Figure 11"), std::string::npos);
+}
+
+} // namespace
+} // namespace deeprecsys

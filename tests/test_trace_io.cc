@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Tests for query-trace persistence (record / replay).
+ */
+
+#include <gtest/gtest.h>
+#include <sstream>
+
+#include "loadgen/query_stream.hh"
+#include "loadgen/trace_io.hh"
+
+namespace deeprecsys {
+namespace {
+
+TEST(TraceIo, RoundTripPreservesQueries)
+{
+    LoadSpec spec;
+    spec.qps = 300.0;
+    QueryStream stream(spec);
+    const QueryTrace original = stream.generate(200);
+
+    std::stringstream buffer;
+    writeTrace(buffer, original);
+    const QueryTrace replayed = readTrace(buffer);
+
+    ASSERT_EQ(replayed.size(), original.size());
+    for (size_t i = 0; i < original.size(); i++) {
+        EXPECT_EQ(replayed[i].id, original[i].id);
+        EXPECT_DOUBLE_EQ(replayed[i].arrivalSeconds,
+                         original[i].arrivalSeconds);
+        EXPECT_EQ(replayed[i].size, original[i].size);
+    }
+}
+
+TEST(TraceIo, EmptyTraceRoundTrips)
+{
+    std::stringstream buffer;
+    writeTrace(buffer, {});
+    EXPECT_TRUE(readTrace(buffer).empty());
+}
+
+TEST(TraceIo, HeaderIdentifiesFormat)
+{
+    std::stringstream buffer;
+    writeTrace(buffer, {});
+    EXPECT_EQ(buffer.str().rfind("deeprecsys-trace v1", 0), 0u);
+}
+
+TEST(TraceIo, FileRoundTrip)
+{
+    LoadSpec spec;
+    QueryStream stream(spec);
+    const QueryTrace original = stream.generate(50);
+    const std::string path = "/tmp/drs_trace_test.txt";
+    saveTrace(path, original);
+    const QueryTrace replayed = loadTrace(path);
+    ASSERT_EQ(replayed.size(), original.size());
+    EXPECT_EQ(replayed.back().size, original.back().size);
+}
+
+using TraceIoDeath = ::testing::Test;
+
+TEST(TraceIoDeath, RejectsBadMagic)
+{
+    std::stringstream buffer("not-a-trace v1 0\n");
+    EXPECT_EXIT(readTrace(buffer), ::testing::ExitedWithCode(1),
+                "bad magic");
+}
+
+TEST(TraceIoDeath, RejectsTruncatedBody)
+{
+    std::stringstream buffer("deeprecsys-trace v1 3\n0 0.0 10\n");
+    EXPECT_EXIT(readTrace(buffer), ::testing::ExitedWithCode(1),
+                "truncated");
+}
+
+TEST(TraceIoDeath, RejectsUnsortedArrivals)
+{
+    std::stringstream buffer(
+        "deeprecsys-trace v1 2\n0 5.0 10\n1 1.0 10\n");
+    EXPECT_EXIT(readTrace(buffer), ::testing::ExitedWithCode(1),
+                "not sorted");
+}
+
+TEST(TraceIoDeath, RejectsUnknownVersion)
+{
+    std::stringstream buffer("deeprecsys-trace v9 0\n");
+    EXPECT_EXIT(readTrace(buffer), ::testing::ExitedWithCode(1),
+                "version");
+}
+
+} // namespace
+} // namespace deeprecsys
