@@ -1,0 +1,82 @@
+#include "capacity_planner.hh"
+
+#include <algorithm>
+
+#include "base/logging.hh"
+
+namespace deeprecsys {
+
+namespace {
+
+/** Build the cluster of @p units copies of the deployable unit. */
+ClusterConfig
+clusterOfUnits(const CapacityPlanSpec& spec, size_t units)
+{
+    ClusterConfig cluster;
+    cluster.machines.reserve(units * spec.unitMachines.size());
+    for (size_t u = 0; u < units; u++) {
+        for (const SimConfig& machine : spec.unitMachines)
+            cluster.machines.push_back(machine);
+    }
+    return cluster;
+}
+
+} // namespace
+
+CapacityPlan
+planCapacity(const CapacityPlanSpec& spec)
+{
+    drs_assert(!spec.unitMachines.empty(), "plan needs a machine mix");
+    drs_assert(spec.targetQps > 0.0, "target rate must be positive");
+    drs_assert(spec.slaMs > 0.0, "SLA target must be positive");
+    drs_assert(spec.maxUnits >= 1, "plan needs a unit budget");
+
+    CapacityPlan plan;
+
+    auto meets = [&](size_t units, ClusterResult& out) {
+        const ClusterConfig cluster = clusterOfUnits(spec, units);
+        ClusterQpsSpec eval;
+        eval.slaMs = spec.slaMs;
+        eval.percentile = spec.percentile;
+        eval.load = spec.load;
+        eval.routing = spec.routing;
+        eval.numQueries = std::max(
+            spec.minQueries,
+            spec.queriesPerMachine * cluster.machines.size());
+        out = evaluateClusterAtQps(cluster, eval, spec.targetQps);
+        plan.evaluations++;
+        return out.tailMs(spec.percentile) <= spec.slaMs;
+    };
+
+    // Geometric probe for the first feasible unit count; lo tracks
+    // the largest count proven infeasible.
+    size_t lo = 0;
+    size_t hi = 1;
+    ClusterResult atHi;
+    while (!meets(hi, atHi)) {
+        if (hi >= spec.maxUnits)
+            return plan;    // infeasible within the unit budget
+        lo = hi;
+        hi = std::min(2 * hi, spec.maxUnits);
+    }
+
+    // Bisect (lo infeasible, hi feasible] for the minimal count.
+    while (hi - lo > 1) {
+        const size_t mid = lo + (hi - lo) / 2;
+        ClusterResult atMid;
+        if (meets(mid, atMid)) {
+            hi = mid;
+            atHi = std::move(atMid);
+        } else {
+            lo = mid;
+        }
+    }
+
+    plan.feasible = true;
+    plan.units = hi;
+    plan.machines = hi * spec.unitMachines.size();
+    plan.atPlan = std::move(atHi);
+    return plan;
+}
+
+} // namespace deeprecsys

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Capacity planner: how many machines of a given mix sustain a target
+ * global query rate under a fleet-wide tail SLA?
+ *
+ * This is the provisioning question the paper's introduction motivates
+ * (doubling per-machine QPS-under-SLA halves the machines a service
+ * needs) answered by direct cluster simulation rather than by dividing
+ * a single-machine throughput into the global rate: queueing at the
+ * router, machine heterogeneity, and the routing policy all shift the
+ * break-even point. The deployable unit is a *mix* — e.g. three
+ * CPU-only machines plus one GPU machine — scaled integrally.
+ */
+
+#ifndef DRS_CLUSTER_CAPACITY_PLANNER_HH
+#define DRS_CLUSTER_CAPACITY_PLANNER_HH
+
+#include "cluster/cluster_qps_search.hh"
+#include "cluster/cluster_sim.hh"
+#include "loadgen/query_stream.hh"
+
+namespace deeprecsys {
+
+/** Parameters of a capacity plan. */
+struct CapacityPlanSpec
+{
+    /** Smallest deployable unit: the machine mix scaled integrally. */
+    std::vector<SimConfig> unitMachines;
+
+    double targetQps = 10000.0; ///< global rate the tier must sustain
+    double slaMs = 100.0;       ///< fleet-wide tail-latency target
+    double percentile = 99.0;   ///< which tail
+
+    LoadSpec load;              ///< arrival/size config (qps overridden)
+    RoutingSpec routing;        ///< router policy of the planned tier
+
+    /** Global trace sized so each machine sees this many queries. */
+    size_t queriesPerMachine = 300;
+    /** Floor on the global trace length per evaluation. */
+    size_t minQueries = 3000;
+
+    /** Give up above this many units (plan declared infeasible). */
+    size_t maxUnits = 1024;
+};
+
+/** Outcome of a capacity plan. */
+struct CapacityPlan
+{
+    bool feasible = false;      ///< a unit count met the SLA
+    size_t units = 0;           ///< minimal feasible unit count
+    size_t machines = 0;        ///< units * unit size
+    ClusterResult atPlan;       ///< cluster stats at the plan point
+    size_t evaluations = 0;     ///< cluster runs performed
+
+    /** Tail latency at the planned size, in milliseconds. */
+    double
+    tailMs(double pct) const
+    {
+        return atPlan.tailMs(pct);
+    }
+};
+
+/**
+ * Find the minimal number of deployable units whose cluster meets the
+ * SLA at the target global rate (geometric probe, then bisection on
+ * the unit count). Deterministic for fixed seeds.
+ */
+CapacityPlan planCapacity(const CapacityPlanSpec& spec);
+
+} // namespace deeprecsys
+
+#endif // DRS_CLUSTER_CAPACITY_PLANNER_HH

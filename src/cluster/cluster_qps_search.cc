@@ -1,0 +1,94 @@
+#include "cluster_qps_search.hh"
+
+#include <algorithm>
+
+#include "base/logging.hh"
+
+namespace deeprecsys {
+
+size_t
+clusterTraceLength(const ClusterConfig& cluster, const ClusterQpsSpec& spec)
+{
+    if (spec.numQueries > 0)
+        return spec.numQueries;
+    return std::max<size_t>(3000, 300 * cluster.machines.size());
+}
+
+ClusterResult
+evaluateClusterAtQps(const ClusterConfig& cluster, const ClusterQpsSpec& spec,
+                     double qps)
+{
+    LoadSpec load = spec.load;
+    load.qps = qps;
+    QueryStream stream(load);
+    const QueryTrace trace =
+        stream.generate(clusterTraceLength(cluster, spec));
+    const ClusterSimulator sim(cluster);
+    return sim.run(trace, spec.routing);
+}
+
+ClusterQpsResult
+findClusterMaxQps(const ClusterConfig& cluster, const ClusterQpsSpec& spec)
+{
+    drs_assert(spec.slaMs > 0.0, "SLA target must be positive");
+    ClusterQpsResult result;
+
+    auto meets = [&](double qps, ClusterResult& out) {
+        out = evaluateClusterAtQps(cluster, spec, qps);
+        result.evaluations++;
+        return out.tailMs(spec.percentile) <= spec.slaMs;
+    };
+
+    // Feasibility probe at a trickle rate: if the SLA cannot be met
+    // when the cluster is effectively unloaded, no rate will help.
+    ClusterResult probe;
+    if (!meets(spec.qpsFloor, probe))
+        return result;
+
+    // Exponential growth until the SLA breaks (or the ceiling). Start
+    // the probe high enough that small clusters don't waste rounds.
+    double lo = spec.qpsFloor;
+    ClusterResult atLo = probe;
+    double hi = std::max(2.0 * lo,
+                         64.0 * static_cast<double>(
+                             cluster.machines.size()));
+    bool hi_infeasible = false;
+    while (hi < spec.qpsCeiling) {
+        ClusterResult r;
+        if (!meets(hi, r)) {
+            hi_infeasible = true;
+            break;
+        }
+        lo = hi;
+        atLo = std::move(r);
+        hi *= 2.0;
+    }
+    if (!hi_infeasible) {
+        // The probe ran into the ceiling while still feasible: test
+        // the ceiling itself, and bisect up to it when it fails.
+        hi = spec.qpsCeiling;
+        ClusterResult r;
+        if (meets(hi, r)) {
+            result.maxQps = hi;
+            result.atMax = std::move(r);
+            return result;
+        }
+    }
+
+    // Bisection on the feasible boundary.
+    while ((hi - lo) / hi > spec.relTolerance) {
+        const double mid = 0.5 * (lo + hi);
+        ClusterResult r;
+        if (meets(mid, r)) {
+            lo = mid;
+            atLo = std::move(r);
+        } else {
+            hi = mid;
+        }
+    }
+    result.maxQps = lo;
+    result.atMax = std::move(atLo);
+    return result;
+}
+
+} // namespace deeprecsys

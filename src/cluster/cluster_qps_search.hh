@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Cluster-level latency-bounded throughput: the maximum *global* query
+ * arrival rate a cluster sustains while its fleet-wide tail latency
+ * meets an SLA target. Lifts the paper's single-machine QPS-under-SLA
+ * metric (Section III-B) to the tier a datacenter service actually
+ * provisions, following the QpsSearchSpec bisection pattern of
+ * sim/qps_search.hh.
+ */
+
+#ifndef DRS_CLUSTER_CLUSTER_QPS_SEARCH_HH
+#define DRS_CLUSTER_CLUSTER_QPS_SEARCH_HH
+
+#include "cluster/cluster_sim.hh"
+#include "loadgen/query_stream.hh"
+
+namespace deeprecsys {
+
+/** Parameters of the cluster max-QPS bisection. */
+struct ClusterQpsSpec
+{
+    double slaMs = 100.0;       ///< fleet-wide tail-latency target
+    double percentile = 99.0;   ///< which tail (p99: the fleet metric)
+
+    /**
+     * Global trace length per evaluation; 0 picks
+     * max(3000, 300 * machines) so every machine sees enough queries.
+     */
+    size_t numQueries = 0;
+
+    LoadSpec load;              ///< arrival/size config (qps overridden)
+    RoutingSpec routing;        ///< router policy under test
+    double relTolerance = 0.02; ///< bisection termination width
+    double qpsFloor = 1.0;      ///< declare infeasible below this rate
+    double qpsCeiling = 4e6;    ///< search upper bound
+};
+
+/** Outcome of a cluster max-QPS search. */
+struct ClusterQpsResult
+{
+    double maxQps = 0.0;        ///< 0 when the SLA is unachievable
+    ClusterResult atMax;        ///< cluster stats at the found rate
+    size_t evaluations = 0;     ///< cluster runs performed
+};
+
+/** Effective trace length for one evaluation of @p spec. */
+size_t clusterTraceLength(const ClusterConfig& cluster,
+                          const ClusterQpsSpec& spec);
+
+/** Evaluate one (cluster, routing, rate) point with a fresh policy. */
+ClusterResult evaluateClusterAtQps(const ClusterConfig& cluster,
+                                   const ClusterQpsSpec& spec, double qps);
+
+/**
+ * Find the maximum global arrival rate at which the cluster's
+ * fleet-wide tail latency meets the SLA. Deterministic: the same seeds
+ * re-time the same query population at every candidate rate, and the
+ * routing policy is rebuilt from its seed per evaluation.
+ */
+ClusterQpsResult findClusterMaxQps(const ClusterConfig& cluster,
+                                   const ClusterQpsSpec& spec);
+
+} // namespace deeprecsys
+
+#endif // DRS_CLUSTER_CLUSTER_QPS_SEARCH_HH

@@ -1,0 +1,327 @@
+#include "cluster_sim.hh"
+
+#include <algorithm>
+#include <deque>
+#include <queue>
+
+#include "base/logging.hh"
+
+namespace deeprecsys {
+
+namespace {
+
+/** A pending CPU request: part of a query awaiting a core. */
+struct PendingRequest
+{
+    uint64_t queryIdx;  ///< index into the per-run query table
+    uint32_t batch;     ///< samples in this request
+};
+
+/** A scheduled completion event on some machine. */
+struct Completion
+{
+    double time;
+    uint64_t seq;       ///< insertion order; deterministic tie-break
+    enum class Kind { CpuRequest, GpuQuery } kind;
+    uint32_t machine;
+    uint64_t queryIdx;
+
+    bool
+    operator>(const Completion& other) const
+    {
+        if (time != other.time)
+            return time > other.time;
+        return seq > other.seq;
+    }
+};
+
+/** Book-keeping for one in-flight query. */
+struct QueryState
+{
+    double arrival = 0;
+    uint32_t size = 0;
+    uint32_t requestsLeft = 0;
+    uint32_t machine = 0;
+    bool measured = true;
+};
+
+/** Live queue/occupancy state of one machine. */
+struct MachineState
+{
+    std::deque<PendingRequest> cpuQueue;
+    std::deque<uint64_t> gpuQueue;
+    size_t busyCores = 0;
+    bool gpuBusy = false;
+    uint64_t inFlight = 0;          ///< dispatched, not yet completed
+
+    // Lazy utilization integrals: advanced whenever occupancy changes.
+    double lastEventTime = 0;
+    double busyCoreSeconds = 0;
+    double gpuBusySeconds = 0;
+};
+
+/** Live view the routing policy observes at each arrival. */
+class LiveView final : public ClusterView
+{
+  public:
+    LiveView(const std::vector<SimConfig>& configs,
+             const std::vector<MachineState>& states)
+        : cfgs(configs), machines(states)
+    {
+    }
+
+    size_t numMachines() const override { return machines.size(); }
+
+    size_t
+    inFlightQueries(size_t m) const override
+    {
+        return machines[m].inFlight;
+    }
+
+    size_t
+    queuedWork(size_t m) const override
+    {
+        return machines[m].cpuQueue.size() + machines[m].gpuQueue.size();
+    }
+
+    bool
+    hasGpu(size_t m) const override
+    {
+        return cfgs[m].policy.gpuEnabled && cfgs[m].gpu.has_value();
+    }
+
+    double
+    speedFactor(size_t m) const override
+    {
+        return 1.0 / cfgs[m].slowdown;
+    }
+
+  private:
+    const std::vector<SimConfig>& cfgs;
+    const std::vector<MachineState>& machines;
+};
+
+} // namespace
+
+ClusterSimulator::ClusterSimulator(ClusterConfig config)
+    : cfg(std::move(config))
+{
+    drs_assert(!cfg.machines.empty(), "cluster needs machines");
+    for (const SimConfig& machine : cfg.machines) {
+        drs_assert(machine.policy.perRequestBatch >= 1,
+                   "per-request batch must be >= 1");
+        drs_assert(machine.slowdown > 0.0, "slowdown must be positive");
+        if (machine.policy.gpuEnabled)
+            drs_assert(machine.gpu.has_value(),
+                       "GPU policy without a GPU model");
+    }
+}
+
+ClusterResult
+ClusterSimulator::run(const QueryTrace& trace, RoutingPolicy& policy) const
+{
+    ClusterResult result;
+    result.perMachine.resize(cfg.machines.size());
+    if (trace.empty())
+        return result;
+
+    const size_t warmup = static_cast<size_t>(
+        cfg.warmupFraction * static_cast<double>(trace.size()));
+
+    std::vector<QueryState> queries(trace.size());
+    std::vector<MachineState> machines(cfg.machines.size());
+    for (MachineState& m : machines)
+        m.lastEventTime = trace.front().arrivalSeconds;
+
+    std::priority_queue<Completion, std::vector<Completion>,
+                        std::greater<Completion>> completions;
+    uint64_t nextSeq = 0;
+
+    LiveView view(cfg.machines, machines);
+    result.machineOfQuery.resize(trace.size());
+
+    double firstMeasuredArrival = -1.0;
+    double lastMeasuredCompletion = 0.0;
+    double lastEventTime = trace.front().arrivalSeconds;
+
+    auto advance_machine = [&](uint32_t m, double now) {
+        MachineState& state = machines[m];
+        state.busyCoreSeconds += static_cast<double>(state.busyCores) *
+                                 (now - state.lastEventTime);
+        if (state.gpuBusy)
+            state.gpuBusySeconds += now - state.lastEventTime;
+        state.lastEventTime = now;
+    };
+
+    auto dispatch_cpu = [&](uint32_t m, double now) {
+        MachineState& state = machines[m];
+        const SimConfig& machine = cfg.machines[m];
+        const size_t cores = machine.cpu.platform().cores;
+        while (state.busyCores < cores && !state.cpuQueue.empty()) {
+            const PendingRequest req = state.cpuQueue.front();
+            state.cpuQueue.pop_front();
+            state.busyCores++;
+            const double service =
+                machine.cpu.requestSeconds(req.batch, state.busyCores) *
+                machine.slowdown;
+            completions.push({now + service, nextSeq++,
+                              Completion::Kind::CpuRequest, m,
+                              req.queryIdx});
+            result.perMachine[m].requestsDispatched++;
+        }
+    };
+
+    auto start_gpu = [&](uint32_t m, double now) {
+        MachineState& state = machines[m];
+        if (state.gpuBusy || state.gpuQueue.empty())
+            return;
+        const uint64_t idx = state.gpuQueue.front();
+        state.gpuQueue.pop_front();
+        state.gpuBusy = true;
+        const double service =
+            cfg.machines[m].gpu->querySeconds(queries[idx].size) *
+            cfg.machines[m].slowdown;
+        completions.push({now + service, nextSeq++,
+                          Completion::Kind::GpuQuery, m, idx});
+    };
+
+    auto complete_query = [&](uint64_t idx, double now) {
+        const QueryState& q = queries[idx];
+        MachineState& state = machines[q.machine];
+        drs_assert(state.inFlight > 0, "completion with nothing in flight");
+        state.inFlight--;
+        result.numCompleted++;
+        result.perMachine[q.machine].queriesCompleted++;
+        if (q.measured) {
+            const double latency = now - q.arrival;
+            result.fleetLatencySeconds.add(latency);
+            result.perMachine[q.machine].latencySeconds.add(latency);
+            lastMeasuredCompletion = std::max(lastMeasuredCompletion, now);
+        }
+    };
+
+    size_t nextArrival = 0;
+    while (nextArrival < trace.size() || !completions.empty()) {
+        const bool haveArrival = nextArrival < trace.size();
+        const bool haveCompletion = !completions.empty();
+        const double arrivalTime = haveArrival
+            ? trace[nextArrival].arrivalSeconds
+            : 0.0;
+        const bool takeArrival = haveArrival &&
+            (!haveCompletion || arrivalTime <= completions.top().time);
+
+        if (takeArrival) {
+            const Query& in = trace[nextArrival];
+            drs_assert(nextArrival == 0 ||
+                           in.arrivalSeconds >=
+                               trace[nextArrival - 1].arrivalSeconds,
+                       "trace must be sorted by arrival");
+
+            const size_t target = policy.route(in, view);
+            drs_assert(target < machines.size(),
+                       "policy routed out of range");
+            const uint32_t m = static_cast<uint32_t>(target);
+            advance_machine(m, in.arrivalSeconds);
+            lastEventTime = std::max(lastEventTime, in.arrivalSeconds);
+
+            QueryState& q = queries[nextArrival];
+            q.arrival = in.arrivalSeconds;
+            q.size = in.size;
+            q.machine = m;
+            q.measured = nextArrival >= warmup;
+            if (q.measured && firstMeasuredArrival < 0.0)
+                firstMeasuredArrival = in.arrivalSeconds;
+
+            result.machineOfQuery[nextArrival] = m;
+            result.numDispatched++;
+            MachineState& state = machines[m];
+            state.inFlight++;
+            result.perMachine[m].queriesDispatched++;
+
+            const SchedulerPolicy& sched = cfg.machines[m].policy;
+            const bool offload = sched.gpuEnabled &&
+                in.size >= sched.gpuQueryThreshold;
+            if (offload) {
+                state.gpuQueue.push_back(nextArrival);
+                start_gpu(m, in.arrivalSeconds);
+            } else {
+                const uint32_t batch = static_cast<uint32_t>(
+                    std::min<size_t>(sched.perRequestBatch, in.size));
+                uint32_t remaining = in.size;
+                while (remaining > 0) {
+                    const uint32_t take = std::min(remaining, batch);
+                    state.cpuQueue.push_back({nextArrival, take});
+                    q.requestsLeft++;
+                    remaining -= take;
+                }
+                dispatch_cpu(m, in.arrivalSeconds);
+            }
+            nextArrival++;
+            continue;
+        }
+
+        const Completion ev = completions.top();
+        completions.pop();
+        advance_machine(ev.machine, ev.time);
+        lastEventTime = std::max(lastEventTime, ev.time);
+
+        if (ev.kind == Completion::Kind::CpuRequest) {
+            MachineState& state = machines[ev.machine];
+            drs_assert(state.busyCores > 0, "completion with no busy core");
+            state.busyCores--;
+            QueryState& q = queries[ev.queryIdx];
+            drs_assert(q.requestsLeft > 0, "query with no pending requests");
+            if (--q.requestsLeft == 0)
+                complete_query(ev.queryIdx, ev.time);
+            dispatch_cpu(ev.machine, ev.time);
+        } else {
+            machines[ev.machine].gpuBusy = false;
+            complete_query(ev.queryIdx, ev.time);
+            start_gpu(ev.machine, ev.time);
+        }
+    }
+
+    result.numQueries = result.fleetLatencySeconds.count();
+    result.spanSeconds = firstMeasuredArrival >= 0.0
+        ? lastMeasuredCompletion - firstMeasuredArrival
+        : 0.0;
+    if (trace.size() >= 2) {
+        const double trace_span = trace.back().arrivalSeconds -
+                                  trace.front().arrivalSeconds;
+        result.offeredQps = trace_span > 0.0
+            ? static_cast<double>(trace.size() - 1) / trace_span
+            : 0.0;
+    }
+    result.achievedQps = result.spanSeconds > 0.0
+        ? static_cast<double>(result.numQueries) / result.spanSeconds
+        : 0.0;
+
+    const double full_span = lastEventTime - trace.front().arrivalSeconds;
+    double util_sum = 0.0;
+    for (size_t m = 0; m < machines.size(); m++) {
+        advance_machine(static_cast<uint32_t>(m), lastEventTime);
+        MachineStats& stats = result.perMachine[m];
+        stats.busyCoreSeconds = machines[m].busyCoreSeconds;
+        stats.gpuBusySeconds = machines[m].gpuBusySeconds;
+        if (full_span > 0.0) {
+            const double cores = static_cast<double>(
+                cfg.machines[m].cpu.platform().cores);
+            stats.cpuUtilization =
+                stats.busyCoreSeconds / (full_span * cores);
+            stats.gpuUtilization = stats.gpuBusySeconds / full_span;
+        }
+        util_sum += stats.cpuUtilization;
+    }
+    result.meanCpuUtilization =
+        util_sum / static_cast<double>(machines.size());
+    return result;
+}
+
+ClusterResult
+ClusterSimulator::run(const QueryTrace& trace, const RoutingSpec& spec) const
+{
+    const std::unique_ptr<RoutingPolicy> policy = makeRoutingPolicy(spec);
+    return run(trace, *policy);
+}
+
+} // namespace deeprecsys

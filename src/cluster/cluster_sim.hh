@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Discrete-event simulator of a recommendation-serving cluster.
+ *
+ * One global query stream arrives at a front-end router that dispatches
+ * each query to one of N heterogeneous serving machines via a pluggable
+ * RoutingPolicy. Each machine behaves exactly like the single-machine
+ * ServingSimulator: its scheduler policy either offloads a query whole
+ * to its accelerator or splits it into per-request batches served by a
+ * FIFO-fed core pool, with service times from the analytical cost
+ * models. Machines differ in cost model, speed multiplier, accelerator
+ * presence, and scheduler policy — the fleet tier the paper's Figures 7
+ * and 13 study, with the router made explicit.
+ */
+
+#ifndef DRS_CLUSTER_CLUSTER_SIM_HH
+#define DRS_CLUSTER_CLUSTER_SIM_HH
+
+#include <vector>
+
+#include "base/stats.hh"
+#include "cluster/routing_policy.hh"
+#include "loadgen/query.hh"
+#include "sim/serving_sim.hh"
+
+namespace deeprecsys {
+
+/** Configuration of a simulated cluster. */
+struct ClusterConfig
+{
+    /** One SimConfig per machine (heterogeneous mix allowed). */
+    std::vector<SimConfig> machines;
+
+    /** Fraction of leading queries excluded from statistics. */
+    double warmupFraction = 0.05;
+};
+
+/** Per-machine outcome of one cluster run. */
+struct MachineStats
+{
+    uint64_t queriesDispatched = 0;    ///< routed to this machine
+    uint64_t queriesCompleted = 0;     ///< finished (incl. warmup)
+    uint64_t requestsDispatched = 0;   ///< CPU requests issued
+    double busyCoreSeconds = 0;
+    double gpuBusySeconds = 0;
+    double cpuUtilization = 0;         ///< over the cluster event span
+    double gpuUtilization = 0;
+    SampleStats latencySeconds;        ///< measured queries only
+};
+
+/** Aggregate outcome of one cluster run. */
+struct ClusterResult
+{
+    SampleStats fleetLatencySeconds;   ///< measured queries, all machines
+    std::vector<MachineStats> perMachine;
+
+    /** Routing decision per trace index (for conservation checks). */
+    std::vector<uint32_t> machineOfQuery;
+
+    uint64_t numQueries = 0;           ///< measured completions
+    uint64_t numDispatched = 0;        ///< all routed queries
+    uint64_t numCompleted = 0;         ///< all completed queries
+    double offeredQps = 0;             ///< from the global trace
+    double achievedQps = 0;            ///< measured completions / span
+    double spanSeconds = 0;            ///< measured arrival..completion
+    double meanCpuUtilization = 0;     ///< average across machines
+
+    /** Fleet-wide p95 latency in milliseconds. */
+    double
+    p95Ms() const
+    {
+        return fleetLatencySeconds.percentile(95) * 1e3;
+    }
+
+    /** Fleet-wide p99 latency in milliseconds. */
+    double
+    p99Ms() const
+    {
+        return fleetLatencySeconds.percentile(99) * 1e3;
+    }
+
+    /** Fleet-wide mean latency in milliseconds. */
+    double meanMs() const { return fleetLatencySeconds.mean() * 1e3; }
+
+    /** Fleet-wide tail latency at a percentile, in milliseconds. */
+    double
+    tailMs(double pct) const
+    {
+        return fleetLatencySeconds.percentile(pct) * 1e3;
+    }
+};
+
+/**
+ * Cluster simulator: a router in front of N machine models sharing one
+ * event clock, so routing decisions see live queue state.
+ */
+class ClusterSimulator
+{
+  public:
+    explicit ClusterSimulator(ClusterConfig config);
+
+    /**
+     * Run the global trace to completion, routing each query through
+     * @p policy. The trace must be sorted by arrival time. The policy
+     * is stateful; pass a fresh one (same seed) to reproduce a run.
+     */
+    ClusterResult run(const QueryTrace& trace, RoutingPolicy& policy) const;
+
+    /** Convenience: build a fresh policy from @p spec, then run. */
+    ClusterResult run(const QueryTrace& trace,
+                      const RoutingSpec& spec) const;
+
+    const ClusterConfig& config() const { return cfg; }
+
+    /** Number of machines behind the router. */
+    size_t numMachines() const { return cfg.machines.size(); }
+
+  private:
+    ClusterConfig cfg;
+};
+
+} // namespace deeprecsys
+
+#endif // DRS_CLUSTER_CLUSTER_SIM_HH

@@ -1,0 +1,270 @@
+#include "routing_policy.hh"
+
+#include "base/logging.hh"
+#include "base/random.hh"
+
+namespace deeprecsys {
+
+const char*
+routingKindName(RoutingKind kind)
+{
+    switch (kind) {
+      case RoutingKind::RoundRobin:        return "round-robin";
+      case RoutingKind::UniformRandom:     return "uniform-random";
+      case RoutingKind::JoinShortestQueue: return "join-shortest-queue";
+      case RoutingKind::PowerOfTwoChoices: return "power-of-two";
+      case RoutingKind::SizeAware:         return "size-aware";
+    }
+    return "unknown";
+}
+
+const std::vector<RoutingKind>&
+allRoutingKinds()
+{
+    static const std::vector<RoutingKind> kinds = {
+        RoutingKind::RoundRobin,
+        RoutingKind::UniformRandom,
+        RoutingKind::JoinShortestQueue,
+        RoutingKind::PowerOfTwoChoices,
+        RoutingKind::SizeAware,
+    };
+    return kinds;
+}
+
+namespace {
+
+/**
+ * Load signal shared by the queue-aware policies: outstanding work
+ * normalized by machine speed, so a 2x-slower machine at equal depth
+ * looks twice as loaded (shortest-expected-delay routing).
+ */
+double
+loadSignal(const ClusterView& view, size_t m)
+{
+    const double outstanding = static_cast<double>(
+        view.inFlightQueries(m) + view.queuedWork(m));
+    return outstanding / view.speedFactor(m);
+}
+
+/** Least-loaded machine among @p candidates (ties to the lowest index). */
+size_t
+leastLoaded(const ClusterView& view, const std::vector<size_t>& candidates)
+{
+    drs_assert(!candidates.empty(), "no routing candidates");
+    size_t best = candidates.front();
+    double best_load = loadSignal(view, best);
+    for (size_t i = 1; i < candidates.size(); i++) {
+        const double load = loadSignal(view, candidates[i]);
+        if (load < best_load) {
+            best = candidates[i];
+            best_load = load;
+        }
+    }
+    return best;
+}
+
+class RoundRobinPolicy final : public RoutingPolicy
+{
+  public:
+    size_t
+    route(const Query&, const ClusterView& view) override
+    {
+        return next++ % view.numMachines();
+    }
+
+    RoutingKind kind() const override { return RoutingKind::RoundRobin; }
+
+  private:
+    size_t next = 0;
+};
+
+class UniformRandomPolicy final : public RoutingPolicy
+{
+  public:
+    explicit UniformRandomPolicy(uint64_t seed) : rng(seed) {}
+
+    size_t
+    route(const Query&, const ClusterView& view) override
+    {
+        return static_cast<size_t>(
+            rng.uniformInt(0, static_cast<int64_t>(view.numMachines()) - 1));
+    }
+
+    RoutingKind kind() const override { return RoutingKind::UniformRandom; }
+
+  private:
+    Rng rng;
+};
+
+class JoinShortestQueuePolicy final : public RoutingPolicy
+{
+  public:
+    size_t
+    route(const Query&, const ClusterView& view) override
+    {
+        size_t best = 0;
+        double best_load = loadSignal(view, 0);
+        for (size_t m = 1; m < view.numMachines(); m++) {
+            const double load = loadSignal(view, m);
+            if (load < best_load) {
+                best = m;
+                best_load = load;
+            }
+        }
+        return best;
+    }
+
+    RoutingKind
+    kind() const override
+    {
+        return RoutingKind::JoinShortestQueue;
+    }
+};
+
+class PowerOfTwoChoicesPolicy final : public RoutingPolicy
+{
+  public:
+    explicit PowerOfTwoChoicesPolicy(uint64_t seed) : rng(seed) {}
+
+    size_t
+    route(const Query&, const ClusterView& view) override
+    {
+        const int64_t n = static_cast<int64_t>(view.numMachines());
+        if (n == 1)
+            return 0;
+        const size_t a = static_cast<size_t>(rng.uniformInt(0, n - 1));
+        size_t b = static_cast<size_t>(rng.uniformInt(0, n - 2));
+        if (b >= a)
+            b++;    // sample without replacement
+        return loadSignal(view, b) < loadSignal(view, a) ? b : a;
+    }
+
+    RoutingKind
+    kind() const override
+    {
+        return RoutingKind::PowerOfTwoChoices;
+    }
+
+  private:
+    Rng rng;
+};
+
+/**
+ * Large queries (the work-heavy tail of Figure 5) go to
+ * accelerator-equipped machines, where batch-level parallelism pays;
+ * small queries stay on CPU-only machines so accelerators are kept
+ * free for the work that needs them. Within the eligible set the
+ * least-loaded machine wins. Falls back to the whole cluster when a
+ * class of machine is absent.
+ */
+class SizeAwarePolicy final : public RoutingPolicy
+{
+  public:
+    explicit SizeAwarePolicy(uint32_t size_threshold)
+        : threshold(size_threshold)
+    {
+    }
+
+    size_t
+    route(const Query& query, const ClusterView& view) override
+    {
+        const bool wants_gpu = query.size >= threshold;
+        candidates.clear();
+        for (size_t m = 0; m < view.numMachines(); m++) {
+            if (view.hasGpu(m) == wants_gpu)
+                candidates.push_back(m);
+        }
+        if (candidates.empty()) {
+            for (size_t m = 0; m < view.numMachines(); m++)
+                candidates.push_back(m);
+        }
+        return leastLoaded(view, candidates);
+    }
+
+    RoutingKind kind() const override { return RoutingKind::SizeAware; }
+
+  private:
+    uint32_t threshold;
+    std::vector<size_t> candidates;    ///< scratch, reused per call
+};
+
+/** View for open-loop splitting: dispatch counts, no live queues. */
+class SplitView final : public ClusterView
+{
+  public:
+    explicit SplitView(const std::vector<BackendAttrs>& attrs_in)
+        : attrs(attrs_in), dispatched(attrs_in.size(), 0)
+    {
+    }
+
+    size_t numMachines() const override { return attrs.size(); }
+
+    size_t
+    inFlightQueries(size_t m) const override
+    {
+        return dispatched[m];
+    }
+
+    size_t queuedWork(size_t) const override { return 0; }
+
+    bool hasGpu(size_t m) const override { return attrs[m].hasGpu; }
+
+    double
+    speedFactor(size_t m) const override
+    {
+        return attrs[m].speedFactor;
+    }
+
+    void record(size_t m) { dispatched[m]++; }
+
+  private:
+    const std::vector<BackendAttrs>& attrs;
+    std::vector<size_t> dispatched;
+};
+
+} // namespace
+
+std::unique_ptr<RoutingPolicy>
+makeRoutingPolicy(const RoutingSpec& spec)
+{
+    switch (spec.kind) {
+      case RoutingKind::RoundRobin:
+        return std::make_unique<RoundRobinPolicy>();
+      case RoutingKind::UniformRandom:
+        return std::make_unique<UniformRandomPolicy>(spec.seed);
+      case RoutingKind::JoinShortestQueue:
+        return std::make_unique<JoinShortestQueuePolicy>();
+      case RoutingKind::PowerOfTwoChoices:
+        return std::make_unique<PowerOfTwoChoicesPolicy>(spec.seed);
+      case RoutingKind::SizeAware:
+        return std::make_unique<SizeAwarePolicy>(spec.sizeThreshold);
+    }
+    drs_assert(false, "unknown routing kind");
+    return nullptr;
+}
+
+std::vector<QueryTrace>
+splitTrace(const QueryTrace& global,
+           const std::vector<BackendAttrs>& machines, RoutingPolicy& policy)
+{
+    drs_assert(!machines.empty(), "splitTrace needs machines");
+    std::vector<QueryTrace> slices(machines.size());
+    SplitView view(machines);
+    for (const Query& q : global) {
+        const size_t m = policy.route(q, view);
+        drs_assert(m < machines.size(), "policy routed out of range");
+        slices[m].push_back(q);
+        view.record(m);
+    }
+    return slices;
+}
+
+std::vector<QueryTrace>
+splitTrace(const QueryTrace& global, size_t num_machines,
+           RoutingPolicy& policy)
+{
+    return splitTrace(global, std::vector<BackendAttrs>(num_machines),
+                      policy);
+}
+
+} // namespace deeprecsys

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Pluggable query-routing policies for the cluster tier.
+ *
+ * A front-end router receives the global query stream and dispatches
+ * each query to one of N heterogeneous serving machines. The policy
+ * observes a narrow view of cluster state (per-machine in-flight
+ * queries, queued work, accelerator presence, relative speed) and
+ * returns a machine index. Implementations cover the classic
+ * load-balancing spectrum — round-robin, uniform-random,
+ * join-shortest-queue, power-of-two-choices — plus a size-aware policy
+ * that steers the heavy tail of the query-size distribution (Figure 5)
+ * to accelerator-equipped machines.
+ */
+
+#ifndef DRS_CLUSTER_ROUTING_POLICY_HH
+#define DRS_CLUSTER_ROUTING_POLICY_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "loadgen/query.hh"
+
+namespace deeprecsys {
+
+/** The routing policies the cluster router can be configured with. */
+enum class RoutingKind
+{
+    RoundRobin,
+    UniformRandom,
+    JoinShortestQueue,
+    PowerOfTwoChoices,
+    SizeAware,
+};
+
+/** Name for printing. */
+const char* routingKindName(RoutingKind kind);
+
+/** Every routing policy, in declaration order (for sweeps). */
+const std::vector<RoutingKind>& allRoutingKinds();
+
+/**
+ * What a routing policy may observe about the cluster. The live
+ * simulator exposes real queue state; the open-loop trace splitter
+ * exposes only dispatch counts.
+ */
+class ClusterView
+{
+  public:
+    virtual ~ClusterView() = default;
+
+    /** Number of machines behind the router. */
+    virtual size_t numMachines() const = 0;
+
+    /** Queries dispatched to machine @p m and not yet completed. */
+    virtual size_t inFlightQueries(size_t m) const = 0;
+
+    /** Work items (requests/queries) waiting in machine @p m's queues. */
+    virtual size_t queuedWork(size_t m) const = 0;
+
+    /** True when machine @p m has an attached accelerator. */
+    virtual bool hasGpu(size_t m) const = 0;
+
+    /** Relative machine speed (1.0 nominal; > 1.0 is faster). */
+    virtual double speedFactor(size_t m) const = 0;
+};
+
+/**
+ * A stateful routing decision function. Policies own their random
+ * streams so a fresh policy with the same seed reroutes a trace
+ * identically.
+ */
+class RoutingPolicy
+{
+  public:
+    virtual ~RoutingPolicy() = default;
+
+    /** Choose the machine that will serve @p query. */
+    virtual size_t route(const Query& query, const ClusterView& view) = 0;
+
+    /** The policy family. */
+    virtual RoutingKind kind() const = 0;
+
+    /** Printable policy name. */
+    const char* name() const { return routingKindName(kind()); }
+};
+
+/** Configuration from which a concrete policy is built. */
+struct RoutingSpec
+{
+    RoutingKind kind = RoutingKind::PowerOfTwoChoices;
+
+    /** Seed of the policy's private random stream. */
+    uint64_t seed = 0x5eedULL;
+
+    /**
+     * SizeAware only: queries of size >= threshold are steered to
+     * accelerator-equipped machines.
+     */
+    uint32_t sizeThreshold = 256;
+};
+
+/** Build a concrete policy. */
+std::unique_ptr<RoutingPolicy> makeRoutingPolicy(const RoutingSpec& spec);
+
+/** Static attributes of one backend for open-loop trace splitting. */
+struct BackendAttrs
+{
+    bool hasGpu = false;
+    double speedFactor = 1.0;
+};
+
+/**
+ * Open-loop split of a global trace into per-machine sub-traces: each
+ * query keeps its global arrival time and lands on the machine the
+ * policy picks. The view exposed to the policy carries dispatch counts
+ * but no live queue state (queue-aware policies degrade to
+ * least-dispatched). This is the slicing primitive the fleet simulator
+ * uses for its statically partitioned traffic.
+ */
+std::vector<QueryTrace> splitTrace(const QueryTrace& global,
+                                   const std::vector<BackendAttrs>& machines,
+                                   RoutingPolicy& policy);
+
+/** Convenience overload: @p num_machines identical CPU-only backends. */
+std::vector<QueryTrace> splitTrace(const QueryTrace& global,
+                                   size_t num_machines,
+                                   RoutingPolicy& policy);
+
+} // namespace deeprecsys
+
+#endif // DRS_CLUSTER_ROUTING_POLICY_HH

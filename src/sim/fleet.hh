@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "base/stats.hh"
+#include "cluster/routing_policy.hh"
 #include "loadgen/distributions.hh"
 #include "loadgen/query_stream.hh"
 #include "sim/serving_sim.hh"
@@ -43,6 +44,16 @@ struct FleetConfig
     double diurnalPeakToTrough = 1.0;
     uint64_t seed = 1234;
     LoadSpec load;      ///< qps overridden per machine/window
+
+    /**
+     * How the global window stream is split across machines.
+     * Round-robin slices evenly but smooths each machine's arrivals
+     * (Erlang-N inter-arrival gaps); uniform-random preserves Poisson
+     * per-machine streams (Poisson thinning) at the cost of slice-size
+     * jitter. The policy's seed is re-drawn per window from the fleet
+     * stream.
+     */
+    RoutingKind routing = RoutingKind::RoundRobin;
 };
 
 /** Latency outcome of one fleet run. */

@@ -1,0 +1,261 @@
+/**
+ * @file
+ * Tests for the cluster simulator and the cluster-level max-QPS
+ * search: query conservation, determinism, and the load-balancing
+ * properties the routing policies are built to deliver.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "cluster/cluster_qps_search.hh"
+#include "cluster/cluster_sim.hh"
+#include "loadgen/query_stream.hh"
+
+namespace deeprecsys {
+namespace {
+
+SimConfig
+cpuMachine(double slowdown = 1.0, size_t batch = 256)
+{
+    const ModelProfile profile = ModelProfile::forModel(ModelId::DlrmRmc1);
+    SchedulerPolicy policy;
+    policy.perRequestBatch = batch;
+    return SimConfig{CpuCostModel(profile, CpuPlatform::skylake()),
+                     std::nullopt, policy, 0.05, slowdown};
+}
+
+SimConfig
+gpuMachine(uint32_t threshold = 64, double slowdown = 1.0)
+{
+    const ModelProfile profile = ModelProfile::forModel(ModelId::DlrmRmc1);
+    SchedulerPolicy policy;
+    policy.perRequestBatch = 256;
+    policy.gpuEnabled = true;
+    policy.gpuQueryThreshold = threshold;
+    return SimConfig{CpuCostModel(profile, CpuPlatform::skylake()),
+                     GpuCostModel(profile, GpuPlatform::gtx1080Ti()),
+                     policy, 0.05, slowdown};
+}
+
+ClusterConfig
+homogeneousCluster(size_t n)
+{
+    ClusterConfig cfg;
+    for (size_t m = 0; m < n; m++)
+        cfg.machines.push_back(cpuMachine());
+    return cfg;
+}
+
+/** Alternating nominal/slow machines: heterogeneity JSQ can exploit. */
+ClusterConfig
+heterogeneousCluster(size_t n)
+{
+    ClusterConfig cfg;
+    for (size_t m = 0; m < n; m++)
+        cfg.machines.push_back(cpuMachine(m % 2 == 0 ? 1.0 : 1.4));
+    return cfg;
+}
+
+QueryTrace
+globalTrace(size_t count, double qps)
+{
+    LoadSpec load;
+    load.qps = qps;
+    QueryStream stream(load);
+    return stream.generate(count);
+}
+
+TEST(ClusterSim, EveryQueryCompletesExactlyOnce)
+{
+    const QueryTrace trace = globalTrace(3000, 10000.0);
+    const ClusterSimulator sim(homogeneousCluster(8));
+    for (RoutingKind kind : allRoutingKinds()) {
+        RoutingSpec spec;
+        spec.kind = kind;
+        const ClusterResult r = sim.run(trace, spec);
+        EXPECT_EQ(r.numDispatched, trace.size()) << routingKindName(kind);
+        EXPECT_EQ(r.numCompleted, trace.size()) << routingKindName(kind);
+        uint64_t dispatched = 0;
+        uint64_t completed = 0;
+        for (const MachineStats& m : r.perMachine) {
+            dispatched += m.queriesDispatched;
+            completed += m.queriesCompleted;
+        }
+        EXPECT_EQ(dispatched, trace.size()) << routingKindName(kind);
+        EXPECT_EQ(completed, trace.size()) << routingKindName(kind);
+        ASSERT_EQ(r.machineOfQuery.size(), trace.size());
+        for (uint32_t m : r.machineOfQuery)
+            EXPECT_LT(m, 8u);
+    }
+}
+
+TEST(ClusterSim, DeterministicGivenSeeds)
+{
+    const QueryTrace trace = globalTrace(2000, 9000.0);
+    const ClusterSimulator sim(heterogeneousCluster(6));
+    RoutingSpec spec;
+    spec.kind = RoutingKind::PowerOfTwoChoices;
+    spec.seed = 31337;
+    const ClusterResult a = sim.run(trace, spec);
+    const ClusterResult b = sim.run(trace, spec);
+    EXPECT_DOUBLE_EQ(a.p99Ms(), b.p99Ms());
+    EXPECT_EQ(a.numCompleted, b.numCompleted);
+    EXPECT_EQ(a.machineOfQuery, b.machineOfQuery);
+}
+
+TEST(ClusterSim, RoutingSeedChangesRandomPolicies)
+{
+    const QueryTrace trace = globalTrace(2000, 9000.0);
+    const ClusterSimulator sim(homogeneousCluster(6));
+    RoutingSpec a;
+    a.kind = RoutingKind::UniformRandom;
+    a.seed = 1;
+    RoutingSpec b = a;
+    b.seed = 2;
+    EXPECT_NE(sim.run(trace, a).machineOfQuery,
+              sim.run(trace, b).machineOfQuery);
+}
+
+TEST(ClusterSim, RoundRobinSpreadsEvenly)
+{
+    const QueryTrace trace = globalTrace(4000, 8000.0);
+    const ClusterSimulator sim(homogeneousCluster(8));
+    const ClusterResult r = sim.run(trace, {RoutingKind::RoundRobin, 0, 0});
+    for (const MachineStats& m : r.perMachine)
+        EXPECT_EQ(m.queriesDispatched, trace.size() / 8);
+}
+
+TEST(ClusterSim, QueueAwarePoliciesBeatRandomOnTail)
+{
+    // Skewed (production) query sizes on a heterogeneous cluster at
+    // ~75% utilization: queue-aware routing keeps the tail down while
+    // uniform-random piles work onto busy or slow machines.
+    const QueryTrace trace = globalTrace(8000, 10000.0);
+    const ClusterSimulator sim(heterogeneousCluster(8));
+
+    const double random =
+        sim.run(trace, {RoutingKind::UniformRandom, 5, 0}).p99Ms();
+    const double jsq =
+        sim.run(trace, {RoutingKind::JoinShortestQueue, 0, 0}).p99Ms();
+    const double po2c =
+        sim.run(trace, {RoutingKind::PowerOfTwoChoices, 5, 0}).p99Ms();
+
+    EXPECT_LT(jsq, random);
+    EXPECT_LT(po2c, random);
+}
+
+TEST(ClusterSim, SizeAwareSendsLargeQueriesOnlyToGpuMachines)
+{
+    constexpr uint32_t threshold = 128;
+    ClusterConfig cfg;
+    std::set<uint32_t> gpu_machines;
+    for (size_t m = 0; m < 8; m++) {
+        if (m < 2) {
+            cfg.machines.push_back(gpuMachine(1));
+            gpu_machines.insert(static_cast<uint32_t>(m));
+        } else {
+            cfg.machines.push_back(cpuMachine());
+        }
+    }
+
+    const QueryTrace trace = globalTrace(4000, 8000.0);
+    RoutingSpec spec;
+    spec.kind = RoutingKind::SizeAware;
+    spec.sizeThreshold = threshold;
+    const ClusterResult r = ClusterSimulator(cfg).run(trace, spec);
+
+    for (size_t i = 0; i < trace.size(); i++) {
+        if (trace[i].size >= threshold) {
+            EXPECT_TRUE(gpu_machines.count(r.machineOfQuery[i]))
+                << "large query " << i << " routed to CPU machine "
+                << r.machineOfQuery[i];
+        } else {
+            EXPECT_FALSE(gpu_machines.count(r.machineOfQuery[i]))
+                << "small query " << i << " routed to GPU machine";
+        }
+    }
+}
+
+TEST(ClusterSim, WarmupExcludedFromStats)
+{
+    const QueryTrace trace = globalTrace(2000, 6000.0);
+    ClusterConfig cfg = homogeneousCluster(4);
+    cfg.warmupFraction = 0.10;
+    const ClusterResult r =
+        ClusterSimulator(cfg).run(trace, {RoutingKind::RoundRobin, 0, 0});
+    EXPECT_EQ(r.numQueries, trace.size() - 200);
+    EXPECT_EQ(r.numCompleted, trace.size());
+}
+
+TEST(ClusterSim, EmptyTraceSafe)
+{
+    const ClusterSimulator sim(homogeneousCluster(3));
+    const ClusterResult r =
+        sim.run(QueryTrace{}, {RoutingKind::RoundRobin, 0, 0});
+    EXPECT_EQ(r.numDispatched, 0u);
+    EXPECT_EQ(r.numCompleted, 0u);
+    EXPECT_EQ(r.perMachine.size(), 3u);
+}
+
+TEST(ClusterSim, UtilizationReported)
+{
+    const QueryTrace trace = globalTrace(3000, 9000.0);
+    const ClusterSimulator sim(homogeneousCluster(6));
+    const ClusterResult r =
+        sim.run(trace, {RoutingKind::PowerOfTwoChoices, 1, 0});
+    EXPECT_GT(r.meanCpuUtilization, 0.0);
+    EXPECT_LE(r.meanCpuUtilization, 1.0);
+    for (const MachineStats& m : r.perMachine) {
+        EXPECT_GT(m.cpuUtilization, 0.0);
+        EXPECT_LE(m.cpuUtilization, 1.0);
+    }
+}
+
+TEST(ClusterQps, FeasibleSlaGivesPositiveQps)
+{
+    ClusterQpsSpec spec;
+    spec.slaMs = 100.0;
+    spec.numQueries = 2000;
+    const ClusterQpsResult r =
+        findClusterMaxQps(homogeneousCluster(4), spec);
+    EXPECT_GT(r.maxQps, 1000.0);
+    EXPECT_GT(r.evaluations, 2u);
+    EXPECT_LE(r.atMax.tailMs(spec.percentile), spec.slaMs);
+}
+
+TEST(ClusterQps, ImpossibleSlaGivesZero)
+{
+    ClusterQpsSpec spec;
+    spec.slaMs = 0.01;
+    spec.numQueries = 1000;
+    const ClusterQpsResult r =
+        findClusterMaxQps(homogeneousCluster(2), spec);
+    EXPECT_DOUBLE_EQ(r.maxQps, 0.0);
+}
+
+TEST(ClusterQps, MoreMachinesSustainMoreLoad)
+{
+    ClusterQpsSpec spec;
+    spec.slaMs = 100.0;
+    spec.numQueries = 2500;
+    const double small =
+        findClusterMaxQps(homogeneousCluster(2), spec).maxQps;
+    const double large =
+        findClusterMaxQps(homogeneousCluster(6), spec).maxQps;
+    EXPECT_GT(large, 2.0 * small);
+}
+
+TEST(ClusterQps, DeterministicAcrossCalls)
+{
+    ClusterQpsSpec spec;
+    spec.slaMs = 80.0;
+    spec.numQueries = 1500;
+    const double a = findClusterMaxQps(homogeneousCluster(3), spec).maxQps;
+    const double b = findClusterMaxQps(homogeneousCluster(3), spec).maxQps;
+    EXPECT_DOUBLE_EQ(a, b);
+}
+
+} // namespace
+} // namespace deeprecsys

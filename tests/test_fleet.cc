@@ -5,6 +5,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "sim/fleet.hh"
 
 namespace deeprecsys {
@@ -122,6 +124,28 @@ TEST(Fleet, DiurnalPeaksRaiseTail)
     // Peak-hour overload dominates the pooled tail.
     EXPECT_GT(b.run().fleetLatency.percentile(99),
               a.run().fleetLatency.percentile(99));
+}
+
+TEST(Fleet, SpeedAwareRoutingFollowsMachineSpeed)
+{
+    // With join-shortest-queue splitting, faster machines absorb a
+    // larger share of the global stream (the router sees effective
+    // machine speed), so the fastest machine serves more queries than
+    // the slowest.
+    FleetConfig cfg = smallFleet();
+    cfg.numMachines = 6;
+    cfg.speedSigma = 0.5;
+    cfg.interferenceProb = 0.0;
+    cfg.routing = RoutingKind::JoinShortestQueue;
+    FleetSimulator fleet(baseConfig(), cfg);
+    const FleetResult r = fleet.run();
+    size_t smallest = r.perMachine[0].count();
+    size_t largest = r.perMachine[0].count();
+    for (const auto& m : r.perMachine) {
+        smallest = std::min(smallest, m.count());
+        largest = std::max(largest, m.count());
+    }
+    EXPECT_GT(largest, smallest);
 }
 
 TEST(Fleet, MeanUtilizationReported)
