@@ -13,6 +13,8 @@
  * tail-latency argument.
  */
 
+#include <fstream>
+
 #include "bench/bench_common.hh"
 #include "cluster/cluster_sim.hh"
 #include "loadgen/query_stream.hh"
@@ -51,7 +53,7 @@ mixedCluster()
 } // namespace
 
 int
-main()
+main(int argc, char** argv)
 {
     printBanner(std::cout,
                 "Cluster routing sweep: fleet tail vs policy at equal"
@@ -105,5 +107,11 @@ main()
                  " equal offered load; size-aware routing additionally"
                  " keeps the heavy tail of Figure 5 on accelerator"
                  " machines.\n";
+
+    if (argc > 1) {
+        std::ofstream json(argv[1]);
+        table.printJson(json);
+        std::cout << "wrote " << argv[1] << "\n";
+    }
     return 0;
 }

@@ -7,7 +7,7 @@
  */
 
 #include "bench/bench_common.hh"
-#include "sim/fleet.hh"
+#include "cluster/fleet.hh"
 
 using namespace deeprecsys;
 using namespace deeprecsys::bench;

@@ -76,6 +76,54 @@ TextTable::printCsv(std::ostream& os) const
 }
 
 void
+TextTable::printJson(std::ostream& os) const
+{
+    auto is_number = [](const std::string& cell) {
+        if (cell.empty())
+            return false;
+        // Strict decimal syntax only: stod also accepts hexfloats and
+        // nan/inf, none of which are valid JSON tokens.
+        for (char c : cell) {
+            if ((c < '0' || c > '9') && c != '.' && c != '+' &&
+                c != '-' && c != 'e' && c != 'E')
+                return false;
+        }
+        size_t pos = 0;
+        try {
+            (void)std::stod(cell, &pos);
+        } catch (...) {
+            return false;
+        }
+        return pos == cell.size();
+    };
+    auto escape = [](const std::string& s) {
+        std::string out;
+        for (char c : s) {
+            if (c == '"' || c == '\\')
+                out += '\\';
+            out += c;
+        }
+        return out;
+    };
+
+    os << "[\n";
+    for (size_t r = 0; r < rows.size(); r++) {
+        os << "  {";
+        for (size_t c = 0; c < headers.size(); c++) {
+            if (c)
+                os << ", ";
+            os << "\"" << escape(headers[c]) << "\": ";
+            if (is_number(rows[r][c]))
+                os << rows[r][c];
+            else
+                os << "\"" << escape(rows[r][c]) << "\"";
+        }
+        os << "}" << (r + 1 < rows.size() ? "," : "") << "\n";
+    }
+    os << "]\n";
+}
+
+void
 printBanner(std::ostream& os, const std::string& title)
 {
     os << "\n=== " << title << " ===\n";

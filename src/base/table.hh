@@ -39,6 +39,14 @@ class TextTable
     /** Print in CSV form to the stream. */
     void printCsv(std::ostream& os) const;
 
+    /**
+     * Print as a JSON array of objects, one per row, keyed by the
+     * column headers. Numeric-looking cells are emitted as JSON
+     * numbers, everything else as strings — the machine-readable
+     * form CI archives for downstream plotting.
+     */
+    void printJson(std::ostream& os) const;
+
     /** Number of data rows. */
     size_t numRows() const { return rows.size(); }
 

@@ -30,11 +30,42 @@ planCapacity(const CapacityPlanSpec& spec)
     drs_assert(spec.targetQps > 0.0, "target rate must be positive");
     drs_assert(spec.slaMs > 0.0, "SLA target must be positive");
     drs_assert(spec.maxUnits >= 1, "plan needs a unit budget");
+    const bool sharded = !spec.tables.empty();
+    if (sharded)
+        drs_assert(spec.tableSet.numTables == spec.tables.size(),
+                   "table-set model must match the table list");
 
     CapacityPlan plan;
 
+    // Placement for a candidate tier size; nullopt when the tables do
+    // not fit the tier's total memory (that count is infeasible
+    // before any simulation). Budgets tile from the unit mix directly
+    // — no need to materialize the cluster's cost models here.
+    const std::vector<uint64_t> unit_budgets =
+        machineMemoryBudgets(spec.unitMachines);
+    auto placement_for = [&](size_t units) -> std::optional<ShardPlacement> {
+        std::vector<uint64_t> budgets;
+        budgets.reserve(units * unit_budgets.size());
+        for (size_t u = 0; u < units; u++)
+            budgets.insert(budgets.end(), unit_budgets.begin(),
+                           unit_budgets.end());
+        ShardPlacement placement = ShardPlacement::build(
+            spec.tables, budgets, spec.placement);
+        if (!placement.feasible())
+            return std::nullopt;
+        return placement;
+    };
+
     auto meets = [&](size_t units, ClusterResult& out) {
-        const ClusterConfig cluster = clusterOfUnits(spec, units);
+        ClusterConfig cluster = clusterOfUnits(spec, units);
+        cluster.network = spec.network;
+        if (sharded) {
+            std::optional<ShardPlacement> placement = placement_for(units);
+            if (!placement.has_value())
+                return false;    // memory infeasible at this size
+            cluster.sharding =
+                ShardingConfig{std::move(*placement), spec.tableSet};
+        }
         ClusterQpsSpec eval;
         eval.slaMs = spec.slaMs;
         eval.percentile = spec.percentile;
@@ -48,10 +79,35 @@ planCapacity(const CapacityPlanSpec& spec)
         return out.tailMs(spec.percentile) <= spec.slaMs;
     };
 
+    // Memory floor first: the smallest unit count whose placement is
+    // feasible (placement builds are cheap — no simulation). Total
+    // memory grows with the unit count, so feasibility is monotone
+    // and the floor bisects.
+    size_t memory_floor = 1;
+    if (sharded) {
+        size_t mem_lo = 0;    // largest count proven memory-infeasible
+        size_t mem_hi = 1;
+        while (!placement_for(mem_hi).has_value()) {
+            if (mem_hi >= spec.maxUnits)
+                return plan;    // tables never fit within the budget
+            mem_lo = mem_hi;
+            mem_hi = std::min(2 * mem_hi, spec.maxUnits);
+        }
+        while (mem_hi - mem_lo > 1) {
+            const size_t mid = mem_lo + (mem_hi - mem_lo) / 2;
+            if (placement_for(mid).has_value())
+                mem_hi = mid;
+            else
+                mem_lo = mid;
+        }
+        memory_floor = mem_hi;
+        plan.minUnitsForMemory = memory_floor;
+    }
+
     // Geometric probe for the first feasible unit count; lo tracks
     // the largest count proven infeasible.
-    size_t lo = 0;
-    size_t hi = 1;
+    size_t lo = memory_floor - 1;
+    size_t hi = memory_floor;
     ClusterResult atHi;
     while (!meets(hi, atHi)) {
         if (hi >= spec.maxUnits)

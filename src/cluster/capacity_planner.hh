@@ -10,6 +10,16 @@
  * router, machine heterogeneity, and the routing policy all shift the
  * break-even point. The deployable unit is a *mix* — e.g. three
  * CPU-only machines plus one GPU machine — scaled integrally.
+ *
+ * Plans can additionally be **memory constrained**: give the spec the
+ * model's embedding tables and per-machine byte budgets
+ * (SimConfig::memoryBytes) and the planner first finds the smallest
+ * tier whose shard placement fits at all, then sizes for throughput
+ * from there — the two provisioning axes of capacity-driven scale-out.
+ *
+ * Units: SLA targets in milliseconds, rates in queries/second, memory
+ * in bytes. Determinism: planCapacity is a pure function of its spec;
+ * fixed seeds reproduce the plan exactly.
  */
 
 #ifndef DRS_CLUSTER_CAPACITY_PLANNER_HH
@@ -34,6 +44,21 @@ struct CapacityPlanSpec
     LoadSpec load;              ///< arrival/size config (qps overridden)
     RoutingSpec routing;        ///< router policy of the planned tier
 
+    /**
+     * Embedding tables the tier must hold, sharded under each
+     * machine's SimConfig::memoryBytes budget with @p placement.
+     * Empty (default) plans the historical whole-model-everywhere
+     * tier with memory unconstrained. When set, a unit count whose
+     * placement is infeasible — the tables do not fit in the tier's
+     * total memory — is rejected before any simulation, so plans are
+     * constrained by memory and throughput jointly, and
+     * spec.routing is typically RoutingKind::ShardAware.
+     */
+    std::vector<EmbeddingTableInfo> tables;
+    PlacementSpec placement;    ///< strategy for @p tables
+    TableSetSpec tableSet;      ///< per-query working-set model
+    NetworkConfig network;      ///< router hop cost of the tier
+
     /** Global trace sized so each machine sees this many queries. */
     size_t queriesPerMachine = 300;
     /** Floor on the global trace length per evaluation. */
@@ -51,6 +76,14 @@ struct CapacityPlan
     size_t machines = 0;        ///< units * unit size
     ClusterResult atPlan;       ///< cluster stats at the plan point
     size_t evaluations = 0;     ///< cluster runs performed
+
+    /**
+     * Smallest unit count whose shard placement fits the memory
+     * budgets (0 when the plan is unsharded). The plan is memory
+     * bound when units == minUnitsForMemory: adding throughput per
+     * machine would not shrink the tier below this floor.
+     */
+    size_t minUnitsForMemory = 0;
 
     /** Tail latency at the planned size, in milliseconds. */
     double

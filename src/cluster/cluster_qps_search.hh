@@ -5,7 +5,14 @@
  * meets an SLA target. Lifts the paper's single-machine QPS-under-SLA
  * metric (Section III-B) to the tier a datacenter service actually
  * provisions, following the QpsSearchSpec bisection pattern of
- * sim/qps_search.hh.
+ * sim/qps_search.hh. Sharded tiers are searched the same way: the
+ * ClusterConfig carries the placement and network hop model, so a
+ * ShardAware RoutingSpec prices fan-out/join into the found rate.
+ *
+ * Units: slaMs in milliseconds, rates in queries/second. Determinism:
+ * the same seeds re-time the same query population at every candidate
+ * rate and the routing policy is rebuilt from its seed per
+ * evaluation, so the search is reproducible bit-for-bit.
  */
 
 #ifndef DRS_CLUSTER_CLUSTER_QPS_SEARCH_HH

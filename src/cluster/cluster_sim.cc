@@ -8,26 +8,36 @@
 
 namespace deeprecsys {
 
+std::vector<uint64_t>
+machineMemoryBudgets(const std::vector<SimConfig>& machines)
+{
+    std::vector<uint64_t> budgets;
+    budgets.reserve(machines.size());
+    for (const SimConfig& machine : machines)
+        budgets.push_back(machine.memoryBytes);
+    return budgets;
+}
+
 namespace {
 
-/** A pending CPU request: part of a query awaiting a core. */
+/** A pending CPU request: part of a query-part awaiting a core. */
 struct PendingRequest
 {
-    uint64_t queryIdx;  ///< index into the per-run query table
+    uint64_t partIdx;   ///< index into the per-run part table
     uint32_t batch;     ///< samples in this request
 };
 
-/** A scheduled completion event on some machine. */
-struct Completion
+/** A scheduled event on some machine. */
+struct Event
 {
     double time;
     uint64_t seq;       ///< insertion order; deterministic tie-break
-    enum class Kind { CpuRequest, GpuQuery } kind;
+    enum class Kind { CpuRequest, GpuQuery, PartArrival } kind;
     uint32_t machine;
-    uint64_t queryIdx;
+    uint64_t partIdx;
 
     bool
-    operator>(const Completion& other) const
+    operator>(const Event& other) const
     {
         if (time != other.time)
             return time > other.time;
@@ -35,13 +45,25 @@ struct Completion
     }
 };
 
+/** One machine's share of one in-flight query. */
+struct PartState
+{
+    uint64_t queryIdx = 0;
+    uint32_t machine = 0;
+    uint32_t requestsLeft = 0;
+    double embFraction = 1.0;
+    bool leader = false;
+    bool whole = true;        ///< single-part query (full replica path)
+};
+
 /** Book-keeping for one in-flight query. */
 struct QueryState
 {
     double arrival = 0;
     uint32_t size = 0;
-    uint32_t requestsLeft = 0;
-    uint32_t machine = 0;
+    uint32_t partsLeft = 0;
+    uint32_t machine = 0;     ///< leader machine
+    double joinTime = 0;      ///< latest part completion + return hop
     bool measured = true;
 };
 
@@ -49,10 +71,10 @@ struct QueryState
 struct MachineState
 {
     std::deque<PendingRequest> cpuQueue;
-    std::deque<uint64_t> gpuQueue;
+    std::deque<uint64_t> gpuQueue;    ///< part indices
     size_t busyCores = 0;
     bool gpuBusy = false;
-    uint64_t inFlight = 0;          ///< dispatched, not yet completed
+    uint64_t inFlight = 0;          ///< parts dispatched, not completed
 
     // Lazy utilization integrals: advanced whenever occupancy changes.
     double lastEventTime = 0;
@@ -115,6 +137,22 @@ ClusterSimulator::ClusterSimulator(ClusterConfig config)
             drs_assert(machine.gpu.has_value(),
                        "GPU policy without a GPU model");
     }
+    if (cfg.sharding.has_value()) {
+        const ShardPlacement& placement = cfg.sharding->placement;
+        drs_assert(placement.feasible(),
+                   "cluster sharding needs a feasible placement");
+        drs_assert(placement.numMachines() == cfg.machines.size(),
+                   "placement machine count mismatch");
+        drs_assert(cfg.sharding->tableSet.numTables ==
+                       placement.numTables(),
+                   "table-set model must match the placed tables");
+        for (size_t m = 0; m < cfg.machines.size(); m++) {
+            const uint64_t budget = cfg.machines[m].memoryBytes;
+            drs_assert(budget == 0 ||
+                           placement.bytesOnMachine(m) <= budget,
+                       "placement exceeds a machine memory budget");
+        }
+    }
 }
 
 ClusterResult
@@ -122,6 +160,11 @@ ClusterSimulator::run(const QueryTrace& trace, RoutingPolicy& policy) const
 {
     ClusterResult result;
     result.perMachine.resize(cfg.machines.size());
+    if (cfg.sharding.has_value()) {
+        for (size_t m = 0; m < cfg.machines.size(); m++)
+            result.perMachine[m].embBytesStored =
+                cfg.sharding->placement.bytesOnMachine(m);
+    }
     if (trace.empty())
         return result;
 
@@ -129,16 +172,19 @@ ClusterSimulator::run(const QueryTrace& trace, RoutingPolicy& policy) const
         cfg.warmupFraction * static_cast<double>(trace.size()));
 
     std::vector<QueryState> queries(trace.size());
+    std::vector<PartState> parts;
+    parts.reserve(trace.size());
     std::vector<MachineState> machines(cfg.machines.size());
     for (MachineState& m : machines)
         m.lastEventTime = trace.front().arrivalSeconds;
 
-    std::priority_queue<Completion, std::vector<Completion>,
-                        std::greater<Completion>> completions;
+    std::priority_queue<Event, std::vector<Event>, std::greater<Event>>
+        events;
     uint64_t nextSeq = 0;
 
     LiveView view(cfg.machines, machines);
     result.machineOfQuery.resize(trace.size());
+    result.partMachinesOfQuery.resize(trace.size());
 
     double firstMeasuredArrival = -1.0;
     double lastMeasuredCompletion = 0.0;
@@ -161,12 +207,20 @@ ClusterSimulator::run(const QueryTrace& trace, RoutingPolicy& policy) const
             const PendingRequest req = state.cpuQueue.front();
             state.cpuQueue.pop_front();
             state.busyCores++;
+            const PartState& part = parts[req.partIdx];
+            // Whole queries take the historical full-model path; shard
+            // parts are charged their local share of the embedding
+            // work (plus the dense stacks on the leader only).
             const double service =
-                machine.cpu.requestSeconds(req.batch, state.busyCores) *
+                (part.whole
+                     ? machine.cpu.requestSeconds(req.batch,
+                                                  state.busyCores)
+                     : machine.cpu.partialRequestSeconds(
+                           req.batch, state.busyCores, part.embFraction,
+                           part.leader)) *
                 machine.slowdown;
-            completions.push({now + service, nextSeq++,
-                              Completion::Kind::CpuRequest, m,
-                              req.queryIdx});
+            events.push({now + service, nextSeq++,
+                         Event::Kind::CpuRequest, m, req.partIdx});
             result.perMachine[m].requestsDispatched++;
         }
     };
@@ -179,36 +233,77 @@ ClusterSimulator::run(const QueryTrace& trace, RoutingPolicy& policy) const
         state.gpuQueue.pop_front();
         state.gpuBusy = true;
         const double service =
-            cfg.machines[m].gpu->querySeconds(queries[idx].size) *
+            cfg.machines[m].gpu->querySeconds(
+                queries[parts[idx].queryIdx].size) *
             cfg.machines[m].slowdown;
-        completions.push({now + service, nextSeq++,
-                          Completion::Kind::GpuQuery, m, idx});
+        events.push({now + service, nextSeq++, Event::Kind::GpuQuery, m,
+                     idx});
     };
 
-    auto complete_query = [&](uint64_t idx, double now) {
-        const QueryState& q = queries[idx];
-        MachineState& state = machines[q.machine];
-        drs_assert(state.inFlight > 0, "completion with nothing in flight");
-        state.inFlight--;
-        result.numCompleted++;
-        result.perMachine[q.machine].queriesCompleted++;
-        if (q.measured) {
-            const double latency = now - q.arrival;
-            result.fleetLatencySeconds.add(latency);
-            result.perMachine[q.machine].latencySeconds.add(latency);
-            lastMeasuredCompletion = std::max(lastMeasuredCompletion, now);
+    // A part reaches its machine (after the forward hop, if any):
+    // offload whole queries per the machine's scheduler policy, split
+    // everything else into per-request batches on the core pool.
+    auto start_part = [&](uint64_t part_idx, double now) {
+        PartState& part = parts[part_idx];
+        const uint32_t m = part.machine;
+        MachineState& state = machines[m];
+        const QueryState& q = queries[part.queryIdx];
+        const SchedulerPolicy& sched = cfg.machines[m].policy;
+        const bool offload = part.whole && sched.gpuEnabled &&
+            q.size >= sched.gpuQueryThreshold;
+        if (offload) {
+            state.gpuQueue.push_back(part_idx);
+            start_gpu(m, now);
+        } else {
+            const uint32_t batch = static_cast<uint32_t>(
+                std::min<size_t>(sched.perRequestBatch, q.size));
+            uint32_t remaining = q.size;
+            while (remaining > 0) {
+                const uint32_t take = std::min(remaining, batch);
+                state.cpuQueue.push_back({part_idx, take});
+                part.requestsLeft++;
+                remaining -= take;
+            }
+            dispatch_cpu(m, now);
         }
     };
 
+    // A part finished all of its local work: charge the return hop
+    // and complete the query when this was its last part.
+    auto finish_part = [&](uint64_t part_idx, double now) {
+        const PartState& part = parts[part_idx];
+        MachineState& state = machines[part.machine];
+        drs_assert(state.inFlight > 0, "completion with nothing in flight");
+        state.inFlight--;
+        QueryState& q = queries[part.queryIdx];
+        const double back = cfg.network.oneWaySeconds(
+            static_cast<double>(q.size) *
+            cfg.network.responseBytesPerSample);
+        q.joinTime = std::max(q.joinTime, now + back);
+        drs_assert(q.partsLeft > 0, "query with no pending parts");
+        if (--q.partsLeft > 0)
+            return;
+        result.numCompleted++;
+        result.perMachine[q.machine].queriesCompleted++;
+        if (q.measured) {
+            const double latency = q.joinTime - q.arrival;
+            result.fleetLatencySeconds.add(latency);
+            result.perMachine[q.machine].latencySeconds.add(latency);
+            lastMeasuredCompletion =
+                std::max(lastMeasuredCompletion, q.joinTime);
+        }
+        lastEventTime = std::max(lastEventTime, q.joinTime);
+    };
+
     size_t nextArrival = 0;
-    while (nextArrival < trace.size() || !completions.empty()) {
+    while (nextArrival < trace.size() || !events.empty()) {
         const bool haveArrival = nextArrival < trace.size();
-        const bool haveCompletion = !completions.empty();
+        const bool haveEvent = !events.empty();
         const double arrivalTime = haveArrival
             ? trace[nextArrival].arrivalSeconds
             : 0.0;
         const bool takeArrival = haveArrival &&
-            (!haveCompletion || arrivalTime <= completions.top().time);
+            (!haveEvent || arrivalTime <= events.top().time);
 
         if (takeArrival) {
             const Query& in = trace[nextArrival];
@@ -217,71 +312,94 @@ ClusterSimulator::run(const QueryTrace& trace, RoutingPolicy& policy) const
                                trace[nextArrival - 1].arrivalSeconds,
                        "trace must be sorted by arrival");
 
-            const size_t target = policy.route(in, view);
-            drs_assert(target < machines.size(),
-                       "policy routed out of range");
-            const uint32_t m = static_cast<uint32_t>(target);
-            advance_machine(m, in.arrivalSeconds);
+            const std::vector<ShardTarget> plan =
+                policy.routeParts(in, view);
+            drs_assert(!plan.empty(), "policy returned no targets");
             lastEventTime = std::max(lastEventTime, in.arrivalSeconds);
 
             QueryState& q = queries[nextArrival];
             q.arrival = in.arrivalSeconds;
             q.size = in.size;
-            q.machine = m;
+            q.partsLeft = static_cast<uint32_t>(plan.size());
+            q.joinTime = in.arrivalSeconds;
             q.measured = nextArrival >= warmup;
             if (q.measured && firstMeasuredArrival < 0.0)
                 firstMeasuredArrival = in.arrivalSeconds;
 
-            result.machineOfQuery[nextArrival] = m;
             result.numDispatched++;
-            MachineState& state = machines[m];
-            state.inFlight++;
-            result.perMachine[m].queriesDispatched++;
+            const double forward = cfg.network.oneWaySeconds(
+                static_cast<double>(in.size) *
+                cfg.network.requestBytesPerSample);
 
-            const SchedulerPolicy& sched = cfg.machines[m].policy;
-            const bool offload = sched.gpuEnabled &&
-                in.size >= sched.gpuQueryThreshold;
-            if (offload) {
-                state.gpuQueue.push_back(nextArrival);
-                start_gpu(m, in.arrivalSeconds);
-            } else {
-                const uint32_t batch = static_cast<uint32_t>(
-                    std::min<size_t>(sched.perRequestBatch, in.size));
-                uint32_t remaining = in.size;
-                while (remaining > 0) {
-                    const uint32_t take = std::min(remaining, batch);
-                    state.cpuQueue.push_back({nextArrival, take});
-                    q.requestsLeft++;
-                    remaining -= take;
+            size_t leaders = 0;
+            for (const ShardTarget& target : plan) {
+                drs_assert(target.machine < machines.size(),
+                           "policy routed out of range");
+                const uint32_t m = target.machine;
+                advance_machine(m, in.arrivalSeconds);
+                machines[m].inFlight++;
+                if (target.leader) {
+                    leaders++;
+                    q.machine = m;
+                    result.machineOfQuery[nextArrival] = m;
+                    result.perMachine[m].queriesDispatched++;
+                } else {
+                    result.perMachine[m].remoteParts++;
                 }
-                dispatch_cpu(m, in.arrivalSeconds);
+                result.partMachinesOfQuery[nextArrival].push_back(m);
+
+                const uint64_t part_idx = parts.size();
+                parts.push_back({nextArrival, m, 0, target.embFraction,
+                                 target.leader, plan.size() == 1});
+                result.numParts++;
+                if (forward > 0.0) {
+                    events.push({in.arrivalSeconds + forward, nextSeq++,
+                                 Event::Kind::PartArrival, m, part_idx});
+                } else {
+                    start_part(part_idx, in.arrivalSeconds);
+                }
             }
+            drs_assert(leaders == 1, "plan needs exactly one leader");
             nextArrival++;
             continue;
         }
 
-        const Completion ev = completions.top();
-        completions.pop();
+        const Event ev = events.top();
+        events.pop();
         advance_machine(ev.machine, ev.time);
         lastEventTime = std::max(lastEventTime, ev.time);
 
-        if (ev.kind == Completion::Kind::CpuRequest) {
+        switch (ev.kind) {
+          case Event::Kind::PartArrival:
+            start_part(ev.partIdx, ev.time);
+            break;
+
+          case Event::Kind::CpuRequest: {
             MachineState& state = machines[ev.machine];
             drs_assert(state.busyCores > 0, "completion with no busy core");
             state.busyCores--;
-            QueryState& q = queries[ev.queryIdx];
-            drs_assert(q.requestsLeft > 0, "query with no pending requests");
-            if (--q.requestsLeft == 0)
-                complete_query(ev.queryIdx, ev.time);
+            PartState& part = parts[ev.partIdx];
+            drs_assert(part.requestsLeft > 0,
+                       "part with no pending requests");
+            if (--part.requestsLeft == 0)
+                finish_part(ev.partIdx, ev.time);
             dispatch_cpu(ev.machine, ev.time);
-        } else {
+            break;
+          }
+
+          case Event::Kind::GpuQuery:
             machines[ev.machine].gpuBusy = false;
-            complete_query(ev.queryIdx, ev.time);
+            finish_part(ev.partIdx, ev.time);
             start_gpu(ev.machine, ev.time);
+            break;
         }
     }
 
     result.numQueries = result.fleetLatencySeconds.count();
+    result.meanFanout = result.numDispatched > 0
+        ? static_cast<double>(result.numParts) /
+              static_cast<double>(result.numDispatched)
+        : 0.0;
     result.spanSeconds = firstMeasuredArrival >= 0.0
         ? lastMeasuredCompletion - firstMeasuredArrival
         : 0.0;
@@ -320,7 +438,8 @@ ClusterSimulator::run(const QueryTrace& trace, RoutingPolicy& policy) const
 ClusterResult
 ClusterSimulator::run(const QueryTrace& trace, const RoutingSpec& spec) const
 {
-    const std::unique_ptr<RoutingPolicy> policy = makeRoutingPolicy(spec);
+    const std::unique_ptr<RoutingPolicy> policy = makeRoutingPolicy(
+        spec, cfg.sharding.has_value() ? &*cfg.sharding : nullptr);
     return run(trace, *policy);
 }
 

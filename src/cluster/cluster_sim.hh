@@ -11,19 +11,66 @@
  * models. Machines differ in cost model, speed multiplier, accelerator
  * presence, and scheduler policy — the fleet tier the paper's Figures 7
  * and 13 study, with the router made explicit.
+ *
+ * When the cluster carries a ShardingConfig, a shard-aware policy may
+ * fan a query out into parts, one per machine of a replica cover of
+ * its embedding tables; each part pays a forward network hop, runs its
+ * local share of the work, pays a return hop, and the query completes
+ * when its last part returns (fan-out/join). Whole-query dispatches
+ * pay the same single round trip, so a non-zero NetworkConfig prices
+ * the router tier even without sharding.
+ *
+ * Units: all times in this header are **seconds** unless the member
+ * name says otherwise (…Ms() accessors return milliseconds); memory is
+ * in bytes. Ownership: ClusterSimulator copies its ClusterConfig
+ * (including any ShardingConfig) at construction and run() results are
+ * self-contained values. Determinism: run() is a pure function of
+ * (trace, policy state) — fixed seeds reproduce every statistic
+ * bit-for-bit; event ties are broken by insertion order.
  */
 
 #ifndef DRS_CLUSTER_CLUSTER_SIM_HH
 #define DRS_CLUSTER_CLUSTER_SIM_HH
 
+#include <optional>
 #include <vector>
 
 #include "base/stats.hh"
 #include "cluster/routing_policy.hh"
+#include "cluster/shard_placement.hh"
 #include "loadgen/query.hh"
 #include "sim/serving_sim.hh"
 
 namespace deeprecsys {
+
+/**
+ * Cost of the router->machine network hop. Every dispatch pays one
+ * forward hop (latency plus request serialization) and every
+ * completion one return hop (latency plus response serialization); a
+ * fanned-out query pays them per part and joins on the slowest. The
+ * default is the historical zero-cost router: all terms 0.
+ *
+ * Units: hopSeconds is **seconds** one-way; bandwidth is gigabytes
+ * per second (0 = infinite); payload terms are bytes per candidate
+ * sample of the query.
+ */
+struct NetworkConfig
+{
+    double hopSeconds = 0.0;          ///< one-way propagation + switching
+    double gigabytesPerSecond = 0.0;  ///< serialization bandwidth; 0 = inf
+    double requestBytesPerSample = 512.0;  ///< features shipped per sample
+    double responseBytesPerSample = 8.0;   ///< scores returned per sample
+
+    /** One-way delay in seconds for a payload of @p bytes. */
+    double
+    oneWaySeconds(double bytes) const
+    {
+        double s = hopSeconds;
+        if (gigabytesPerSecond > 0.0)
+            s += bytes / (gigabytesPerSecond * 1e9);
+        return s;
+    }
+};
 
 /** Configuration of a simulated cluster. */
 struct ClusterConfig
@@ -33,14 +80,32 @@ struct ClusterConfig
 
     /** Fraction of leading queries excluded from statistics. */
     double warmupFraction = 0.05;
+
+    /** Router->machine hop model (zero-cost by default). */
+    NetworkConfig network;
+
+    /**
+     * Embedding-shard placement of the served model. When set, the
+     * placement must span exactly machines.size() machines, be
+     * feasible, and respect every machine's SimConfig::memoryBytes
+     * budget (checked fatally at construction). Shard-aware routing
+     * requires it; other policies ignore it.
+     */
+    std::optional<ShardingConfig> sharding;
 };
+
+/** Per-machine embedding-memory budgets (SimConfig::memoryBytes). */
+std::vector<uint64_t> machineMemoryBudgets(
+    const std::vector<SimConfig>& machines);
 
 /** Per-machine outcome of one cluster run. */
 struct MachineStats
 {
-    uint64_t queriesDispatched = 0;    ///< routed to this machine
+    uint64_t queriesDispatched = 0;    ///< led from this machine
     uint64_t queriesCompleted = 0;     ///< finished (incl. warmup)
     uint64_t requestsDispatched = 0;   ///< CPU requests issued
+    uint64_t remoteParts = 0;          ///< non-leader shard parts served
+    uint64_t embBytesStored = 0;       ///< resident embedding shards
     double busyCoreSeconds = 0;
     double gpuBusySeconds = 0;
     double cpuUtilization = 0;         ///< over the cluster event span
@@ -54,12 +119,22 @@ struct ClusterResult
     SampleStats fleetLatencySeconds;   ///< measured queries, all machines
     std::vector<MachineStats> perMachine;
 
-    /** Routing decision per trace index (for conservation checks). */
+    /** Leader machine per trace index (for conservation checks). */
     std::vector<uint32_t> machineOfQuery;
+
+    /**
+     * Every machine that served a part of each query, leader first.
+     * Size 1 per query unless shard-aware routing fanned it out.
+     */
+    std::vector<std::vector<uint32_t>> partMachinesOfQuery;
 
     uint64_t numQueries = 0;           ///< measured completions
     uint64_t numDispatched = 0;        ///< all routed queries
     uint64_t numCompleted = 0;         ///< all completed queries
+    uint64_t numParts = 0;             ///< machine-parts dispatched
+
+    /** Mean machines touched per query (1.0 without sharding). */
+    double meanFanout = 0;
     double offeredQps = 0;             ///< from the global trace
     double achievedQps = 0;            ///< measured completions / span
     double spanSeconds = 0;            ///< measured arrival..completion

@@ -9,10 +9,22 @@
  * distribution of the whole fleet against a small subsample; Figure 13
  * measures p95/p99 across the fleet over a diurnal day of traffic for
  * a fixed versus tuned batch size.
+ *
+ * This is cluster-tier code (it routes one global stream across
+ * machines) and lives in cluster/ accordingly; it differs from
+ * ClusterSimulator in simulating each machine *independently* from a
+ * statically split trace, which scales to hundreds of machines but
+ * cannot model queue-aware routing. ROADMAP: fold this engine into
+ * ClusterSimulator entirely.
+ *
+ * Units: seconds in the samples, milliseconds from tailMs(). Fully
+ * deterministic for a fixed FleetConfig::seed: machine speeds,
+ * interference windows, per-window traffic, and the routing split all
+ * derive from forks of that one stream.
  */
 
-#ifndef DRS_SIM_FLEET_HH
-#define DRS_SIM_FLEET_HH
+#ifndef DRS_CLUSTER_FLEET_HH
+#define DRS_CLUSTER_FLEET_HH
 
 #include <vector>
 
@@ -94,4 +106,4 @@ class FleetSimulator
 
 } // namespace deeprecsys
 
-#endif // DRS_SIM_FLEET_HH
+#endif // DRS_CLUSTER_FLEET_HH

@@ -14,6 +14,7 @@ routingKindName(RoutingKind kind)
       case RoutingKind::JoinShortestQueue: return "join-shortest-queue";
       case RoutingKind::PowerOfTwoChoices: return "power-of-two";
       case RoutingKind::SizeAware:         return "size-aware";
+      case RoutingKind::ShardAware:        return "shard-aware";
     }
     return "unknown";
 }
@@ -21,6 +22,9 @@ routingKindName(RoutingKind kind)
 const std::vector<RoutingKind>&
 allRoutingKinds()
 {
+    // ShardAware is deliberately absent: it is the one policy that
+    // cannot be built from a bare RoutingSpec (it needs a
+    // ShardingConfig), so generic sweeps over this list stay valid.
     static const std::vector<RoutingKind> kinds = {
         RoutingKind::RoundRobin,
         RoutingKind::UniformRandom,
@@ -188,6 +192,109 @@ class SizeAwarePolicy final : public RoutingPolicy
     std::vector<size_t> candidates;    ///< scratch, reused per call
 };
 
+/**
+ * Routes each query to machines holding (a replica of) its embedding
+ * tables. When some machine holds the whole working set the query
+ * stays single-hop on the least-loaded such machine; otherwise the
+ * policy fans out over a greedy set cover — repeatedly the machine
+ * holding the most still-uncovered tables (ties to the less loaded,
+ * then the lower index) — and the query joins across the parts. The
+ * leader (the first, largest-coverage part) runs the dense stacks;
+ * every part runs the lookups for its local share of the tables.
+ */
+class ShardAwarePolicy final : public RoutingPolicy
+{
+  public:
+    explicit ShardAwarePolicy(const ShardingConfig& sharding_in)
+        : sharding(sharding_in),
+          popularity(tablePopularity(sharding_in.tableSet.numTables,
+                                     sharding_in.tableSet.zipfS))
+    {
+        drs_assert(sharding.placement.feasible(),
+                   "shard-aware routing needs a feasible placement");
+    }
+
+    size_t
+    route(const Query& query, const ClusterView& view) override
+    {
+        return routeParts(query, view).front().machine;
+    }
+
+    std::vector<ShardTarget>
+    routeParts(const Query& query, const ClusterView& view) override
+    {
+        const ShardPlacement& placement = sharding.placement;
+        drs_assert(placement.numMachines() == view.numMachines(),
+                   "placement machine count mismatch");
+        const std::vector<uint32_t> tables =
+            tablesOfQuery(query.id, sharding.tableSet, popularity);
+
+        // Single-hop when some machine holds every table the query
+        // touches (always true under full replication).
+        candidates.clear();
+        for (size_t m = 0; m < view.numMachines(); m++) {
+            if (placement.holdsAll(m, tables))
+                candidates.push_back(m);
+        }
+        if (!candidates.empty()) {
+            const uint32_t m =
+                static_cast<uint32_t>(leastLoaded(view, candidates));
+            return {{m, 1.0, true}};
+        }
+
+        // Greedy set cover over replicas; the first pick covers the
+        // most tables and leads.
+        std::vector<ShardTarget> parts;
+        std::vector<bool> used(view.numMachines(), false);
+        std::vector<bool> covered(tables.size(), false);
+        size_t uncovered = tables.size();
+        while (uncovered > 0) {
+            size_t best = view.numMachines();
+            size_t best_cover = 0;
+            double best_load = 0.0;
+            for (size_t m = 0; m < view.numMachines(); m++) {
+                if (used[m])
+                    continue;
+                size_t cover = 0;
+                for (size_t i = 0; i < tables.size(); i++) {
+                    if (!covered[i] && placement.holds(m, tables[i]))
+                        cover++;
+                }
+                if (cover == 0)
+                    continue;
+                const double load = loadSignal(view, m);
+                if (best == view.numMachines() || cover > best_cover ||
+                    (cover == best_cover && load < best_load)) {
+                    best = m;
+                    best_cover = cover;
+                    best_load = load;
+                }
+            }
+            drs_assert(best < view.numMachines(),
+                       "uncovered table with no replica");
+            used[best] = true;
+            for (size_t i = 0; i < tables.size(); i++) {
+                if (!covered[i] && placement.holds(best, tables[i])) {
+                    covered[i] = true;
+                    uncovered--;
+                }
+            }
+            parts.push_back({static_cast<uint32_t>(best),
+                             static_cast<double>(best_cover) /
+                                 static_cast<double>(tables.size()),
+                             parts.empty()});
+        }
+        return parts;
+    }
+
+    RoutingKind kind() const override { return RoutingKind::ShardAware; }
+
+  private:
+    const ShardingConfig& sharding;
+    std::vector<double> popularity;    ///< cached Zipf weights
+    std::vector<size_t> candidates;    ///< scratch, reused per call
+};
+
 /** View for open-loop splitting: dispatch counts, no live queues. */
 class SplitView final : public ClusterView
 {
@@ -227,6 +334,12 @@ class SplitView final : public ClusterView
 std::unique_ptr<RoutingPolicy>
 makeRoutingPolicy(const RoutingSpec& spec)
 {
+    return makeRoutingPolicy(spec, nullptr);
+}
+
+std::unique_ptr<RoutingPolicy>
+makeRoutingPolicy(const RoutingSpec& spec, const ShardingConfig* sharding)
+{
     switch (spec.kind) {
       case RoutingKind::RoundRobin:
         return std::make_unique<RoundRobinPolicy>();
@@ -238,6 +351,10 @@ makeRoutingPolicy(const RoutingSpec& spec)
         return std::make_unique<PowerOfTwoChoicesPolicy>(spec.seed);
       case RoutingKind::SizeAware:
         return std::make_unique<SizeAwarePolicy>(spec.sizeThreshold);
+      case RoutingKind::ShardAware:
+        drs_assert(sharding != nullptr,
+                   "shard-aware routing needs a ShardingConfig");
+        return std::make_unique<ShardAwarePolicy>(*sharding);
     }
     drs_assert(false, "unknown routing kind");
     return nullptr;

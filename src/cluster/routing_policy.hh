@@ -10,7 +10,15 @@
  * load-balancing spectrum — round-robin, uniform-random,
  * join-shortest-queue, power-of-two-choices — plus a size-aware policy
  * that steers the heavy tail of the query-size distribution (Figure 5)
- * to accelerator-equipped machines.
+ * to accelerator-equipped machines, and a shard-aware policy that
+ * routes each query to machines holding (replicas of) its embedding
+ * tables, fanning out over a set cover when no machine holds them all.
+ *
+ * Ownership: policies are stateful and single-run — build a fresh one
+ * (same seed) per run to reproduce results. The shard-aware policy
+ * keeps a reference to the ShardingConfig it was built from, which
+ * must outlive it. Determinism: a policy's decisions are a pure
+ * function of its seed and the observed view sequence.
  */
 
 #ifndef DRS_CLUSTER_ROUTING_POLICY_HH
@@ -20,6 +28,7 @@
 #include <memory>
 #include <vector>
 
+#include "cluster/shard_placement.hh"
 #include "loadgen/query.hh"
 
 namespace deeprecsys {
@@ -32,12 +41,17 @@ enum class RoutingKind
     JoinShortestQueue,
     PowerOfTwoChoices,
     SizeAware,
+    ShardAware,
 };
 
 /** Name for printing. */
 const char* routingKindName(RoutingKind kind);
 
-/** Every routing policy, in declaration order (for sweeps). */
+/**
+ * Every self-contained routing policy, in declaration order (for
+ * sweeps). Excludes ShardAware, which cannot be built from a bare
+ * RoutingSpec — it needs a ShardingConfig.
+ */
 const std::vector<RoutingKind>& allRoutingKinds();
 
 /**
@@ -67,6 +81,24 @@ class ClusterView
 };
 
 /**
+ * One machine's share of a (possibly fanned-out) query. A whole-query
+ * dispatch is a single part with embFraction 1 on the leader; a
+ * sharded dispatch is one part per machine of the covering set, the
+ * leader doing the dense/sequence compute plus its local embedding
+ * lookups and every other part only its local lookups.
+ */
+struct ShardTarget
+{
+    uint32_t machine = 0;
+
+    /** Share of the query's embedding work resident here, in (0, 1]. */
+    double embFraction = 1.0;
+
+    /** The leader also runs the dense + interaction + predict stacks. */
+    bool leader = false;
+};
+
+/**
  * A stateful routing decision function. Policies own their random
  * streams so a fresh policy with the same seed reroutes a trace
  * identically.
@@ -78,6 +110,18 @@ class RoutingPolicy
 
     /** Choose the machine that will serve @p query. */
     virtual size_t route(const Query& query, const ClusterView& view) = 0;
+
+    /**
+     * Full dispatch plan for @p query: which machines serve it and
+     * what share of the work each takes. The default wraps route()
+     * into one whole-query part; only shard-aware policies fan out.
+     * Parts are distinct machines and exactly one part leads.
+     */
+    virtual std::vector<ShardTarget>
+    routeParts(const Query& query, const ClusterView& view)
+    {
+        return {{static_cast<uint32_t>(route(query, view)), 1.0, true}};
+    }
 
     /** The policy family. */
     virtual RoutingKind kind() const = 0;
@@ -101,8 +145,19 @@ struct RoutingSpec
     uint32_t sizeThreshold = 256;
 };
 
-/** Build a concrete policy. */
+/**
+ * Build a concrete policy. ShardAware requires the two-argument
+ * overload; building it without a ShardingConfig is fatal.
+ */
 std::unique_ptr<RoutingPolicy> makeRoutingPolicy(const RoutingSpec& spec);
+
+/**
+ * Build a concrete policy with sharding context. @p sharding may be
+ * null for every kind except ShardAware; when non-null it must
+ * outlive the returned policy (the policy keeps a reference).
+ */
+std::unique_ptr<RoutingPolicy> makeRoutingPolicy(
+    const RoutingSpec& spec, const ShardingConfig* sharding);
 
 /** Static attributes of one backend for open-loop trace splitting. */
 struct BackendAttrs

@@ -1,0 +1,321 @@
+#include "shard_placement.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "base/logging.hh"
+#include "base/random.hh"
+
+namespace deeprecsys {
+
+std::vector<double>
+tablePopularity(uint32_t num_tables, double zipf_s)
+{
+    std::vector<double> weights(num_tables, 0.0);
+    double sum = 0.0;
+    for (uint32_t t = 0; t < num_tables; t++) {
+        weights[t] = std::pow(static_cast<double>(t + 1), -zipf_s);
+        sum += weights[t];
+    }
+    for (double& w : weights)
+        w /= sum;
+    return weights;
+}
+
+std::vector<EmbeddingTableInfo>
+embeddingTables(const ModelConfig& cfg, double zipf_s)
+{
+    const uint64_t row_bytes =
+        static_cast<uint64_t>(cfg.embeddingDim) * sizeof(float);
+    std::vector<EmbeddingTableInfo> tables;
+    for (size_t t = 0; t < cfg.numTables; t++)
+        tables.push_back({static_cast<uint32_t>(t),
+                          cfg.tableRows * row_bytes, 0.0});
+    if (cfg.useAttention || cfg.useRecurrent)
+        tables.push_back({static_cast<uint32_t>(tables.size()),
+                          cfg.behaviorTableRows * row_bytes, 0.0});
+
+    const std::vector<double> weights =
+        tablePopularity(static_cast<uint32_t>(tables.size()), zipf_s);
+    for (size_t t = 0; t < tables.size(); t++)
+        tables[t].popularity = weights[t];
+    return tables;
+}
+
+const char*
+placementStrategyName(PlacementStrategy strategy)
+{
+    switch (strategy) {
+      case PlacementStrategy::GreedyBySize:      return "greedy-by-size";
+      case PlacementStrategy::RoundRobin:        return "round-robin";
+      case PlacementStrategy::HotColdReplicated: return "hot-cold-replicated";
+    }
+    return "unknown";
+}
+
+const std::vector<PlacementStrategy>&
+allPlacementStrategies()
+{
+    static const std::vector<PlacementStrategy> strategies = {
+        PlacementStrategy::GreedyBySize,
+        PlacementStrategy::RoundRobin,
+        PlacementStrategy::HotColdReplicated,
+    };
+    return strategies;
+}
+
+namespace {
+
+/** Free bytes on a machine; budget 0 means unconstrained. */
+uint64_t
+freeBytes(uint64_t budget, uint64_t used)
+{
+    if (budget == 0)
+        return std::numeric_limits<uint64_t>::max() - used;
+    return budget > used ? budget - used : 0;
+}
+
+/** Table order: descending bytes, ties broken by ascending id. */
+std::vector<size_t>
+bySizeDesc(const std::vector<EmbeddingTableInfo>& tables)
+{
+    std::vector<size_t> order(tables.size());
+    std::iota(order.begin(), order.end(), 0);
+    std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+        if (tables[a].bytes != tables[b].bytes)
+            return tables[a].bytes > tables[b].bytes;
+        return tables[a].id < tables[b].id;
+    });
+    return order;
+}
+
+/** Table order: descending popularity, ties broken by ascending id. */
+std::vector<size_t>
+byPopularityDesc(const std::vector<EmbeddingTableInfo>& tables)
+{
+    std::vector<size_t> order(tables.size());
+    std::iota(order.begin(), order.end(), 0);
+    std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+        if (tables[a].popularity != tables[b].popularity)
+            return tables[a].popularity > tables[b].popularity;
+        return tables[a].id < tables[b].id;
+    });
+    return order;
+}
+
+} // namespace
+
+bool
+ShardPlacement::assign(uint32_t table, size_t machine, uint64_t bytes,
+                       const std::vector<uint64_t>& budgets)
+{
+    if (holds_[machine][table])
+        return true;
+    if (freeBytes(budgets[machine], bytesOnMachine_[machine]) < bytes)
+        return false;
+    holds_[machine][table] = true;
+    bytesOnMachine_[machine] += bytes;
+    tablesOnMachine_[machine].push_back(table);
+    machinesOfTable_[table].push_back(static_cast<uint32_t>(machine));
+    return true;
+}
+
+ShardPlacement
+ShardPlacement::build(const std::vector<EmbeddingTableInfo>& tables,
+                      const std::vector<uint64_t>& budget_bytes,
+                      const PlacementSpec& spec)
+{
+    drs_assert(!budget_bytes.empty(), "placement needs machines");
+    for (size_t t = 0; t < tables.size(); t++)
+        drs_assert(tables[t].id == t, "table ids must be dense 0..N-1");
+
+    ShardPlacement p;
+    p.spec_ = spec;
+    p.bytesOnMachine_.assign(budget_bytes.size(), 0);
+    p.tablesOnMachine_.assign(budget_bytes.size(), {});
+    p.machinesOfTable_.assign(tables.size(), {});
+    p.holds_.assign(budget_bytes.size(),
+                    std::vector<bool>(tables.size(), false));
+    const size_t machines = budget_bytes.size();
+
+    // Greedy single-copy placement of the tables listed in @p order:
+    // each goes to the machine with the most free bytes that fits it.
+    auto place_greedy = [&](const std::vector<size_t>& order) {
+        for (size_t idx : order) {
+            const EmbeddingTableInfo& t = tables[idx];
+            if (!p.machinesOfTable_[t.id].empty())
+                continue;    // already replicated by a hot phase
+            size_t best = machines;
+            uint64_t best_free = 0;
+            for (size_t m = 0; m < machines; m++) {
+                const uint64_t free =
+                    freeBytes(budget_bytes[m], p.bytesOnMachine_[m]);
+                if (free >= t.bytes && (best == machines ||
+                                        free > best_free)) {
+                    best = m;
+                    best_free = free;
+                }
+            }
+            if (best < machines)
+                p.assign(t.id, best, t.bytes, budget_bytes);
+        }
+    };
+
+    switch (spec.strategy) {
+      case PlacementStrategy::GreedyBySize:
+        place_greedy(bySizeDesc(tables));
+        break;
+
+      case PlacementStrategy::RoundRobin:
+        for (size_t idx = 0; idx < tables.size(); idx++) {
+            const EmbeddingTableInfo& t = tables[idx];
+            for (size_t probe = 0; probe < machines; probe++) {
+                const size_t m = (idx + probe) % machines;
+                if (p.assign(t.id, m, t.bytes, budget_bytes))
+                    break;
+            }
+        }
+        break;
+
+      case PlacementStrategy::HotColdReplicated: {
+        // Hot phase: replicate in popularity order while the replica
+        // set stays within the hot reserve on every machine.
+        drs_assert(spec.hotReplicaFraction >= 0.0 &&
+                       spec.hotReplicaFraction <= 1.0,
+                   "hot replica fraction must be in [0, 1]");
+        uint64_t hot_bytes = 0;
+        std::vector<size_t> cold;
+        bool replicating = true;
+        for (size_t idx : byPopularityDesc(tables)) {
+            const EmbeddingTableInfo& t = tables[idx];
+            bool fits_everywhere = replicating;
+            for (size_t m = 0; fits_everywhere && m < machines; m++) {
+                if (budget_bytes[m] == 0)
+                    continue;    // unconstrained machine
+                const double reserve = spec.hotReplicaFraction *
+                                       static_cast<double>(budget_bytes[m]);
+                fits_everywhere =
+                    static_cast<double>(hot_bytes + t.bytes) <= reserve;
+            }
+            if (fits_everywhere) {
+                hot_bytes += t.bytes;
+                for (size_t m = 0; m < machines; m++)
+                    p.assign(t.id, m, t.bytes, budget_bytes);
+            } else {
+                replicating = false;    // popularity prefix only
+                cold.push_back(idx);
+            }
+        }
+        // Cold phase: single copy each, largest first.
+        std::sort(cold.begin(), cold.end(), [&](size_t a, size_t b) {
+            if (tables[a].bytes != tables[b].bytes)
+                return tables[a].bytes > tables[b].bytes;
+            return tables[a].id < tables[b].id;
+        });
+        place_greedy(cold);
+        break;
+      }
+    }
+
+    for (auto& on_machine : p.tablesOnMachine_)
+        std::sort(on_machine.begin(), on_machine.end());
+    p.feasible_ = !tables.empty();
+    for (const auto& replicas : p.machinesOfTable_) {
+        if (replicas.empty()) {
+            p.feasible_ = false;
+            break;
+        }
+    }
+    return p;
+}
+
+bool
+ShardPlacement::holds(size_t m, uint32_t t) const
+{
+    return m < holds_.size() && t < holds_[m].size() && holds_[m][t];
+}
+
+bool
+ShardPlacement::holdsAll(size_t m, const std::vector<uint32_t>& tables) const
+{
+    for (uint32_t t : tables) {
+        if (!holds(m, t))
+            return false;
+    }
+    return true;
+}
+
+uint64_t
+ShardPlacement::totalReplicas() const
+{
+    uint64_t replicas = 0;
+    for (const auto& machines : machinesOfTable_)
+        replicas += machines.size();
+    return replicas;
+}
+
+std::vector<uint32_t>
+tablesOfQuery(uint64_t query_id, const TableSetSpec& spec)
+{
+    return tablesOfQuery(query_id, spec,
+                         tablePopularity(spec.numTables, spec.zipfS));
+}
+
+std::vector<uint32_t>
+tablesOfQuery(uint64_t query_id, const TableSetSpec& spec,
+              const std::vector<double>& weights)
+{
+    drs_assert(spec.numTables > 0, "table set needs tables");
+    drs_assert(weights.size() == spec.numTables,
+               "popularity weights must match the table count");
+    const uint32_t want = spec.tablesPerQuery == 0
+        ? spec.numTables
+        : std::min(spec.tablesPerQuery, spec.numTables);
+
+    std::vector<uint32_t> chosen;
+    chosen.reserve(want);
+    if (want == spec.numTables) {
+        for (uint32_t t = 0; t < spec.numTables; t++)
+            chosen.push_back(t);
+        return chosen;
+    }
+
+    // Weighted sampling without replacement: walk the CDF of the
+    // not-yet-chosen tables. Keyed by the query id, so equal ids
+    // always draw equal working sets.
+    Rng rng(spec.seed ^ (query_id * 0x9e3779b97f4a7c15ULL));
+    double remaining = 1.0;
+    std::vector<bool> taken(spec.numTables, false);
+    for (uint32_t k = 0; k < want; k++) {
+        const double r = rng.uniform() * remaining;
+        double acc = 0.0;
+        uint32_t pick = spec.numTables;
+        for (uint32_t t = 0; t < spec.numTables; t++) {
+            if (taken[t])
+                continue;
+            acc += weights[t];
+            if (r < acc) {
+                pick = t;
+                break;
+            }
+        }
+        if (pick == spec.numTables) {
+            // Float round-off at the CDF tail: take the last free one.
+            for (uint32_t t = spec.numTables; t-- > 0;) {
+                if (!taken[t]) {
+                    pick = t;
+                    break;
+                }
+            }
+        }
+        taken[pick] = true;
+        remaining -= weights[pick];
+        chosen.push_back(pick);
+    }
+    std::sort(chosen.begin(), chosen.end());
+    return chosen;
+}
+
+} // namespace deeprecsys

@@ -90,6 +90,19 @@ class CpuCostModel
      */
     double requestSeconds(size_t batch, size_t active_cores) const;
 
+    /**
+     * Service seconds for the shard-local share of one request when
+     * the model's embedding tables are spread over machines: the
+     * fixed dispatch overhead plus @p emb_fraction of the embedding
+     * gather work, plus — on the shard leader only
+     * (@p include_dense) — the per-sample marshalling and the full
+     * FC/sequence compute. With emb_fraction 1 and include_dense
+     * true this equals requestSeconds().
+     */
+    double partialRequestSeconds(size_t batch, size_t active_cores,
+                                 double emb_fraction,
+                                 bool include_dense) const;
+
     /** FC component of the service time. */
     double fcSeconds(size_t batch, size_t active_cores) const;
 

@@ -3,6 +3,11 @@
  * Latency-bounded throughput measurement: the maximum sustainable
  * query arrival rate whose tail latency meets an SLA target (the
  * paper's QPS-under-p95 metric, Section III-B).
+ *
+ * Units: slaMs in milliseconds, rates in queries/second.
+ * Determinism: findMaxQps is a pure function of its spec — the same
+ * seeds re-time the same query population at every candidate rate,
+ * keeping the bisection monotone and reproducible.
  */
 
 #ifndef DRS_SIM_QPS_SEARCH_HH

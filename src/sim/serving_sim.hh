@@ -10,6 +10,13 @@
  * arrival to that completion. Service times come from the analytical
  * cost models, with the contention term evaluated against the number
  * of cores busy at dispatch.
+ *
+ * Units: every time in SimConfig/SimResult is **seconds** except the
+ * explicitly named millisecond accessors (p95Ms and friends);
+ * SimConfig::memoryBytes is bytes. Ownership: the simulator copies
+ * its SimConfig; results are self-contained values. Determinism:
+ * run() is a pure function of the trace — no hidden random state —
+ * so equal traces give bit-identical results.
  */
 
 #ifndef DRS_SIM_SERVING_SIM_HH
@@ -48,6 +55,14 @@ struct SimConfig
 
     /** Machine speed multiplier (>1 is slower; fleet heterogeneity). */
     double slowdown = 1.0;
+
+    /**
+     * Embedding-memory budget of this machine in bytes; 0 means
+     * unconstrained (the historical whole-model-everywhere fleet).
+     * The cluster tier's shard placement packs tables within it and
+     * the capacity planner treats it as a hard provisioning limit.
+     */
+    uint64_t memoryBytes = 0;
 };
 
 /** Aggregate outcome of one simulation run. */

@@ -7,7 +7,7 @@
 
 #include <algorithm>
 
-#include "sim/fleet.hh"
+#include "cluster/fleet.hh"
 
 namespace deeprecsys {
 namespace {

@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Fail CI on broken relative links in the repo's Markdown files.
+
+Scans every ``*.md`` file (skipping build trees and dot-directories)
+for inline Markdown links and image references, resolves relative
+targets against the containing file, and exits non-zero listing every
+target that does not exist. External links (http/https/mailto) and
+pure in-page anchors (#...) are not checked; a ``path#anchor`` target
+is checked for the path only. Stdlib only.
+"""
+
+import os
+import re
+import sys
+
+SKIP_DIRS = {"build", ".git", ".claude"}
+
+# Inline links/images: [text](target) — target may carry a #fragment.
+LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+
+
+def md_files(root):
+    for dirpath, dirnames, filenames in os.walk(root):
+        dirnames[:] = [
+            d for d in dirnames
+            if d not in SKIP_DIRS and not d.startswith(".")
+        ]
+        for name in filenames:
+            if name.endswith(".md"):
+                yield os.path.join(dirpath, name)
+
+
+def check_file(path, root):
+    broken = []
+    with open(path, encoding="utf-8") as fh:
+        text = fh.read()
+    # Fenced code blocks routinely contain example links; drop them.
+    text = re.sub(r"```.*?```", "", text, flags=re.DOTALL)
+    for match in LINK_RE.finditer(text):
+        target = match.group(1)
+        if target.startswith(("http://", "https://", "mailto:", "#")):
+            continue
+        target = target.split("#", 1)[0]
+        if not target:
+            continue
+        resolved = os.path.normpath(
+            os.path.join(os.path.dirname(path), target))
+        if not os.path.exists(resolved):
+            broken.append((os.path.relpath(path, root), target))
+    return broken
+
+
+def main():
+    root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    broken = []
+    checked = 0
+    for path in md_files(root):
+        checked += 1
+        broken.extend(check_file(path, root))
+    if broken:
+        print(f"{len(broken)} broken relative link(s):")
+        for source, target in broken:
+            print(f"  {source}: {target}")
+        return 1
+    print(f"OK: no broken relative links in {checked} Markdown files")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
