@@ -1,8 +1,6 @@
 #include "cluster_sim.hh"
 
 #include <algorithm>
-#include <deque>
-#include <queue>
 
 #include "base/logging.hh"
 
@@ -18,42 +16,32 @@ machineMemoryBudgets(const std::vector<SimConfig>& machines)
     return budgets;
 }
 
+const char*
+joinModelName(JoinModel model)
+{
+    switch (model) {
+      case JoinModel::Optimistic: return "optimistic";
+      case JoinModel::TwoStage: return "two-stage";
+    }
+    return "?";
+}
+
 namespace {
 
-/** A pending CPU request: part of a query-part awaiting a core. */
-struct PendingRequest
-{
-    uint64_t partIdx;   ///< index into the per-run part table
-    uint32_t batch;     ///< samples in this request
-};
-
-/** A scheduled event on some machine. */
-struct Event
-{
-    double time;
-    uint64_t seq;       ///< insertion order; deterministic tie-break
-    enum class Kind { CpuRequest, GpuQuery, PartArrival } kind;
-    uint32_t machine;
-    uint64_t partIdx;
-
-    bool
-    operator>(const Event& other) const
-    {
-        if (time != other.time)
-            return time > other.time;
-        return seq > other.seq;
-    }
-};
-
-/** One machine's share of one in-flight query. */
-struct PartState
+/** One machine's share of one in-flight query, as the driver sees it. */
+struct PartRec
 {
     uint64_t queryIdx = 0;
     uint32_t machine = 0;
-    uint32_t requestsLeft = 0;
-    double embFraction = 1.0;
-    bool leader = false;
-    bool whole = true;        ///< single-part query (full replica path)
+    double embFraction = 1.0;  ///< local share of the embedding work
+    bool leader = true;        ///< this part's machine leads the query
+
+    enum class Kind
+    {
+        Whole,     ///< single-part dispatch (full replica path)
+        FanEmb,    ///< fan-out embedding phase (local lookups only)
+        FanDense,  ///< TwoStage second phase: leader dense stacks
+    } kind = Kind::Whole;
 };
 
 /** Book-keeping for one in-flight query. */
@@ -64,22 +52,8 @@ struct QueryState
     uint32_t partsLeft = 0;
     uint32_t machine = 0;     ///< leader machine
     double joinTime = 0;      ///< latest part completion + return hop
+    double leaderReady = 0;   ///< TwoStage: last pooled part at leader
     bool measured = true;
-};
-
-/** Live queue/occupancy state of one machine. */
-struct MachineState
-{
-    std::deque<PendingRequest> cpuQueue;
-    std::deque<uint64_t> gpuQueue;    ///< part indices
-    size_t busyCores = 0;
-    bool gpuBusy = false;
-    uint64_t inFlight = 0;          ///< parts dispatched, not completed
-
-    // Lazy utilization integrals: advanced whenever occupancy changes.
-    double lastEventTime = 0;
-    double busyCoreSeconds = 0;
-    double gpuBusySeconds = 0;
 };
 
 /** Live view the routing policy observes at each arrival. */
@@ -87,23 +61,24 @@ class LiveView final : public ClusterView
 {
   public:
     LiveView(const std::vector<SimConfig>& configs,
-             const std::vector<MachineState>& states)
-        : cfgs(configs), machines(states)
+             const std::vector<MachineEngine>& engines,
+             const std::vector<uint64_t>& in_flight)
+        : cfgs(configs), engines(engines), inFlight(in_flight)
     {
     }
 
-    size_t numMachines() const override { return machines.size(); }
+    size_t numMachines() const override { return engines.size(); }
 
     size_t
     inFlightQueries(size_t m) const override
     {
-        return machines[m].inFlight;
+        return inFlight[m];
     }
 
     size_t
     queuedWork(size_t m) const override
     {
-        return machines[m].cpuQueue.size() + machines[m].gpuQueue.size();
+        return engines[m].queuedWork();
     }
 
     bool
@@ -120,7 +95,8 @@ class LiveView final : public ClusterView
 
   private:
     const std::vector<SimConfig>& cfgs;
-    const std::vector<MachineState>& machines;
+    const std::vector<MachineEngine>& engines;
+    const std::vector<uint64_t>& inFlight;
 };
 
 } // namespace
@@ -129,14 +105,8 @@ ClusterSimulator::ClusterSimulator(ClusterConfig config)
     : cfg(std::move(config))
 {
     drs_assert(!cfg.machines.empty(), "cluster needs machines");
-    for (const SimConfig& machine : cfg.machines) {
-        drs_assert(machine.policy.perRequestBatch >= 1,
-                   "per-request batch must be >= 1");
-        drs_assert(machine.slowdown > 0.0, "slowdown must be positive");
-        if (machine.policy.gpuEnabled)
-            drs_assert(machine.gpu.has_value(),
-                       "GPU policy without a GPU model");
-    }
+    for (const SimConfig& machine : cfg.machines)
+        MachineEngine::validate(machine);
     if (cfg.sharding.has_value()) {
         const ShardPlacement& placement = cfg.sharding->placement;
         drs_assert(placement.feasible(),
@@ -168,142 +138,127 @@ ClusterSimulator::run(const QueryTrace& trace, RoutingPolicy& policy) const
     if (trace.empty())
         return result;
 
-    const size_t warmup = static_cast<size_t>(
-        cfg.warmupFraction * static_cast<double>(trace.size()));
+    const size_t warmup = warmupCount(cfg.warmupFraction, trace.size());
 
     std::vector<QueryState> queries(trace.size());
-    std::vector<PartState> parts;
+    std::vector<PartRec> parts;
     parts.reserve(trace.size());
-    std::vector<MachineState> machines(cfg.machines.size());
-    for (MachineState& m : machines)
-        m.lastEventTime = trace.front().arrivalSeconds;
 
-    std::priority_queue<Event, std::vector<Event>, std::greater<Event>>
-        events;
-    uint64_t nextSeq = 0;
+    std::vector<MachineEngine> machines;
+    machines.reserve(cfg.machines.size());
+    for (const SimConfig& machine : cfg.machines)
+        machines.emplace_back(&machine, trace.front().arrivalSeconds);
+    std::vector<uint64_t> inFlight(cfg.machines.size(), 0);
 
-    LiveView view(cfg.machines, machines);
+    EventQueue events;
+    std::vector<EngineEvent> scheduled;
+
+    LiveView view(cfg.machines, machines, inFlight);
     result.machineOfQuery.resize(trace.size());
     result.partMachinesOfQuery.resize(trace.size());
 
-    double firstMeasuredArrival = -1.0;
-    double lastMeasuredCompletion = 0.0;
+    MeasuredSpan span;
     double lastEventTime = trace.front().arrivalSeconds;
 
-    auto advance_machine = [&](uint32_t m, double now) {
-        MachineState& state = machines[m];
-        state.busyCoreSeconds += static_cast<double>(state.busyCores) *
-                                 (now - state.lastEventTime);
-        if (state.gpuBusy)
-            state.gpuBusySeconds += now - state.lastEventTime;
-        state.lastEventTime = now;
+    auto admit_part = [&](uint64_t part_idx, const PartSpec& spec,
+                          double now) {
+        const uint32_t m = parts[part_idx].machine;
+        scheduled.clear();
+        machines[m].admit(spec, now, scheduled);
+        events.pushAll(scheduled, m);
     };
 
-    auto dispatch_cpu = [&](uint32_t m, double now) {
-        MachineState& state = machines[m];
-        const SimConfig& machine = cfg.machines[m];
-        const size_t cores = machine.cpu.platform().cores;
-        while (state.busyCores < cores && !state.cpuQueue.empty()) {
-            const PendingRequest req = state.cpuQueue.front();
-            state.cpuQueue.pop_front();
-            state.busyCores++;
-            const PartState& part = parts[req.partIdx];
-            // Whole queries take the historical full-model path; shard
-            // parts are charged their local share of the embedding
-            // work (plus the dense stacks on the leader only).
-            const double service =
-                (part.whole
-                     ? machine.cpu.requestSeconds(req.batch,
-                                                  state.busyCores)
-                     : machine.cpu.partialRequestSeconds(
-                           req.batch, state.busyCores, part.embFraction,
-                           part.leader)) *
-                machine.slowdown;
-            events.push({now + service, nextSeq++,
-                         Event::Kind::CpuRequest, m, req.partIdx});
-            result.perMachine[m].requestsDispatched++;
-        }
-    };
-
-    auto start_gpu = [&](uint32_t m, double now) {
-        MachineState& state = machines[m];
-        if (state.gpuBusy || state.gpuQueue.empty())
-            return;
-        const uint64_t idx = state.gpuQueue.front();
-        state.gpuQueue.pop_front();
-        state.gpuBusy = true;
-        const double service =
-            cfg.machines[m].gpu->querySeconds(
-                queries[parts[idx].queryIdx].size) *
-            cfg.machines[m].slowdown;
-        events.push({now + service, nextSeq++, Event::Kind::GpuQuery, m,
-                     idx});
-    };
-
-    // A part reaches its machine (after the forward hop, if any):
-    // offload whole queries per the machine's scheduler policy, split
-    // everything else into per-request batches on the core pool.
+    // A part reaches its machine (after the forward hop, if any).
     auto start_part = [&](uint64_t part_idx, double now) {
-        PartState& part = parts[part_idx];
-        const uint32_t m = part.machine;
-        MachineState& state = machines[m];
+        const PartRec& part = parts[part_idx];
         const QueryState& q = queries[part.queryIdx];
-        const SchedulerPolicy& sched = cfg.machines[m].policy;
-        const bool offload = part.whole && sched.gpuEnabled &&
-            q.size >= sched.gpuQueryThreshold;
-        if (offload) {
-            state.gpuQueue.push_back(part_idx);
-            start_gpu(m, now);
-        } else {
-            const uint32_t batch = static_cast<uint32_t>(
-                std::min<size_t>(sched.perRequestBatch, q.size));
-            uint32_t remaining = q.size;
-            while (remaining > 0) {
-                const uint32_t take = std::min(remaining, batch);
-                state.cpuQueue.push_back({part_idx, take});
-                part.requestsLeft++;
-                remaining -= take;
-            }
-            dispatch_cpu(m, now);
+        PartSpec spec;
+        spec.partIdx = part_idx;
+        spec.samples = q.size;
+        switch (part.kind) {
+          case PartRec::Kind::Whole:
+            break;    // full-model path, offload-eligible
+          case PartRec::Kind::FanEmb:
+            // Local embedding share only. Under the optimistic join
+            // the leader also runs its dense stacks concurrently
+            // here; under TwoStage the dense work waits for the join.
+            spec.embFraction = part.embFraction;
+            spec.leader = cfg.join == JoinModel::Optimistic &&
+                part.leader;
+            spec.whole = false;
+            break;
+          case PartRec::Kind::FanDense:
+            spec.embFraction = 0.0;
+            spec.leader = true;
+            spec.whole = false;
+            break;
         }
+        admit_part(part_idx, spec, now);
     };
 
-    // A part finished all of its local work: charge the return hop
-    // and complete the query when this was its last part.
-    auto finish_part = [&](uint64_t part_idx, double now) {
-        const PartState& part = parts[part_idx];
-        MachineState& state = machines[part.machine];
-        drs_assert(state.inFlight > 0, "completion with nothing in flight");
-        state.inFlight--;
-        QueryState& q = queries[part.queryIdx];
-        const double back = cfg.network.oneWaySeconds(
-            static_cast<double>(q.size) *
-            cfg.network.responseBytesPerSample);
-        q.joinTime = std::max(q.joinTime, now + back);
-        drs_assert(q.partsLeft > 0, "query with no pending parts");
-        if (--q.partsLeft > 0)
-            return;
+    auto complete_query = [&](uint64_t query_idx) {
+        QueryState& q = queries[query_idx];
         result.numCompleted++;
         result.perMachine[q.machine].queriesCompleted++;
         if (q.measured) {
             const double latency = q.joinTime - q.arrival;
             result.fleetLatencySeconds.add(latency);
             result.perMachine[q.machine].latencySeconds.add(latency);
-            lastMeasuredCompletion =
-                std::max(lastMeasuredCompletion, q.joinTime);
+            span.onCompletion(q.joinTime);
         }
         lastEventTime = std::max(lastEventTime, q.joinTime);
+    };
+
+    // A part finished all of its local work.
+    auto finish_part = [&](uint64_t part_idx, double now) {
+        const PartRec& part = parts[part_idx];
+        drs_assert(inFlight[part.machine] > 0,
+                   "completion with nothing in flight");
+        inFlight[part.machine]--;
+        QueryState& q = queries[part.queryIdx];
+
+        if (part.kind == PartRec::Kind::FanEmb &&
+            cfg.join == JoinModel::TwoStage) {
+            // Pooled embeddings travel to the leader; the dense phase
+            // starts once the last part (the leader's own hop-free)
+            // lands.
+            const double to_leader = part.leader
+                ? 0.0
+                : cfg.network.oneWaySeconds(
+                      static_cast<double>(q.size) *
+                      cfg.network.embeddingBytesPerSample);
+            q.leaderReady = std::max(q.leaderReady, now + to_leader);
+            drs_assert(q.partsLeft > 0, "query with no pending parts");
+            if (--q.partsLeft > 0)
+                return;
+            q.partsLeft = 1;    // the dense phase itself
+            const uint64_t dense_idx = parts.size();
+            parts.push_back({part.queryIdx, q.machine, 0.0, true,
+                             PartRec::Kind::FanDense});
+            inFlight[q.machine]++;
+            result.perMachine[q.machine].joinPhases++;
+            events.push(q.leaderReady, SimEvent::Kind::JoinPhase,
+                        q.machine, dense_idx);
+            return;
+        }
+
+        // Whole parts, optimistic fan-out parts, and dense phases all
+        // return scores to the router and join there.
+        const double back = cfg.network.oneWaySeconds(
+            static_cast<double>(q.size) *
+            cfg.network.responseBytesPerSample);
+        q.joinTime = std::max(q.joinTime, now + back);
+        drs_assert(q.partsLeft > 0, "query with no pending parts");
+        if (--q.partsLeft == 0)
+            complete_query(part.queryIdx);
     };
 
     size_t nextArrival = 0;
     while (nextArrival < trace.size() || !events.empty()) {
         const bool haveArrival = nextArrival < trace.size();
-        const bool haveEvent = !events.empty();
-        const double arrivalTime = haveArrival
-            ? trace[nextArrival].arrivalSeconds
-            : 0.0;
         const bool takeArrival = haveArrival &&
-            (!haveEvent || arrivalTime <= events.top().time);
+            (events.empty() ||
+             trace[nextArrival].arrivalSeconds <= events.top().time);
 
         if (takeArrival) {
             const Query& in = trace[nextArrival];
@@ -322,9 +277,10 @@ ClusterSimulator::run(const QueryTrace& trace, RoutingPolicy& policy) const
             q.size = in.size;
             q.partsLeft = static_cast<uint32_t>(plan.size());
             q.joinTime = in.arrivalSeconds;
+            q.leaderReady = in.arrivalSeconds;
             q.measured = nextArrival >= warmup;
-            if (q.measured && firstMeasuredArrival < 0.0)
-                firstMeasuredArrival = in.arrivalSeconds;
+            if (q.measured)
+                span.onArrival(in.arrivalSeconds);
 
             result.numDispatched++;
             const double forward = cfg.network.oneWaySeconds(
@@ -336,8 +292,8 @@ ClusterSimulator::run(const QueryTrace& trace, RoutingPolicy& policy) const
                 drs_assert(target.machine < machines.size(),
                            "policy routed out of range");
                 const uint32_t m = target.machine;
-                advance_machine(m, in.arrivalSeconds);
-                machines[m].inFlight++;
+                machines[m].advanceTo(in.arrivalSeconds);
+                inFlight[m]++;
                 if (target.leader) {
                     leaders++;
                     q.machine = m;
@@ -349,12 +305,15 @@ ClusterSimulator::run(const QueryTrace& trace, RoutingPolicy& policy) const
                 result.partMachinesOfQuery[nextArrival].push_back(m);
 
                 const uint64_t part_idx = parts.size();
-                parts.push_back({nextArrival, m, 0, target.embFraction,
-                                 target.leader, plan.size() == 1});
+                parts.push_back({nextArrival, m, target.embFraction,
+                                 target.leader,
+                                 plan.size() == 1
+                                     ? PartRec::Kind::Whole
+                                     : PartRec::Kind::FanEmb});
                 result.numParts++;
                 if (forward > 0.0) {
-                    events.push({in.arrivalSeconds + forward, nextSeq++,
-                                 Event::Kind::PartArrival, m, part_idx});
+                    events.push(in.arrivalSeconds + forward,
+                                SimEvent::Kind::PartArrival, m, part_idx);
                 } else {
                     start_part(part_idx, in.arrivalSeconds);
                 }
@@ -364,33 +323,33 @@ ClusterSimulator::run(const QueryTrace& trace, RoutingPolicy& policy) const
             continue;
         }
 
-        const Event ev = events.top();
-        events.pop();
-        advance_machine(ev.machine, ev.time);
+        const SimEvent ev = events.pop();
+        machines[ev.machine].advanceTo(ev.time);
         lastEventTime = std::max(lastEventTime, ev.time);
 
         switch (ev.kind) {
-          case Event::Kind::PartArrival:
+          case SimEvent::Kind::PartArrival:
             start_part(ev.partIdx, ev.time);
             break;
 
-          case Event::Kind::CpuRequest: {
-            MachineState& state = machines[ev.machine];
-            drs_assert(state.busyCores > 0, "completion with no busy core");
-            state.busyCores--;
-            PartState& part = parts[ev.partIdx];
-            drs_assert(part.requestsLeft > 0,
-                       "part with no pending requests");
-            if (--part.requestsLeft == 0)
-                finish_part(ev.partIdx, ev.time);
-            dispatch_cpu(ev.machine, ev.time);
+          case SimEvent::Kind::JoinPhase:
+            start_part(ev.partIdx, ev.time);
             break;
-          }
 
-          case Event::Kind::GpuQuery:
-            machines[ev.machine].gpuBusy = false;
+          case SimEvent::Kind::CpuRequest:
+            scheduled.clear();
+            if (machines[ev.machine].cpuRequestDone(ev.partIdx, ev.time,
+                                                    scheduled))
+                finish_part(ev.partIdx, ev.time);
+            events.pushAll(scheduled, ev.machine);
+            break;
+
+          case SimEvent::Kind::GpuQuery:
+            scheduled.clear();
+            machines[ev.machine].gpuQueryDone(ev.partIdx, ev.time,
+                                              scheduled);
             finish_part(ev.partIdx, ev.time);
-            start_gpu(ev.machine, ev.time);
+            events.pushAll(scheduled, ev.machine);
             break;
         }
     }
@@ -400,27 +359,18 @@ ClusterSimulator::run(const QueryTrace& trace, RoutingPolicy& policy) const
         ? static_cast<double>(result.numParts) /
               static_cast<double>(result.numDispatched)
         : 0.0;
-    result.spanSeconds = firstMeasuredArrival >= 0.0
-        ? lastMeasuredCompletion - firstMeasuredArrival
-        : 0.0;
-    if (trace.size() >= 2) {
-        const double trace_span = trace.back().arrivalSeconds -
-                                  trace.front().arrivalSeconds;
-        result.offeredQps = trace_span > 0.0
-            ? static_cast<double>(trace.size() - 1) / trace_span
-            : 0.0;
-    }
-    result.achievedQps = result.spanSeconds > 0.0
-        ? static_cast<double>(result.numQueries) / result.spanSeconds
-        : 0.0;
+    result.spanSeconds = span.seconds();
+    result.offeredQps = traceOfferedQps(trace);
+    result.achievedQps = span.achievedQps(result.numQueries);
 
     const double full_span = lastEventTime - trace.front().arrivalSeconds;
     double util_sum = 0.0;
     for (size_t m = 0; m < machines.size(); m++) {
-        advance_machine(static_cast<uint32_t>(m), lastEventTime);
+        machines[m].advanceTo(lastEventTime);
         MachineStats& stats = result.perMachine[m];
-        stats.busyCoreSeconds = machines[m].busyCoreSeconds;
-        stats.gpuBusySeconds = machines[m].gpuBusySeconds;
+        stats.requestsDispatched = machines[m].requestsDispatched();
+        stats.busyCoreSeconds = machines[m].busyCoreSeconds();
+        stats.gpuBusySeconds = machines[m].gpuBusySeconds();
         if (full_span > 0.0) {
             const double cores = static_cast<double>(
                 cfg.machines[m].cpu.platform().cores);

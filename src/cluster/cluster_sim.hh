@@ -12,13 +12,25 @@
  * presence, and scheduler policy — the fleet tier the paper's Figures 7
  * and 13 study, with the router made explicit.
  *
+ * Machine mechanics (queues, batch splitting, offload, utilization
+ * integrals) come from the shared MachineEngine; this file is the
+ * multi-machine *driver*: routing, fan-out/join, and network hops.
+ * With one machine, no sharding, and a zero NetworkConfig it is
+ * bit-identical to ServingSimulator (tests/test_engine_diff.cc).
+ *
  * When the cluster carries a ShardingConfig, a shard-aware policy may
  * fan a query out into parts, one per machine of a replica cover of
- * its embedding tables; each part pays a forward network hop, runs its
- * local share of the work, pays a return hop, and the query completes
- * when its last part returns (fan-out/join). Whole-query dispatches
- * pay the same single round trip, so a non-zero NetworkConfig prices
- * the router tier even without sharding.
+ * its embedding tables; each part pays a forward network hop and runs
+ * its local share of the embedding work. How the parts rejoin is the
+ * JoinModel: the historical Optimistic model ran the leader's dense
+ * stacks concurrently with the remote lookups and joined at the
+ * router; the default TwoStage model makes the leader *wait* — remote
+ * parts ship their pooled embeddings back to the leader, and only
+ * then does the leader run the dense/interaction/predict stacks as a
+ * second service phase, since the top MLP really consumes the pooled
+ * remote embeddings. Whole-query dispatches pay a single round trip
+ * either way, so a non-zero NetworkConfig prices the router tier even
+ * without sharding.
  *
  * Units: all times in this header are **seconds** unless the member
  * name says otherwise (…Ms() accessors return milliseconds); memory is
@@ -61,6 +73,13 @@ struct NetworkConfig
     double requestBytesPerSample = 512.0;  ///< features shipped per sample
     double responseBytesPerSample = 8.0;   ///< scores returned per sample
 
+    /**
+     * Pooled embedding state a remote shard part ships to its leader
+     * per candidate sample (TwoStage join only): the summed embedding
+     * vectors the top MLP consumes, far heavier than the final scores.
+     */
+    double embeddingBytesPerSample = 256.0;
+
     /** One-way delay in seconds for a payload of @p bytes. */
     double
     oneWaySeconds(double bytes) const
@@ -71,6 +90,33 @@ struct NetworkConfig
         return s;
     }
 };
+
+/**
+ * How a fanned-out query's parts rejoin (single-part dispatches are
+ * unaffected — they complete on their one part's return hop).
+ */
+enum class JoinModel
+{
+    /**
+     * Historical model: the leader's dense stacks run concurrently
+     * with the remote embedding lookups and every part returns to the
+     * router independently; the query completes when the slowest part
+     * lands. Optimistic, since the top MLP cannot actually start
+     * before the pooled remote embeddings arrive.
+     */
+    Optimistic,
+
+    /**
+     * Faithful model (default): remote parts ship pooled embeddings
+     * to the leader (embeddingBytesPerSample hop); once the last part
+     * lands the leader runs the dense/interaction/predict stacks as a
+     * second service phase, then returns scores to the router.
+     */
+    TwoStage,
+};
+
+/** Name for printing. */
+const char* joinModelName(JoinModel model);
 
 /** Configuration of a simulated cluster. */
 struct ClusterConfig
@@ -83,6 +129,9 @@ struct ClusterConfig
 
     /** Router->machine hop model (zero-cost by default). */
     NetworkConfig network;
+
+    /** Join dependency model for sharded fan-out. */
+    JoinModel join = JoinModel::TwoStage;
 
     /**
      * Embedding-shard placement of the served model. When set, the
@@ -105,6 +154,7 @@ struct MachineStats
     uint64_t queriesCompleted = 0;     ///< finished (incl. warmup)
     uint64_t requestsDispatched = 0;   ///< CPU requests issued
     uint64_t remoteParts = 0;          ///< non-leader shard parts served
+    uint64_t joinPhases = 0;           ///< TwoStage dense phases led here
     uint64_t embBytesStored = 0;       ///< resident embedding shards
     double busyCoreSeconds = 0;
     double gpuBusySeconds = 0;

@@ -14,8 +14,10 @@
  * machines) and lives in cluster/ accordingly; it differs from
  * ClusterSimulator in simulating each machine *independently* from a
  * statically split trace, which scales to hundreds of machines but
- * cannot model queue-aware routing. ROADMAP: fold this engine into
- * ClusterSimulator entirely.
+ * cannot model queue-aware routing. It is a driver, not an engine:
+ * each machine runs a ServingSimulator and therefore the shared
+ * MachineEngine (sim/machine_engine.hh), so its per-machine
+ * mechanics cannot diverge from the live cluster simulator's.
  *
  * Units: seconds in the samples, milliseconds from tailMs(). Fully
  * deterministic for a fixed FleetConfig::seed: machine speeds,

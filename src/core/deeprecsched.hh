@@ -15,6 +15,12 @@
  * The static production baseline fixes the batch so the largest query
  * splits evenly across all cores (Section V), e.g. 25 on a 40-core
  * Skylake for a maximum query size of 1000.
+ *
+ * The knobs land in SchedulerPolicy (sim/machine_engine.hh), the
+ * scheduler hook of the unified per-machine engine — so a policy
+ * tuned here behaves identically on the single-machine simulator it
+ * was tuned against and on every machine of a simulated cluster or
+ * fleet.
  */
 
 #ifndef DRS_CORE_DEEPRECSCHED_HH

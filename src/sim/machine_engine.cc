@@ -1,0 +1,158 @@
+#include "machine_engine.hh"
+
+#include <algorithm>
+
+#include "base/logging.hh"
+
+namespace deeprecsys {
+
+MachineEngine::MachineEngine(const SimConfig* config, double start_time)
+    : cfg(config), lastEventTime(start_time)
+{
+    drs_assert(cfg != nullptr, "engine needs a machine config");
+    validate(*cfg);
+}
+
+void
+MachineEngine::validate(const SimConfig& config)
+{
+    drs_assert(config.policy.perRequestBatch >= 1,
+               "per-request batch must be >= 1");
+    drs_assert(config.slowdown > 0.0, "slowdown must be positive");
+    if (config.policy.gpuEnabled)
+        drs_assert(config.gpu.has_value(), "GPU policy without a GPU model");
+}
+
+void
+MachineEngine::advanceTo(double now)
+{
+    drs_assert(now >= lastEventTime, "engine clock must be monotone");
+    busyCoreSeconds_ += static_cast<double>(busyCores_) *
+                        (now - lastEventTime);
+    if (gpuBusy)
+        gpuBusySeconds_ += now - lastEventTime;
+    lastEventTime = now;
+}
+
+void
+MachineEngine::dispatchCpu(double now, std::vector<EngineEvent>& out)
+{
+    const size_t cores = cfg->cpu.platform().cores;
+    while (busyCores_ < cores && !cpuQueue.empty()) {
+        const PendingRequest req = cpuQueue.front();
+        cpuQueue.pop_front();
+        busyCores_++;
+        const PartBook& book = parts.at(req.partIdx);
+        // Whole queries take the historical full-model path; shard
+        // parts are charged their local share of the embedding work
+        // (plus the dense stacks when they lead). The contention term
+        // sees how many cores are busy at dispatch, this one included.
+        const double service =
+            (book.whole
+                 ? cfg->cpu.requestSeconds(req.batch, busyCores_)
+                 : cfg->cpu.partialRequestSeconds(req.batch, busyCores_,
+                                                  book.embFraction,
+                                                  book.leader)) *
+            cfg->slowdown;
+        out.push_back({now + service, EngineEvent::Kind::CpuRequest,
+                       req.partIdx});
+        requestsDispatched_++;
+    }
+}
+
+void
+MachineEngine::startGpu(double now, std::vector<EngineEvent>& out)
+{
+    if (gpuBusy || gpuQueue.empty())
+        return;
+    const uint64_t idx = gpuQueue.front();
+    gpuQueue.pop_front();
+    gpuBusy = true;
+    const double service =
+        cfg->gpu->querySeconds(parts.at(idx).samples) * cfg->slowdown;
+    out.push_back({now + service, EngineEvent::Kind::GpuQuery, idx});
+}
+
+void
+MachineEngine::admit(const PartSpec& part, double now,
+                     std::vector<EngineEvent>& out)
+{
+    drs_assert(part.samples >= 1, "part needs samples");
+    drs_assert(parts.find(part.partIdx) == parts.end(),
+               "part id admitted twice");
+    PartBook& book = parts[part.partIdx];
+    book.samples = part.samples;
+    book.embFraction = part.embFraction;
+    book.leader = part.leader;
+    book.whole = part.whole;
+
+    if (part.whole)
+        totalSamples_ += part.samples;
+    const SchedulerPolicy& sched = cfg->policy;
+    const bool offload = part.whole && sched.gpuEnabled &&
+        part.samples >= sched.gpuQueryThreshold;
+    if (offload) {
+        gpuSamples_ += part.samples;
+        gpuQueue.push_back(part.partIdx);
+        startGpu(now, out);
+        return;
+    }
+    const uint32_t batch = static_cast<uint32_t>(
+        std::min<size_t>(sched.perRequestBatch, part.samples));
+    uint32_t remaining = part.samples;
+    while (remaining > 0) {
+        const uint32_t take = std::min(remaining, batch);
+        cpuQueue.push_back({part.partIdx, take});
+        book.requestsLeft++;
+        remaining -= take;
+    }
+    dispatchCpu(now, out);
+}
+
+bool
+MachineEngine::cpuRequestDone(uint64_t part_idx, double now,
+                              std::vector<EngineEvent>& out)
+{
+    drs_assert(busyCores_ > 0, "completion with no busy core");
+    busyCores_--;
+    auto it = parts.find(part_idx);
+    drs_assert(it != parts.end(), "completion for unknown part");
+    drs_assert(it->second.requestsLeft > 0,
+               "part with no pending requests");
+    const bool finished = --it->second.requestsLeft == 0;
+    if (finished)
+        parts.erase(it);
+    dispatchCpu(now, out);
+    return finished;
+}
+
+void
+MachineEngine::gpuQueryDone(uint64_t part_idx, double now,
+                            std::vector<EngineEvent>& out)
+{
+    drs_assert(gpuBusy, "GPU completion while idle");
+    gpuBusy = false;
+    drs_assert(parts.erase(part_idx) == 1, "completion for unknown part");
+    startGpu(now, out);
+}
+
+size_t
+warmupCount(double fraction, size_t trace_size)
+{
+    return static_cast<size_t>(fraction *
+                               static_cast<double>(trace_size));
+}
+
+double
+traceOfferedQps(const QueryTrace& trace)
+{
+    if (trace.size() < 2)
+        return 0.0;
+    const double span = trace.back().arrivalSeconds -
+                        trace.front().arrivalSeconds;
+    return span > 0.0
+        ? static_cast<double>(trace.size() - 1) / span
+        : 0.0;
+}
+
+} // namespace deeprecsys

@@ -1,0 +1,345 @@
+/**
+ * @file
+ * The one per-machine service engine behind every discrete-event
+ * simulator in the repo.
+ *
+ * Both `ServingSimulator` (one machine) and `ClusterSimulator` (N
+ * machines behind a router) used to carry private copies of the same
+ * mechanics — FIFO core pool, query-into-request batch splitting,
+ * accelerator offload, busy-time/utilization integrals — and the
+ * copies could (and did) drift. This header owns those mechanics
+ * exactly once. A simulator is now a thin *driver*: it merges trace
+ * arrivals with an EventQueue, admits work into one MachineEngine per
+ * machine, and maps engine completions back to query-level joins and
+ * statistics. A single-machine simulation is exactly a 1-machine
+ * cluster with zero network cost and no sharding, and the
+ * differential suite (tests/test_engine_diff.cc) holds the two
+ * drivers to bit-identical results.
+ *
+ * The engine's unit of work is a **part**: a machine-local share of a
+ * query. A whole-query dispatch is one part with embFraction 1; a
+ * sharded fan-out admits one part per machine of the replica cover;
+ * the two-stage join admits a second, dense-only leader part once the
+ * remote embedding parts have returned. Parts are identified by a
+ * driver-chosen opaque id; the engine never interprets it.
+ *
+ * Units: seconds throughout. Ownership: the engine keeps a pointer to
+ * the driver's SimConfig, which must outlive it; everything else is
+ * value state. Determinism: the engine is a pure state machine — no
+ * random draws — and emits events in a defined order, so equal call
+ * sequences produce bit-identical schedules; drivers must break event
+ * ties by insertion sequence (EventQueue does).
+ */
+
+#ifndef DRS_SIM_MACHINE_ENGINE_HH
+#define DRS_SIM_MACHINE_ENGINE_HH
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "costmodel/cpu_cost.hh"
+#include "costmodel/gpu_cost.hh"
+#include "loadgen/query.hh"
+
+namespace deeprecsys {
+
+/** The two knobs DeepRecSched tunes (Figure 8, right). */
+struct SchedulerPolicy
+{
+    /** Maximum samples per CPU request (queries split above this). */
+    size_t perRequestBatch = 25;
+
+    /** Offload queries of size >= threshold to the accelerator. */
+    bool gpuEnabled = false;
+    uint32_t gpuQueryThreshold = 1;
+};
+
+/** Configuration of one simulated serving machine. */
+struct SimConfig
+{
+    CpuCostModel cpu;
+    std::optional<GpuCostModel> gpu;
+    SchedulerPolicy policy;
+
+    /** Fraction of leading queries excluded from statistics. */
+    double warmupFraction = 0.05;
+
+    /** Machine speed multiplier (>1 is slower; fleet heterogeneity). */
+    double slowdown = 1.0;
+
+    /**
+     * Embedding-memory budget of this machine in bytes; 0 means
+     * unconstrained (the historical whole-model-everywhere fleet).
+     * The cluster tier's shard placement packs tables within it and
+     * the capacity planner treats it as a hard provisioning limit.
+     */
+    uint64_t memoryBytes = 0;
+};
+
+/** What one admitted part asks of its machine. */
+struct PartSpec
+{
+    /** Driver-chosen opaque part id, echoed back in events. */
+    uint64_t partIdx = 0;
+
+    /** Candidate samples of the owning query (batch-split source). */
+    uint32_t samples = 1;
+
+    /** Share of the query's embedding work resident here, in [0, 1]. */
+    double embFraction = 1.0;
+
+    /** This part also runs the dense + interaction + predict stacks. */
+    bool leader = true;
+
+    /**
+     * Whole-query part: takes the historical full-model cost path and
+     * is eligible for accelerator offload. Shard parts and dense-only
+     * join phases are not whole and always run on the core pool.
+     */
+    bool whole = true;
+};
+
+/** A completion the engine schedules; the driver enqueues it. */
+struct EngineEvent
+{
+    double time = 0;
+    enum class Kind { CpuRequest, GpuQuery } kind = Kind::CpuRequest;
+    uint64_t partIdx = 0;
+};
+
+/**
+ * One machine: a pool of identical cores fed from one FIFO queue plus
+ * an optional accelerator serving one query at a time. The engine
+ * owns queue/occupancy state, the scheduler-policy hook (offload vs
+ * batch split), service-time pricing against the cost models, and the
+ * lazy utilization integrals. It does not own a clock: the driver
+ * advances time by feeding completions back in timestamp order.
+ */
+class MachineEngine
+{
+  public:
+    /**
+     * @param config the machine being modeled (kept by pointer; must
+     *               outlive the engine)
+     * @param start_time integration origin of the busy-time integrals
+     */
+    MachineEngine(const SimConfig* config, double start_time);
+
+    /** Fatally assert @p config is servable (both drivers call this
+     *  at construction so bad configs fail before any run). */
+    static void validate(const SimConfig& config);
+
+    /**
+     * Admit a part at time @p now. Per the scheduler policy the part
+     * is either offloaded whole to the accelerator or split into
+     * requests of at most perRequestBatch samples on the core pool.
+     * Newly scheduled completions are appended to @p out in dispatch
+     * order; the driver must enqueue them all.
+     */
+    void admit(const PartSpec& part, double now, std::vector<EngineEvent>& out);
+
+    /**
+     * A CPU request of part @p part_idx completed at @p now: free the
+     * core, dispatch queued work, and report whether that was the
+     * part's last request (the part is finished).
+     */
+    bool cpuRequestDone(uint64_t part_idx, double now,
+                        std::vector<EngineEvent>& out);
+
+    /**
+     * The accelerator query of part @p part_idx completed at @p now:
+     * free the accelerator and start the next queued offload. GPU
+     * parts always finish in one completion.
+     */
+    void gpuQueryDone(uint64_t part_idx, double now,
+                      std::vector<EngineEvent>& out);
+
+    /** Advance the utilization integrals to @p now (monotone). */
+    void advanceTo(double now);
+
+    // ----------------------------------------------------- live view
+    /** Work items (requests/queries) waiting in the two queues. */
+    size_t queuedWork() const { return cpuQueue.size() + gpuQueue.size(); }
+
+    /** Cores currently serving a request. */
+    size_t busyCores() const { return busyCores_; }
+
+    /** Parts admitted and not yet finished. */
+    size_t partsInService() const { return parts.size(); }
+
+    // ------------------------------------------------------- results
+    /** CPU requests dispatched so far. */
+    uint64_t requestsDispatched() const { return requestsDispatched_; }
+
+    /** Integral of busy cores over time, up to the last advanceTo. */
+    double busyCoreSeconds() const { return busyCoreSeconds_; }
+
+    /** Accelerator busy time, up to the last advanceTo. */
+    double gpuBusySeconds() const { return gpuBusySeconds_; }
+
+    /** Samples admitted across all parts (whole-query accounting). */
+    double totalSamples() const { return totalSamples_; }
+
+    /** Samples offloaded to the accelerator. */
+    double gpuSamples() const { return gpuSamples_; }
+
+    const SimConfig& config() const { return *cfg; }
+
+  private:
+    /** Book-keeping for one in-service part. */
+    struct PartBook
+    {
+        uint32_t samples = 0;
+        uint32_t requestsLeft = 0;
+        double embFraction = 1.0;
+        bool leader = true;
+        bool whole = true;
+    };
+
+    /** A queued CPU request: part of a part awaiting a core. */
+    struct PendingRequest
+    {
+        uint64_t partIdx;
+        uint32_t batch;
+    };
+
+    void dispatchCpu(double now, std::vector<EngineEvent>& out);
+    void startGpu(double now, std::vector<EngineEvent>& out);
+
+    const SimConfig* cfg;
+    std::deque<PendingRequest> cpuQueue;
+    std::deque<uint64_t> gpuQueue;           ///< part ids awaiting offload
+    std::unordered_map<uint64_t, PartBook> parts;
+    size_t busyCores_ = 0;
+    bool gpuBusy = false;
+
+    // Lazy utilization integrals: advanced whenever the driver says.
+    double lastEventTime;
+    double busyCoreSeconds_ = 0;
+    double gpuBusySeconds_ = 0;
+
+    uint64_t requestsDispatched_ = 0;
+    double totalSamples_ = 0;
+    double gpuSamples_ = 0;
+};
+
+/**
+ * A driver-level scheduled event: an engine completion stamped with
+ * its machine and an insertion sequence number. Ties in time break on
+ * the sequence so heap order never depends on container internals —
+ * the determinism rule both simulators inherit.
+ */
+struct SimEvent
+{
+    double time = 0;
+    uint64_t seq = 0;
+    enum class Kind { CpuRequest, GpuQuery, PartArrival, JoinPhase } kind =
+        Kind::CpuRequest;
+    uint32_t machine = 0;
+    uint64_t partIdx = 0;
+
+    bool
+    operator>(const SimEvent& other) const
+    {
+        if (time != other.time)
+            return time > other.time;
+        return seq > other.seq;
+    }
+};
+
+/** Min-time event queue with deterministic insertion-order tie-break. */
+class EventQueue
+{
+  public:
+    bool empty() const { return heap.empty(); }
+
+    const SimEvent& top() const { return heap.top(); }
+
+    SimEvent
+    pop()
+    {
+        SimEvent ev = heap.top();
+        heap.pop();
+        return ev;
+    }
+
+    /** Enqueue a driver event (stamps the tie-break sequence). */
+    void
+    push(double time, SimEvent::Kind kind, uint32_t machine,
+         uint64_t part_idx)
+    {
+        heap.push({time, nextSeq++, kind, machine, part_idx});
+    }
+
+    /** Enqueue engine completions for @p machine in emission order. */
+    void
+    pushAll(const std::vector<EngineEvent>& events, uint32_t machine)
+    {
+        for (const EngineEvent& ev : events) {
+            push(ev.time,
+                 ev.kind == EngineEvent::Kind::CpuRequest
+                     ? SimEvent::Kind::CpuRequest
+                     : SimEvent::Kind::GpuQuery,
+                 machine, ev.partIdx);
+        }
+    }
+
+  private:
+    std::priority_queue<SimEvent, std::vector<SimEvent>,
+                        std::greater<SimEvent>> heap;
+    uint64_t nextSeq = 0;
+};
+
+/**
+ * Measured-window accounting shared by the drivers: the span from the
+ * first measured arrival to the last measured completion, from which
+ * achieved QPS is derived.
+ */
+struct MeasuredSpan
+{
+    double firstArrival = -1.0;
+    double lastCompletion = 0.0;
+
+    void
+    onArrival(double t)
+    {
+        if (firstArrival < 0.0)
+            firstArrival = t;
+    }
+
+    void
+    onCompletion(double t)
+    {
+        if (t > lastCompletion)
+            lastCompletion = t;
+    }
+
+    /** Measured span in seconds (0 when nothing was measured). */
+    double
+    seconds() const
+    {
+        return firstArrival >= 0.0 ? lastCompletion - firstArrival : 0.0;
+    }
+
+    /** Completions per measured second (0 when the span is empty). */
+    double
+    achievedQps(uint64_t completions) const
+    {
+        const double span = seconds();
+        return span > 0.0 ? static_cast<double>(completions) / span : 0.0;
+    }
+};
+
+/** Leading queries excluded from statistics at @p fraction. */
+size_t warmupCount(double fraction, size_t trace_size);
+
+/** Offered rate implied by a trace's arrival stamps (0 if degenerate). */
+double traceOfferedQps(const QueryTrace& trace);
+
+} // namespace deeprecsys
+
+#endif // DRS_SIM_MACHINE_ENGINE_HH

@@ -40,18 +40,29 @@ findMaxQps(const SimConfig& sim, const QpsSearchSpec& spec)
     double lo = spec.qpsFloor;
     SimResult atLo = probe;
     double hi = std::max(2.0 * lo, 64.0);
+    bool hi_infeasible = false;
     while (hi < spec.qpsCeiling) {
         SimResult r;
-        if (!meets(hi, r))
+        if (!meets(hi, r)) {
+            hi_infeasible = true;
             break;
+        }
         lo = hi;
         atLo = r;
         hi *= 2.0;
     }
-    if (hi >= spec.qpsCeiling) {
-        result.maxQps = lo;
-        result.atMax = atLo;
-        return result;
+    if (!hi_infeasible) {
+        // The probe ran into the ceiling while still feasible: test
+        // the ceiling itself, and bisect up to it when it fails —
+        // mirrors findClusterMaxQps so the two searches cannot
+        // diverge on ceiling handling.
+        hi = spec.qpsCeiling;
+        SimResult r;
+        if (meets(hi, r)) {
+            result.maxQps = hi;
+            result.atMax = r;
+            return result;
+        }
     }
 
     // Bisection on the feasible boundary.

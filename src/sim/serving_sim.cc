@@ -1,8 +1,6 @@
 #include "serving_sim.hh"
 
 #include <algorithm>
-#include <deque>
-#include <queue>
 
 #include "base/logging.hh"
 
@@ -10,34 +8,10 @@ namespace deeprecsys {
 
 namespace {
 
-/** A pending CPU request: part of a query awaiting a core. */
-struct PendingRequest
-{
-    uint64_t queryIdx;  ///< index into the per-run query table
-    uint32_t batch;     ///< samples in this request
-};
-
-/** A scheduled completion event. */
-struct Completion
-{
-    double time;
-    enum class Kind { CpuRequest, GpuQuery } kind;
-    uint64_t queryIdx;
-
-    bool
-    operator>(const Completion& other) const
-    {
-        return time > other.time;
-    }
-};
-
-/** Book-keeping for one in-flight query. */
+/** Per-query measurement state (a query is one whole engine part). */
 struct QueryState
 {
     double arrival = 0;
-    uint32_t size = 0;
-    uint32_t requestsLeft = 0;
-    bool onGpu = false;
     bool measured = true;
 };
 
@@ -46,11 +20,7 @@ struct QueryState
 ServingSimulator::ServingSimulator(SimConfig config)
     : cfg(std::move(config))
 {
-    drs_assert(cfg.policy.perRequestBatch >= 1,
-               "per-request batch must be >= 1");
-    drs_assert(cfg.slowdown > 0.0, "slowdown must be positive");
-    if (cfg.policy.gpuEnabled)
-        drs_assert(cfg.gpu.has_value(), "GPU policy without a GPU model");
+    MachineEngine::validate(cfg);
 }
 
 SimResult
@@ -60,161 +30,88 @@ ServingSimulator::run(const QueryTrace& trace)
     if (trace.empty())
         return result;
 
-    const size_t cores = cfg.cpu.platform().cores;
-    const size_t warmup = static_cast<size_t>(
-        cfg.warmupFraction * static_cast<double>(trace.size()));
-
+    const size_t warmup = warmupCount(cfg.warmupFraction, trace.size());
     std::vector<QueryState> queries(trace.size());
-    std::priority_queue<Completion, std::vector<Completion>,
-                        std::greater<Completion>> completions;
-    std::deque<PendingRequest> cpuQueue;
-    std::deque<uint64_t> gpuQueue;
 
-    size_t busyCores = 0;
-    bool gpuBusy = false;
-    double gpuFreeAt = 0.0;
+    MachineEngine engine(&cfg, trace.front().arrivalSeconds);
+    EventQueue events;
+    std::vector<EngineEvent> scheduled;
 
-    // Utilization integrals.
+    MeasuredSpan span;
     double lastEventTime = trace.front().arrivalSeconds;
-    double busyCoreSeconds = 0.0;
-    double gpuBusySeconds = 0.0;
-
-    double totalSamples = 0.0;
-    double gpuSamples = 0.0;
-
-    double firstMeasuredArrival = -1.0;
-    double lastMeasuredCompletion = 0.0;
-
-    auto advance_clock = [&](double now) {
-        busyCoreSeconds += static_cast<double>(busyCores) *
-                           (now - lastEventTime);
-        if (gpuBusy)
-            gpuBusySeconds += now - lastEventTime;
-        lastEventTime = now;
-    };
-
-    auto dispatch_cpu = [&](double now) {
-        while (busyCores < cores && !cpuQueue.empty()) {
-            const PendingRequest req = cpuQueue.front();
-            cpuQueue.pop_front();
-            busyCores++;
-            const double service =
-                cfg.cpu.requestSeconds(req.batch, busyCores) * cfg.slowdown;
-            completions.push({now + service, Completion::Kind::CpuRequest,
-                              req.queryIdx});
-            result.numRequests++;
-        }
-    };
-
-    auto start_gpu = [&](double now) {
-        if (gpuBusy || gpuQueue.empty())
-            return;
-        const uint64_t idx = gpuQueue.front();
-        gpuQueue.pop_front();
-        gpuBusy = true;
-        const double service =
-            cfg.gpu->querySeconds(queries[idx].size) * cfg.slowdown;
-        gpuFreeAt = now + service;
-        completions.push({gpuFreeAt, Completion::Kind::GpuQuery, idx});
-    };
 
     auto complete_query = [&](uint64_t idx, double now) {
         const QueryState& q = queries[idx];
         if (q.measured) {
             result.queryLatencySeconds.add(now - q.arrival);
-            lastMeasuredCompletion = std::max(lastMeasuredCompletion, now);
+            span.onCompletion(now);
         }
     };
 
     size_t nextArrival = 0;
-    while (nextArrival < trace.size() || !completions.empty()) {
-        // Pick the earlier of next arrival / next completion.
+    while (nextArrival < trace.size() || !events.empty()) {
+        // Pick the earlier of next arrival / next completion; arrivals
+        // win ties so routing decisions precede same-instant service.
         const bool haveArrival = nextArrival < trace.size();
-        const bool haveCompletion = !completions.empty();
-        const double arrivalTime = haveArrival
-            ? trace[nextArrival].arrivalSeconds
-            : 0.0;
         const bool takeArrival = haveArrival &&
-            (!haveCompletion || arrivalTime <= completions.top().time);
+            (events.empty() ||
+             trace[nextArrival].arrivalSeconds <= events.top().time);
 
         if (takeArrival) {
             const Query& in = trace[nextArrival];
-            advance_clock(in.arrivalSeconds);
+            drs_assert(nextArrival == 0 ||
+                           in.arrivalSeconds >=
+                               trace[nextArrival - 1].arrivalSeconds,
+                       "trace must be sorted by arrival");
+            engine.advanceTo(in.arrivalSeconds);
+            lastEventTime = std::max(lastEventTime, in.arrivalSeconds);
 
             QueryState& q = queries[nextArrival];
             q.arrival = in.arrivalSeconds;
-            q.size = in.size;
             q.measured = nextArrival >= warmup;
-            if (q.measured && firstMeasuredArrival < 0.0)
-                firstMeasuredArrival = in.arrivalSeconds;
+            if (q.measured)
+                span.onArrival(in.arrivalSeconds);
 
-            totalSamples += in.size;
-            const bool offload = cfg.policy.gpuEnabled &&
-                in.size >= cfg.policy.gpuQueryThreshold;
-            if (offload) {
-                q.onGpu = true;
-                gpuSamples += in.size;
-                gpuQueue.push_back(nextArrival);
-                start_gpu(in.arrivalSeconds);
-            } else {
-                const uint32_t batch = static_cast<uint32_t>(
-                    std::min<size_t>(cfg.policy.perRequestBatch, in.size));
-                uint32_t remaining = in.size;
-                while (remaining > 0) {
-                    const uint32_t take = std::min(remaining, batch);
-                    cpuQueue.push_back({nextArrival, take});
-                    q.requestsLeft++;
-                    remaining -= take;
-                }
-                dispatch_cpu(in.arrivalSeconds);
-            }
+            scheduled.clear();
+            engine.admit({nextArrival, in.size, 1.0, true, true},
+                         in.arrivalSeconds, scheduled);
+            events.pushAll(scheduled, 0);
             nextArrival++;
             continue;
         }
 
-        const Completion ev = completions.top();
-        completions.pop();
-        advance_clock(ev.time);
-
-        if (ev.kind == Completion::Kind::CpuRequest) {
-            drs_assert(busyCores > 0, "completion with no busy core");
-            busyCores--;
-            QueryState& q = queries[ev.queryIdx];
-            drs_assert(q.requestsLeft > 0, "query with no pending requests");
-            if (--q.requestsLeft == 0)
-                complete_query(ev.queryIdx, ev.time);
-            dispatch_cpu(ev.time);
+        const SimEvent ev = events.pop();
+        engine.advanceTo(ev.time);
+        lastEventTime = std::max(lastEventTime, ev.time);
+        scheduled.clear();
+        if (ev.kind == SimEvent::Kind::CpuRequest) {
+            if (engine.cpuRequestDone(ev.partIdx, ev.time, scheduled))
+                complete_query(ev.partIdx, ev.time);
         } else {
-            gpuBusy = false;
-            complete_query(ev.queryIdx, ev.time);
-            start_gpu(ev.time);
+            engine.gpuQueryDone(ev.partIdx, ev.time, scheduled);
+            complete_query(ev.partIdx, ev.time);
         }
+        events.pushAll(scheduled, 0);
     }
 
     result.numQueries = result.queryLatencySeconds.count();
-    result.spanSeconds = firstMeasuredArrival >= 0.0
-        ? lastMeasuredCompletion - firstMeasuredArrival
-        : 0.0;
-    if (trace.size() >= 2) {
-        const double trace_span = trace.back().arrivalSeconds -
-                                  trace.front().arrivalSeconds;
-        result.offeredQps = trace_span > 0.0
-            ? static_cast<double>(trace.size() - 1) / trace_span
-            : 0.0;
-    }
-    result.achievedQps = result.spanSeconds > 0.0
-        ? static_cast<double>(result.numQueries) / result.spanSeconds
-        : 0.0;
-    result.cpuBusyCoreSeconds = busyCoreSeconds;
+    result.numRequests = engine.requestsDispatched();
+    result.spanSeconds = span.seconds();
+    result.offeredQps = traceOfferedQps(trace);
+    result.achievedQps = span.achievedQps(result.numQueries);
+    result.cpuBusyCoreSeconds = engine.busyCoreSeconds();
+    result.gpuBusySeconds = engine.gpuBusySeconds();
     const double full_span = lastEventTime - trace.front().arrivalSeconds;
     if (full_span > 0.0) {
-        result.cpuUtilization = busyCoreSeconds /
-            (full_span * static_cast<double>(cores));
-        result.gpuUtilization = gpuBusySeconds / full_span;
+        const double cores =
+            static_cast<double>(cfg.cpu.platform().cores);
+        result.cpuUtilization =
+            result.cpuBusyCoreSeconds / (full_span * cores);
+        result.gpuUtilization = result.gpuBusySeconds / full_span;
     }
-    result.gpuBusySeconds = gpuBusySeconds;
-    result.gpuWorkFraction =
-        totalSamples > 0.0 ? gpuSamples / totalSamples : 0.0;
+    result.gpuWorkFraction = engine.totalSamples() > 0.0
+        ? engine.gpuSamples() / engine.totalSamples()
+        : 0.0;
     return result;
 }
 

@@ -2,14 +2,14 @@
  * @file
  * Discrete-event simulator of one recommendation-serving machine.
  *
- * Queries arrive on a trace; the scheduler policy either offloads a
- * query whole to the accelerator (size >= threshold) or splits it into
- * requests of at most `perRequestBatch` samples, which are served by a
- * pool of identical cores fed from one FIFO queue. A query completes
- * when its last request completes; its latency is the span from
- * arrival to that completion. Service times come from the analytical
- * cost models, with the contention term evaluated against the number
- * of cores busy at dispatch.
+ * Queries arrive on a trace; the machine mechanics — scheduler-policy
+ * offload vs batch splitting, the FIFO-fed core pool, service-time
+ * pricing, utilization integrals — live in the shared MachineEngine
+ * (sim/machine_engine.hh), which ClusterSimulator drives too. This
+ * file is only the single-machine *driver*: it merges arrivals with
+ * engine completions and keeps per-query latency statistics. A run
+ * here is bit-identical to a 1-machine shardless ClusterSimulator
+ * with zero network cost (enforced by tests/test_engine_diff.cc).
  *
  * Units: every time in SimConfig/SimResult is **seconds** except the
  * explicitly named millisecond accessors (p95Ms and friends);
@@ -22,48 +22,13 @@
 #ifndef DRS_SIM_SERVING_SIM_HH
 #define DRS_SIM_SERVING_SIM_HH
 
-#include <optional>
 #include <vector>
 
 #include "base/stats.hh"
-#include "costmodel/cpu_cost.hh"
-#include "costmodel/gpu_cost.hh"
 #include "loadgen/query.hh"
+#include "sim/machine_engine.hh"
 
 namespace deeprecsys {
-
-/** The two knobs DeepRecSched tunes (Figure 8, right). */
-struct SchedulerPolicy
-{
-    /** Maximum samples per CPU request (queries split above this). */
-    size_t perRequestBatch = 25;
-
-    /** Offload queries of size >= threshold to the accelerator. */
-    bool gpuEnabled = false;
-    uint32_t gpuQueryThreshold = 1;
-};
-
-/** Configuration of one simulated serving machine. */
-struct SimConfig
-{
-    CpuCostModel cpu;
-    std::optional<GpuCostModel> gpu;
-    SchedulerPolicy policy;
-
-    /** Fraction of leading queries excluded from statistics. */
-    double warmupFraction = 0.05;
-
-    /** Machine speed multiplier (>1 is slower; fleet heterogeneity). */
-    double slowdown = 1.0;
-
-    /**
-     * Embedding-memory budget of this machine in bytes; 0 means
-     * unconstrained (the historical whole-model-everywhere fleet).
-     * The cluster tier's shard placement packs tables within it and
-     * the capacity planner treats it as a hard provisioning limit.
-     */
-    uint64_t memoryBytes = 0;
-};
 
 /** Aggregate outcome of one simulation run. */
 struct SimResult

@@ -1,0 +1,253 @@
+/**
+ * @file
+ * Differential equivalence suite for the unified event engine.
+ *
+ * Both ServingSimulator and ClusterSimulator are thin drivers over
+ * sim/machine_engine.hh; a single-machine simulation is *defined* to
+ * be a 1-machine shardless cluster with a zero-cost network. This
+ * suite holds the two drivers to that definition bit-for-bit: for
+ * randomized (model, platform, scheduler, trace) combinations, every
+ * per-query latency, request count, and utilization integral must be
+ * exactly — not approximately — equal. Any future engine or driver
+ * change that lets the two paths diverge fails here before it can
+ * silently skew the single-machine figures against the fleet results.
+ */
+
+#include <gtest/gtest.h>
+
+#include "base/random.hh"
+#include "cluster/cluster_sim.hh"
+#include "loadgen/query_stream.hh"
+#include "sim/serving_sim.hh"
+
+namespace deeprecsys {
+namespace {
+
+SimConfig
+machineConfig(ModelId model, size_t batch, bool gpu, uint32_t threshold,
+              double slowdown = 1.0, double warmup = 0.05,
+              bool broadwell = false)
+{
+    const ModelProfile profile = ModelProfile::forModel(model);
+    SchedulerPolicy policy;
+    policy.perRequestBatch = batch;
+    policy.gpuEnabled = gpu;
+    policy.gpuQueryThreshold = threshold;
+    SimConfig cfg{CpuCostModel(profile, broadwell ? CpuPlatform::broadwell()
+                                                  : CpuPlatform::skylake()),
+                  std::nullopt, policy, warmup, slowdown};
+    if (gpu)
+        cfg.gpu.emplace(profile, GpuPlatform::gtx1080Ti());
+    return cfg;
+}
+
+/** The 1-machine shardless zero-network cluster a SimConfig implies. */
+ClusterConfig
+oneMachineCluster(const SimConfig& machine)
+{
+    ClusterConfig cluster;
+    cluster.machines.push_back(machine);
+    cluster.warmupFraction = machine.warmupFraction;
+    return cluster;
+}
+
+QueryTrace
+poissonTrace(size_t count, double qps, uint64_t seed = 7)
+{
+    LoadSpec load;
+    load.qps = qps;
+    load.arrivalSeed = seed;
+    load.sizeSeed = seed + 1;
+    QueryStream stream(load);
+    return stream.generate(count);
+}
+
+/**
+ * The whole contract in one place: run both drivers on the same
+ * trace and assert every comparable statistic is exactly equal.
+ */
+void
+expectIdenticalRuns(const SimConfig& machine, const QueryTrace& trace,
+                    RoutingKind routing = RoutingKind::RoundRobin)
+{
+    ServingSimulator serving(machine);
+    const SimResult s = serving.run(trace);
+
+    const ClusterSimulator clusterSim(oneMachineCluster(machine));
+    const ClusterResult c = clusterSim.run(trace, RoutingSpec{routing});
+
+    // Per-query latencies, in completion order, bit-for-bit.
+    ASSERT_EQ(s.queryLatencySeconds.count(),
+              c.fleetLatencySeconds.count());
+    EXPECT_EQ(s.queryLatencySeconds.raw(), c.fleetLatencySeconds.raw());
+
+    // Batch mechanics: the same queries split into the same requests.
+    ASSERT_EQ(c.perMachine.size(), 1u);
+    EXPECT_EQ(s.numRequests, c.perMachine[0].requestsDispatched);
+    EXPECT_EQ(s.numQueries, c.numQueries);
+
+    // Utilization integrals and the measurement window.
+    EXPECT_EQ(s.cpuBusyCoreSeconds, c.perMachine[0].busyCoreSeconds);
+    EXPECT_EQ(s.gpuBusySeconds, c.perMachine[0].gpuBusySeconds);
+    EXPECT_EQ(s.cpuUtilization, c.perMachine[0].cpuUtilization);
+    EXPECT_EQ(s.gpuUtilization, c.perMachine[0].gpuUtilization);
+    EXPECT_EQ(s.spanSeconds, c.spanSeconds);
+    EXPECT_EQ(s.offeredQps, c.offeredQps);
+    EXPECT_EQ(s.achievedQps, c.achievedQps);
+}
+
+TEST(EngineDiff, SingleQueryMatchesExactly)
+{
+    expectIdenticalRuns(machineConfig(ModelId::DlrmRmc1, 256, false, 1),
+                        {{0, 0.0, 100}});
+}
+
+TEST(EngineDiff, EveryModelMatchesOnPoissonLoad)
+{
+    for (ModelId model : allModelIds()) {
+        SCOPED_TRACE(modelName(model));
+        expectIdenticalRuns(machineConfig(model, 64, false, 1),
+                            poissonTrace(800, 400.0));
+    }
+}
+
+TEST(EngineDiff, RandomizedConfigTraceSchedulerCombinations)
+{
+    // The core differential sweep: random model/platform/scheduler/
+    // load combinations, each held to exact equality.
+    Rng rng(0xd1ffULL);
+    const std::vector<ModelId>& models = allModelIds();
+    for (int round = 0; round < 24; round++) {
+        const ModelId model =
+            models[static_cast<size_t>(rng.uniformInt(
+                0, static_cast<int64_t>(models.size()) - 1))];
+        const size_t batch = static_cast<size_t>(
+            rng.uniformInt(1, 512));
+        const bool gpu = rng.uniform() < 0.4;
+        const uint32_t threshold = static_cast<uint32_t>(
+            rng.uniformInt(1, 600));
+        const double slowdown = rng.uniform(0.7, 1.6);
+        const double warmup = rng.uniform(0.0, 0.3);
+        const bool broadwell = rng.uniform() < 0.5;
+        const double qps = rng.uniform(50.0, 2500.0);
+        const size_t count = static_cast<size_t>(
+            rng.uniformInt(50, 1200));
+
+        SCOPED_TRACE("round " + std::to_string(round) + " model " +
+                     modelName(model) + " batch " +
+                     std::to_string(batch) + " gpu " +
+                     std::to_string(gpu) + " qps " + std::to_string(qps));
+        expectIdenticalRuns(
+            machineConfig(model, batch, gpu, threshold, slowdown,
+                          warmup, broadwell),
+            poissonTrace(count, qps, rng()));
+    }
+}
+
+TEST(EngineDiff, GpuOffloadPathMatches)
+{
+    expectIdenticalRuns(machineConfig(ModelId::DlrmRmc2, 128, true, 300),
+                        poissonTrace(1000, 900.0));
+}
+
+TEST(EngineDiff, OffloadEverythingMatches)
+{
+    expectIdenticalRuns(machineConfig(ModelId::WideAndDeep, 64, true, 1),
+                        poissonTrace(600, 700.0));
+}
+
+TEST(EngineDiff, SimultaneousArrivalTiesMatch)
+{
+    // Equal-time completions exercise the event tie-break: the old
+    // single-machine loop broke ties on heap internals while the
+    // cluster used insertion order — the unified EventQueue gives
+    // both drivers the same deterministic order.
+    QueryTrace trace;
+    for (uint64_t i = 0; i < 64; i++)
+        trace.push_back({i, 0.0, 128});
+    for (uint64_t i = 0; i < 64; i++)
+        trace.push_back({64 + i, 0.005, 128});
+    expectIdenticalRuns(machineConfig(ModelId::DlrmRmc1, 32, false, 1),
+                        trace);
+}
+
+TEST(EngineDiff, OverloadBurstMatches)
+{
+    QueryTrace trace;
+    for (uint64_t i = 0; i < 1500; i++)
+        trace.push_back({i, static_cast<double>(i) * 1e-5, 400});
+    expectIdenticalRuns(machineConfig(ModelId::DlrmRmc3, 256, false, 1),
+                        trace);
+}
+
+TEST(EngineDiff, WarmupFractionsMatch)
+{
+    for (double warmup : {0.0, 0.1, 0.5, 0.9}) {
+        SCOPED_TRACE(warmup);
+        expectIdenticalRuns(
+            machineConfig(ModelId::Ncf, 16, false, 1, 1.0, warmup),
+            poissonTrace(400, 300.0));
+    }
+}
+
+TEST(EngineDiff, EveryRoutingPolicyDegeneratesToSameMachine)
+{
+    // On a 1-machine cluster every policy must route to machine 0, so
+    // the equivalence holds regardless of the configured policy.
+    const SimConfig machine = machineConfig(ModelId::Din, 96, false, 1);
+    const QueryTrace trace = poissonTrace(500, 350.0);
+    for (RoutingKind kind : allRoutingKinds()) {
+        SCOPED_TRACE(routingKindName(kind));
+        expectIdenticalRuns(machine, trace, kind);
+    }
+}
+
+TEST(EngineDiff, SlowdownMatches)
+{
+    expectIdenticalRuns(
+        machineConfig(ModelId::DlrmRmc1, 256, false, 1, 1.8),
+        poissonTrace(600, 250.0));
+}
+
+TEST(EngineDiff, EmptyTraceMatches)
+{
+    const SimConfig machine = machineConfig(ModelId::DlrmRmc1, 64,
+                                            false, 1);
+    ServingSimulator serving(machine);
+    const SimResult s = serving.run({});
+    const ClusterSimulator clusterSim(oneMachineCluster(machine));
+    const ClusterResult c =
+        clusterSim.run({}, RoutingSpec{RoutingKind::RoundRobin});
+    EXPECT_EQ(s.numQueries, 0u);
+    EXPECT_EQ(c.numQueries, 0u);
+    EXPECT_EQ(c.numDispatched, 0u);
+}
+
+TEST(EngineDiff, NonZeroNetworkAddsExactlyOneRoundTrip)
+{
+    // The only modeled difference between the two drivers is the
+    // router hop: with an idle machine and one query, the cluster
+    // latency exceeds the single-machine latency by exactly the
+    // forward + return hop.
+    const SimConfig machine = machineConfig(ModelId::DlrmRmc1, 256,
+                                            false, 1);
+    const QueryTrace trace = {{0, 0.0, 100}};
+    ServingSimulator serving(machine);
+    const SimResult s = serving.run(trace);
+
+    ClusterConfig cluster = oneMachineCluster(machine);
+    cluster.network.hopSeconds = 250e-6;
+    cluster.network.gigabytesPerSecond = 10.0;
+    const ClusterResult c = ClusterSimulator(cluster).run(
+        trace, RoutingSpec{RoutingKind::RoundRobin});
+
+    const double forward = cluster.network.oneWaySeconds(
+        100.0 * cluster.network.requestBytesPerSample);
+    const double back = cluster.network.oneWaySeconds(
+        100.0 * cluster.network.responseBytesPerSample);
+    EXPECT_NEAR(c.fleetLatencySeconds.mean(),
+                s.queryLatencySeconds.mean() + forward + back, 1e-12);
+}
+
+} // namespace
+} // namespace deeprecsys

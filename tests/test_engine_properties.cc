@@ -1,0 +1,358 @@
+/**
+ * @file
+ * Property tests for the unified event engine and the searches built
+ * on it: query conservation under fan-out/join, bitwise determinism
+ * across repeated runs for every routing policy, tail-latency
+ * monotonicity in offered rate (the invariant the max-QPS bisections
+ * rely on), and the two-stage join dependency model.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "cluster/cluster_qps_search.hh"
+#include "cluster/cluster_sim.hh"
+#include "cluster/shard_placement.hh"
+#include "loadgen/query_stream.hh"
+#include "sim/qps_search.hh"
+
+namespace deeprecsys {
+namespace {
+
+constexpr uint64_t kGB = 1'000'000'000ULL;
+
+SimConfig
+cpuMachine(ModelId model = ModelId::DlrmRmc1, double slowdown = 1.0,
+           uint64_t memory_bytes = 0)
+{
+    const ModelProfile profile = ModelProfile::forModel(model);
+    SchedulerPolicy policy;
+    policy.perRequestBatch = 256;
+    SimConfig machine{CpuCostModel(profile, CpuPlatform::skylake()),
+                      std::nullopt, policy, 0.05, slowdown};
+    machine.memoryBytes = memory_bytes;
+    return machine;
+}
+
+SimConfig
+gpuMachine(uint32_t threshold = 64)
+{
+    const ModelProfile profile = ModelProfile::forModel(ModelId::DlrmRmc1);
+    SchedulerPolicy policy;
+    policy.perRequestBatch = 256;
+    policy.gpuEnabled = true;
+    policy.gpuQueryThreshold = threshold;
+    return SimConfig{CpuCostModel(profile, CpuPlatform::skylake()),
+                     GpuCostModel(profile, GpuPlatform::gtx1080Ti()),
+                     policy, 0.05, 1.0};
+}
+
+/** Mixed tier: CPU-only, slow, and accelerated machines. */
+ClusterConfig
+mixedCluster(size_t n)
+{
+    ClusterConfig cfg;
+    for (size_t m = 0; m < n; m++) {
+        if (m % 3 == 2)
+            cfg.machines.push_back(gpuMachine());
+        else
+            cfg.machines.push_back(
+                cpuMachine(ModelId::DlrmRmc1, m % 3 == 1 ? 1.4 : 1.0));
+    }
+    return cfg;
+}
+
+/** Sharded RMC2 tier whose working sets force fan-out. */
+ClusterConfig
+shardedCluster(size_t n, uint64_t budget, JoinModel join)
+{
+    ClusterConfig cfg;
+    cfg.join = join;
+    for (size_t m = 0; m < n; m++)
+        cfg.machines.push_back(
+            cpuMachine(ModelId::DlrmRmc2, 1.0, budget));
+    PlacementSpec spec;
+    spec.strategy = PlacementStrategy::GreedyBySize;
+    const ShardPlacement placement = ShardPlacement::build(
+        embeddingTables(modelConfig(ModelId::DlrmRmc2)),
+        machineMemoryBudgets(cfg.machines), spec);
+    TableSetSpec table_set;
+    table_set.numTables = static_cast<uint32_t>(
+        modelConfig(ModelId::DlrmRmc2).numTables);
+    table_set.tablesPerQuery = 8;
+    cfg.sharding = ShardingConfig{placement, table_set};
+    cfg.network.hopSeconds = 100e-6;
+    cfg.network.gigabytesPerSecond = 12.5;
+    return cfg;
+}
+
+QueryTrace
+makeTrace(size_t count, double qps, uint64_t seed = 11)
+{
+    LoadSpec load;
+    load.qps = qps;
+    load.arrivalSeed = seed;
+    load.sizeSeed = seed + 1;
+    QueryStream stream(load);
+    return stream.generate(count);
+}
+
+// ---------------------------------------------------------- conservation
+
+TEST(EngineProperties, ConservationUnderFanOutJoinBothJoinModels)
+{
+    const QueryTrace trace = makeTrace(2500, 1500.0);
+    for (JoinModel join : {JoinModel::Optimistic, JoinModel::TwoStage}) {
+        SCOPED_TRACE(joinModelName(join));
+        const ClusterConfig cfg = shardedCluster(8, 2 * kGB, join);
+        const ClusterResult r = ClusterSimulator(cfg).run(
+            trace, RoutingSpec{RoutingKind::ShardAware});
+
+        EXPECT_EQ(r.numDispatched, trace.size());
+        EXPECT_EQ(r.numCompleted, trace.size());
+        EXPECT_GT(r.meanFanout, 1.0);
+        uint64_t led = 0;
+        uint64_t completed = 0;
+        for (const MachineStats& m : r.perMachine) {
+            led += m.queriesDispatched;
+            completed += m.queriesCompleted;
+        }
+        EXPECT_EQ(led, trace.size());
+        EXPECT_EQ(completed, trace.size());
+    }
+}
+
+TEST(EngineProperties, ConservationUnderEveryRoutingPolicy)
+{
+    const QueryTrace trace = makeTrace(2000, 9000.0);
+    const ClusterSimulator sim(mixedCluster(9));
+    for (RoutingKind kind : allRoutingKinds()) {
+        SCOPED_TRACE(routingKindName(kind));
+        const ClusterResult r = sim.run(trace, RoutingSpec{kind});
+        EXPECT_EQ(r.numDispatched, trace.size());
+        EXPECT_EQ(r.numCompleted, trace.size());
+        EXPECT_EQ(r.numParts, trace.size());    // whole-query policies
+    }
+}
+
+TEST(EngineProperties, TwoStageJoinPhaseAccounting)
+{
+    // Exactly one dense phase per fanned-out query, led on the
+    // query's leader machine; single-hop queries never pay one.
+    const ClusterConfig cfg = shardedCluster(8, 2 * kGB,
+                                             JoinModel::TwoStage);
+    const QueryTrace trace = makeTrace(1500, 1200.0);
+    const ClusterResult r = ClusterSimulator(cfg).run(
+        trace, RoutingSpec{RoutingKind::ShardAware});
+
+    uint64_t fanned = 0;
+    for (const auto& machines : r.partMachinesOfQuery)
+        if (machines.size() > 1)
+            fanned++;
+    uint64_t phases = 0;
+    for (const MachineStats& m : r.perMachine)
+        phases += m.joinPhases;
+    EXPECT_GT(fanned, 0u);
+    EXPECT_EQ(phases, fanned);
+}
+
+// ----------------------------------------------------------- determinism
+
+TEST(EngineProperties, BitwiseDeterminismForEveryRoutingPolicy)
+{
+    const QueryTrace trace = makeTrace(3000, 10000.0);
+    const ClusterSimulator sim(mixedCluster(8));
+    for (RoutingKind kind : allRoutingKinds()) {
+        SCOPED_TRACE(routingKindName(kind));
+        RoutingSpec spec;
+        spec.kind = kind;
+        spec.seed = 99;
+        const ClusterResult a = sim.run(trace, spec);
+        const ClusterResult b = sim.run(trace, spec);
+        // Bitwise: the raw per-query latency samples, in completion
+        // order, and every per-machine integral.
+        EXPECT_EQ(a.fleetLatencySeconds.raw(),
+                  b.fleetLatencySeconds.raw());
+        EXPECT_EQ(a.machineOfQuery, b.machineOfQuery);
+        for (size_t m = 0; m < a.perMachine.size(); m++) {
+            EXPECT_EQ(a.perMachine[m].busyCoreSeconds,
+                      b.perMachine[m].busyCoreSeconds);
+            EXPECT_EQ(a.perMachine[m].requestsDispatched,
+                      b.perMachine[m].requestsDispatched);
+        }
+    }
+}
+
+TEST(EngineProperties, BitwiseDeterminismShardAwareBothJoinModels)
+{
+    const QueryTrace trace = makeTrace(2000, 1400.0);
+    for (JoinModel join : {JoinModel::Optimistic, JoinModel::TwoStage}) {
+        SCOPED_TRACE(joinModelName(join));
+        const ClusterSimulator sim(shardedCluster(8, 2 * kGB, join));
+        RoutingSpec spec;
+        spec.kind = RoutingKind::ShardAware;
+        const ClusterResult a = sim.run(trace, spec);
+        const ClusterResult b = sim.run(trace, spec);
+        EXPECT_EQ(a.fleetLatencySeconds.raw(),
+                  b.fleetLatencySeconds.raw());
+        EXPECT_EQ(a.partMachinesOfQuery, b.partMachinesOfQuery);
+    }
+}
+
+TEST(EngineProperties, ServingSimulatorBitwiseDeterminism)
+{
+    const QueryTrace trace = makeTrace(2000, 800.0);
+    ServingSimulator a(cpuMachine());
+    ServingSimulator b(cpuMachine());
+    EXPECT_EQ(a.run(trace).queryLatencySeconds.raw(),
+              b.run(trace).queryLatencySeconds.raw());
+}
+
+// ---------------------------------------------------------- monotonicity
+
+TEST(EngineProperties, SingleMachineTailMonotoneInOfferedQps)
+{
+    // The invariant findMaxQps's bisection rests on: re-timing the
+    // same query population at a higher rate never improves the tail.
+    const SimConfig machine = cpuMachine();
+    LoadSpec load;
+    double prev = 0.0;
+    for (double qps : {200.0, 400.0, 800.0, 1600.0, 3200.0}) {
+        const SimResult r = evaluateAtQps(machine, load, qps, 2000);
+        EXPECT_GE(r.p99Ms(), prev * (1.0 - 1e-9)) << "at " << qps;
+        prev = r.p99Ms();
+    }
+}
+
+TEST(EngineProperties, ClusterTailMonotoneInOfferedQps)
+{
+    const ClusterConfig cluster = mixedCluster(6);
+    ClusterQpsSpec spec;
+    spec.numQueries = 2400;
+    double prev = 0.0;
+    for (double qps : {2000.0, 4000.0, 8000.0, 16000.0}) {
+        const ClusterResult r =
+            evaluateClusterAtQps(cluster, spec, qps);
+        EXPECT_GE(r.p99Ms(), prev * (1.0 - 1e-9)) << "at " << qps;
+        prev = r.p99Ms();
+    }
+}
+
+TEST(EngineProperties, FindMaxQpsResultIsOnTheFeasibleBoundary)
+{
+    QpsSearchSpec spec;
+    spec.slaMs = 100.0;
+    spec.numQueries = 1500;
+    const QpsSearchResult r = findMaxQps(cpuMachine(), spec);
+    ASSERT_GT(r.maxQps, 0.0);
+    // Feasible at the found rate...
+    EXPECT_LE(r.atMax.tailMs(spec.percentile), spec.slaMs);
+    // ...and infeasible comfortably above it.
+    const SimResult above = evaluateAtQps(cpuMachine(), spec.load,
+                                          1.25 * r.maxQps,
+                                          spec.numQueries);
+    EXPECT_GT(above.tailMs(spec.percentile), spec.slaMs);
+}
+
+TEST(EngineProperties, FindClusterMaxQpsScalesWithMachines)
+{
+    ClusterQpsSpec spec;
+    spec.slaMs = 100.0;
+    spec.numQueries = 1800;
+    ClusterConfig two;
+    two.machines = {cpuMachine(), cpuMachine()};
+    ClusterConfig four;
+    four.machines = {cpuMachine(), cpuMachine(), cpuMachine(),
+                     cpuMachine()};
+    const double small = findClusterMaxQps(two, spec).maxQps;
+    const double large = findClusterMaxQps(four, spec).maxQps;
+    ASSERT_GT(small, 0.0);
+    EXPECT_GT(large, 1.6 * small);
+}
+
+TEST(EngineProperties, QpsSearchCeilingIsTestedNotSkipped)
+{
+    // Regression for a divergence between the twin searches: the
+    // single-machine bisection used to return the last feasible
+    // geometric probe when the ceiling was reached, while the cluster
+    // search tested the ceiling itself. Both now report a feasible
+    // ceiling exactly.
+    QpsSearchSpec spec;
+    spec.slaMs = 200.0;
+    spec.numQueries = 1200;
+    spec.qpsCeiling = 500.0;    // easily sustained by the machine
+    const QpsSearchResult r = findMaxQps(cpuMachine(), spec);
+    EXPECT_DOUBLE_EQ(r.maxQps, 500.0);
+    EXPECT_LE(r.atMax.tailMs(spec.percentile), spec.slaMs);
+}
+
+// ------------------------------------------------------- two-stage join
+
+TEST(EngineProperties, TwoStageJoinNeverFasterThanOptimistic)
+{
+    // Serializing the dense stacks behind the slowest embedding part
+    // can only lengthen fanned-out queries.
+    const QueryTrace trace = makeTrace(2000, 1200.0);
+    RoutingSpec spec;
+    spec.kind = RoutingKind::ShardAware;
+    const ClusterResult optimistic =
+        ClusterSimulator(shardedCluster(8, 2 * kGB,
+                                        JoinModel::Optimistic))
+            .run(trace, spec);
+    const ClusterResult two_stage =
+        ClusterSimulator(shardedCluster(8, 2 * kGB,
+                                        JoinModel::TwoStage))
+            .run(trace, spec);
+    EXPECT_GE(two_stage.meanMs(), optimistic.meanMs());
+    EXPECT_GE(two_stage.p99Ms(), optimistic.p99Ms());
+}
+
+TEST(EngineProperties, JoinModelsAgreeExactlyWithoutFanOut)
+{
+    // Whole-query dispatch never enters the join path, so the two
+    // models must be bit-identical on a shardless cluster.
+    const QueryTrace trace = makeTrace(1500, 8000.0);
+    ClusterConfig optimistic = mixedCluster(6);
+    optimistic.join = JoinModel::Optimistic;
+    ClusterConfig two_stage = mixedCluster(6);
+    two_stage.join = JoinModel::TwoStage;
+    RoutingSpec spec;
+    spec.kind = RoutingKind::PowerOfTwoChoices;
+    const ClusterResult a =
+        ClusterSimulator(optimistic).run(trace, spec);
+    const ClusterResult b =
+        ClusterSimulator(two_stage).run(trace, spec);
+    EXPECT_EQ(a.fleetLatencySeconds.raw(), b.fleetLatencySeconds.raw());
+    EXPECT_EQ(a.machineOfQuery, b.machineOfQuery);
+}
+
+TEST(EngineProperties, TwoStageLeaderHopPricesPooledEmbeddings)
+{
+    // A heavier pooled-embedding payload lengthens the fan-out path
+    // under TwoStage (the leader waits on the transfer) but is
+    // invisible to the optimistic join, which never ships it.
+    const QueryTrace trace = makeTrace(1200, 1000.0);
+    RoutingSpec spec;
+    spec.kind = RoutingKind::ShardAware;
+
+    ClusterConfig light = shardedCluster(8, 2 * kGB, JoinModel::TwoStage);
+    light.network.embeddingBytesPerSample = 64.0;
+    ClusterConfig heavy = light;
+    heavy.network.embeddingBytesPerSample = 4096.0;
+    EXPECT_GT(ClusterSimulator(heavy).run(trace, spec).meanMs(),
+              ClusterSimulator(light).run(trace, spec).meanMs());
+
+    ClusterConfig opt_light = shardedCluster(8, 2 * kGB,
+                                             JoinModel::Optimistic);
+    opt_light.network.embeddingBytesPerSample = 64.0;
+    ClusterConfig opt_heavy = opt_light;
+    opt_heavy.network.embeddingBytesPerSample = 4096.0;
+    EXPECT_EQ(ClusterSimulator(opt_heavy).run(trace, spec)
+                  .fleetLatencySeconds.raw(),
+              ClusterSimulator(opt_light).run(trace, spec)
+                  .fleetLatencySeconds.raw());
+}
+
+} // namespace
+} // namespace deeprecsys

@@ -1,0 +1,365 @@
+/**
+ * @file
+ * Golden regression tests: small deterministic traces with checked-in
+ * expected latency percentiles (JSON under tests/golden/). Every
+ * scenario follows a figure-reproduction path — the single-machine
+ * fig11 operating points, the fig13 fleet day, the
+ * cluster_routing_sweep policies, and the sharded fan-out/join paths
+ * — so an engine refactor that shifts numbers fails loudly here
+ * instead of silently redrawing figures.
+ *
+ * When a shift is *intended* (a modeling change), regenerate with:
+ *
+ *     DRS_UPDATE_GOLDEN=1 ./build/test_golden
+ *
+ * and commit the diff alongside the change that explains it.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cstdlib>
+#include <fstream>
+#include <iomanip>
+#include <map>
+#include <sstream>
+#include <string>
+
+#include "cluster/cluster_sim.hh"
+#include "cluster/fleet.hh"
+#include "cluster/shard_placement.hh"
+#include "loadgen/query_stream.hh"
+#include "sim/serving_sim.hh"
+
+#ifndef DRS_GOLDEN_DIR
+#error "build must define DRS_GOLDEN_DIR (see CMakeLists.txt)"
+#endif
+
+namespace deeprecsys {
+namespace {
+
+/** The percentile triple a golden scenario pins. */
+struct Percentiles
+{
+    double p50Ms = 0;
+    double p95Ms = 0;
+    double p99Ms = 0;
+};
+
+using GoldenMap = std::map<std::string, Percentiles>;
+
+// ------------------------------------------------- tiny flat JSON I/O
+// The golden files are a fixed two-level schema:
+//   {"scenario": {"p50_ms": 1.0, "p95_ms": 2.0, "p99_ms": 3.0}, ...}
+// Parsed here directly so the test needs no JSON dependency.
+
+void
+skipSpace(const std::string& s, size_t& i)
+{
+    while (i < s.size() && std::isspace(static_cast<unsigned char>(s[i])))
+        i++;
+}
+
+std::string
+parseString(const std::string& s, size_t& i)
+{
+    EXPECT_LT(i, s.size());
+    EXPECT_EQ(s[i], '"') << "expected string at offset " << i;
+    i++;
+    std::string out;
+    while (i < s.size() && s[i] != '"')
+        out.push_back(s[i++]);
+    EXPECT_LT(i, s.size()) << "unterminated string";
+    i++;
+    return out;
+}
+
+double
+parseNumber(const std::string& s, size_t& i)
+{
+    size_t consumed = 0;
+    const double v = std::stod(s.substr(i), &consumed);
+    i += consumed;
+    return v;
+}
+
+void
+expectChar(const std::string& s, size_t& i, char c)
+{
+    skipSpace(s, i);
+    ASSERT_LT(i, s.size()) << "expected '" << c << "' at end of input";
+    ASSERT_EQ(s[i], c) << "at offset " << i;
+    i++;
+}
+
+GoldenMap
+parseGolden(const std::string& text)
+{
+    GoldenMap golden;
+    size_t i = 0;
+    expectChar(text, i, '{');
+    skipSpace(text, i);
+    while (i < text.size() && text[i] != '}') {
+        const std::string name = parseString(text, i);
+        expectChar(text, i, ':');
+        expectChar(text, i, '{');
+        Percentiles p;
+        skipSpace(text, i);
+        while (i < text.size() && text[i] != '}') {
+            const std::string key = parseString(text, i);
+            expectChar(text, i, ':');
+            skipSpace(text, i);
+            const double value = parseNumber(text, i);
+            if (key == "p50_ms")
+                p.p50Ms = value;
+            else if (key == "p95_ms")
+                p.p95Ms = value;
+            else if (key == "p99_ms")
+                p.p99Ms = value;
+            else
+                ADD_FAILURE() << "unknown golden key " << key;
+            skipSpace(text, i);
+            if (text[i] == ',') {
+                i++;
+                skipSpace(text, i);
+            }
+        }
+        expectChar(text, i, '}');
+        golden[name] = p;
+        skipSpace(text, i);
+        if (i < text.size() && text[i] == ',') {
+            i++;
+            skipSpace(text, i);
+        }
+    }
+    expectChar(text, i, '}');
+    return golden;
+}
+
+void
+writeGolden(const std::string& path, const GoldenMap& golden)
+{
+    std::ofstream out(path);
+    ASSERT_TRUE(out.good()) << "cannot write " << path;
+    out << "{\n";
+    size_t n = 0;
+    for (const auto& [name, p] : golden) {
+        out << "  \"" << name << "\": {"
+            << std::setprecision(17)
+            << "\"p50_ms\": " << p.p50Ms << ", "
+            << "\"p95_ms\": " << p.p95Ms << ", "
+            << "\"p99_ms\": " << p.p99Ms << "}"
+            << (++n < golden.size() ? "," : "") << "\n";
+    }
+    out << "}\n";
+}
+
+bool
+updateRequested()
+{
+    const char* env = std::getenv("DRS_UPDATE_GOLDEN");
+    return env != nullptr && env[0] != '\0' && env[0] != '0';
+}
+
+/**
+ * Compare @p measured against the checked-in file (or rewrite it when
+ * DRS_UPDATE_GOLDEN is set). Tolerance is relative 1e-9: loose enough
+ * for cross-platform libm jitter, tight enough that any real modeling
+ * change trips it.
+ */
+void
+checkGolden(const std::string& file, const GoldenMap& measured)
+{
+    const std::string path = std::string(DRS_GOLDEN_DIR) + "/" + file;
+    if (updateRequested()) {
+        writeGolden(path, measured);
+        SUCCEED() << "rewrote " << path;
+        return;
+    }
+    std::ifstream in(path);
+    ASSERT_TRUE(in.good())
+        << "missing golden file " << path
+        << " — run DRS_UPDATE_GOLDEN=1 ./test_golden to create it";
+    std::stringstream buf;
+    buf << in.rdbuf();
+    const GoldenMap expected = parseGolden(buf.str());
+
+    ASSERT_EQ(expected.size(), measured.size()) << "scenario set changed";
+    for (const auto& [name, want] : expected) {
+        auto it = measured.find(name);
+        ASSERT_NE(it, measured.end()) << "scenario " << name
+                                      << " disappeared";
+        const Percentiles& got = it->second;
+        EXPECT_NEAR(got.p50Ms, want.p50Ms, 1e-9 * want.p50Ms + 1e-12)
+            << name << " p50 shifted";
+        EXPECT_NEAR(got.p95Ms, want.p95Ms, 1e-9 * want.p95Ms + 1e-12)
+            << name << " p95 shifted";
+        EXPECT_NEAR(got.p99Ms, want.p99Ms, 1e-9 * want.p99Ms + 1e-12)
+            << name << " p99 shifted";
+    }
+}
+
+Percentiles
+percentilesOf(const SampleStats& stats)
+{
+    return {stats.percentile(50) * 1e3, stats.percentile(95) * 1e3,
+            stats.percentile(99) * 1e3};
+}
+
+QueryTrace
+makeTrace(size_t count, double qps, uint64_t seed)
+{
+    LoadSpec load;
+    load.qps = qps;
+    load.arrivalSeed = seed;
+    load.sizeSeed = seed + 1;
+    QueryStream stream(load);
+    return stream.generate(count);
+}
+
+// ----------------------------------------------------------- scenarios
+
+TEST(Golden, ServingSimFig11Paths)
+{
+    // The single-machine operating points the fig11/fig09 sweeps
+    // visit: production query sizes at sub-saturation load on
+    // Skylake, at the static baseline batch, a tuned batch, and the
+    // GPU-offload path.
+    GoldenMap measured;
+
+    struct Case
+    {
+        const char* name;
+        ModelId model;
+        size_t batch;
+        bool gpu;
+        uint32_t threshold;
+        double qps;
+    };
+    const Case cases[] = {
+        {"rmc1_static_batch25", ModelId::DlrmRmc1, 25, false, 1, 600.0},
+        {"rmc1_batch256", ModelId::DlrmRmc1, 256, false, 1, 600.0},
+        {"rmc2_batch256", ModelId::DlrmRmc2, 256, false, 1, 300.0},
+        {"din_batch64", ModelId::Din, 64, false, 1, 150.0},
+        {"rmc1_gpu_threshold300", ModelId::DlrmRmc1, 256, true, 300,
+         900.0},
+    };
+    for (const Case& c : cases) {
+        const ModelProfile profile = ModelProfile::forModel(c.model);
+        SchedulerPolicy policy;
+        policy.perRequestBatch = c.batch;
+        policy.gpuEnabled = c.gpu;
+        policy.gpuQueryThreshold = c.threshold;
+        SimConfig cfg{CpuCostModel(profile, CpuPlatform::skylake()),
+                      std::nullopt, policy, 0.05, 1.0};
+        if (c.gpu)
+            cfg.gpu.emplace(profile, GpuPlatform::gtx1080Ti());
+        ServingSimulator sim(cfg);
+        const SimResult r = sim.run(makeTrace(4000, c.qps, 0xf1611));
+        measured[c.name] = percentilesOf(r.queryLatencySeconds);
+    }
+    checkGolden("serving_fig11.json", measured);
+}
+
+TEST(Golden, FleetFig13Path)
+{
+    // A compressed fig13 day: heterogeneous fleet, diurnal windows,
+    // fixed vs tuned batch.
+    GoldenMap measured;
+    for (const auto& [name, batch] :
+         {std::pair<const char*, size_t>{"fleet_fixed_batch25", 25},
+          std::pair<const char*, size_t>{"fleet_tuned_batch128", 128}}) {
+        const ModelProfile profile =
+            ModelProfile::forModel(ModelId::DlrmRmc1);
+        SchedulerPolicy policy;
+        policy.perRequestBatch = batch;
+        const SimConfig machine{
+            CpuCostModel(profile, CpuPlatform::skylake()),
+            std::nullopt, policy, 0.05, 1.0};
+        FleetConfig cfg;
+        cfg.numMachines = 12;
+        cfg.perMachineQps = 540.0;
+        cfg.queriesPerWindow = 400;
+        cfg.numWindows = 3;
+        cfg.diurnalPeakToTrough = 2.0;
+        cfg.seed = 20200530;
+        const FleetResult r = FleetSimulator(machine, cfg).run();
+        measured[name] = percentilesOf(r.fleetLatency);
+    }
+    checkGolden("fleet_fig13.json", measured);
+}
+
+TEST(Golden, ClusterRoutingSweepPaths)
+{
+    // The cluster_routing_sweep bench path: one global stream over a
+    // heterogeneous 8-machine tier, every self-contained policy.
+    const ModelProfile profile = ModelProfile::forModel(ModelId::DlrmRmc1);
+    ClusterConfig cluster;
+    for (size_t m = 0; m < 8; m++) {
+        SchedulerPolicy policy;
+        policy.perRequestBatch = 256;
+        SimConfig machine{CpuCostModel(profile, CpuPlatform::skylake()),
+                          std::nullopt, policy, 0.05,
+                          m % 2 == 0 ? 1.0 : 1.3};
+        cluster.machines.push_back(machine);
+    }
+    const QueryTrace trace = makeTrace(6000, 9000.0, 0xc1u);
+
+    GoldenMap measured;
+    const ClusterSimulator sim(cluster);
+    for (RoutingKind kind : allRoutingKinds()) {
+        RoutingSpec spec;
+        spec.kind = kind;
+        const ClusterResult r = sim.run(trace, spec);
+        measured[routingKindName(kind)] =
+            percentilesOf(r.fleetLatencySeconds);
+    }
+    checkGolden("cluster_routing.json", measured);
+}
+
+TEST(Golden, ShardedFanOutJoinPaths)
+{
+    // The shard_placement_sweep path at one operating point, under
+    // both join models — pins the two-stage fan-out tax.
+    const ModelProfile profile = ModelProfile::forModel(ModelId::DlrmRmc2);
+    const std::vector<EmbeddingTableInfo> tables =
+        embeddingTables(modelConfig(ModelId::DlrmRmc2));
+    const QueryTrace trace = makeTrace(5000, 2200.0, 0x5a4d);
+
+    GoldenMap measured;
+    for (JoinModel join : {JoinModel::Optimistic, JoinModel::TwoStage}) {
+        ClusterConfig cluster;
+        cluster.join = join;
+        for (size_t m = 0; m < 8; m++) {
+            SchedulerPolicy policy;
+            policy.perRequestBatch = 256;
+            SimConfig machine{
+                CpuCostModel(profile, CpuPlatform::skylake()),
+                std::nullopt, policy, 0.05, 1.0};
+            machine.memoryBytes = 2'000'000'000ULL;
+            cluster.machines.push_back(machine);
+        }
+        cluster.network.hopSeconds = 150e-6;
+        cluster.network.gigabytesPerSecond = 12.5;
+        PlacementSpec placement_spec;
+        placement_spec.strategy = PlacementStrategy::GreedyBySize;
+        const ShardPlacement placement = ShardPlacement::build(
+            tables, machineMemoryBudgets(cluster.machines),
+            placement_spec);
+        ASSERT_TRUE(placement.feasible());
+        TableSetSpec table_set;
+        table_set.numTables = static_cast<uint32_t>(
+            modelConfig(ModelId::DlrmRmc2).numTables);
+        table_set.tablesPerQuery = 8;
+        cluster.sharding = ShardingConfig{placement, table_set};
+
+        const ClusterResult r = ClusterSimulator(cluster).run(
+            trace, RoutingSpec{RoutingKind::ShardAware});
+        measured[std::string("sharded_") + joinModelName(join)] =
+            percentilesOf(r.fleetLatencySeconds);
+    }
+    checkGolden("sharded_join.json", measured);
+}
+
+} // namespace
+} // namespace deeprecsys

@@ -1,0 +1,256 @@
+/**
+ * @file
+ * Unit tests for the shared per-machine service engine: admission
+ * splitting, offload decisions, FIFO dispatch, utilization
+ * integrals, the deterministic event queue, and the driver helpers —
+ * the mechanics both simulators inherit.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/machine_engine.hh"
+
+namespace deeprecsys {
+namespace {
+
+SimConfig
+engineConfig(size_t batch = 64, bool gpu = false, uint32_t threshold = 1)
+{
+    const ModelProfile profile = ModelProfile::forModel(ModelId::DlrmRmc1);
+    SchedulerPolicy policy;
+    policy.perRequestBatch = batch;
+    policy.gpuEnabled = gpu;
+    policy.gpuQueryThreshold = threshold;
+    SimConfig cfg{CpuCostModel(profile, CpuPlatform::skylake()),
+                  std::nullopt, policy, 0.0, 1.0};
+    if (gpu)
+        cfg.gpu.emplace(profile, GpuPlatform::gtx1080Ti());
+    return cfg;
+}
+
+TEST(MachineEngine, AdmissionSplitsIntoCeilRequests)
+{
+    const SimConfig cfg = engineConfig(64);
+    MachineEngine engine(&cfg, 0.0);
+    std::vector<EngineEvent> out;
+    engine.admit({0, 100, 1.0, true, true}, 0.0, out);
+    engine.admit({1, 64, 1.0, true, true}, 0.0, out);
+    engine.admit({2, 65, 1.0, true, true}, 0.0, out);
+    // 100 -> 2 requests, 64 -> 1, 65 -> 2; all dispatch on idle cores.
+    EXPECT_EQ(engine.requestsDispatched(), 5u);
+    EXPECT_EQ(out.size(), 5u);
+}
+
+TEST(MachineEngine, QueuedWorkBeyondCoreCount)
+{
+    const SimConfig cfg = engineConfig(1);
+    MachineEngine engine(&cfg, 0.0);
+    const size_t cores = cfg.cpu.platform().cores;
+    std::vector<EngineEvent> out;
+    const uint32_t samples = static_cast<uint32_t>(2 * cores);
+    engine.admit({0, samples, 1.0, true, true}, 0.0, out);
+    // One request per sample: cores dispatch, the rest queue.
+    EXPECT_EQ(engine.requestsDispatched(), cores);
+    EXPECT_EQ(engine.queuedWork(), cores);
+    EXPECT_EQ(engine.busyCores(), cores);
+}
+
+TEST(MachineEngine, CompletionDispatchesQueuedRequestFifo)
+{
+    const SimConfig cfg = engineConfig(1);
+    MachineEngine engine(&cfg, 0.0);
+    const size_t cores = cfg.cpu.platform().cores;
+    std::vector<EngineEvent> out;
+    engine.admit({0, static_cast<uint32_t>(cores + 1), 1.0, true, true},
+                 0.0, out);
+    ASSERT_EQ(out.size(), cores);
+    const double t = out.front().time;
+    std::vector<EngineEvent> next;
+    const bool finished = engine.cpuRequestDone(0, t, next);
+    EXPECT_FALSE(finished);    // other requests of the part remain
+    ASSERT_EQ(next.size(), 1u);      // the queued request started
+    EXPECT_EQ(engine.queuedWork(), 0u);
+}
+
+TEST(MachineEngine, PartFinishesOnLastRequest)
+{
+    const SimConfig cfg = engineConfig(50);
+    MachineEngine engine(&cfg, 0.0);
+    std::vector<EngineEvent> out;
+    engine.admit({7, 100, 1.0, true, true}, 0.0, out);
+    ASSERT_EQ(out.size(), 2u);
+    std::vector<EngineEvent> none;
+    EXPECT_FALSE(engine.cpuRequestDone(7, out[0].time, none));
+    EXPECT_TRUE(engine.cpuRequestDone(7, out[1].time, none));
+    EXPECT_EQ(engine.partsInService(), 0u);
+}
+
+TEST(MachineEngine, OffloadRequiresWholeAndThreshold)
+{
+    const SimConfig cfg = engineConfig(64, true, 100);
+    MachineEngine engine(&cfg, 0.0);
+    std::vector<EngineEvent> out;
+    // Below threshold: CPU path.
+    engine.admit({0, 99, 1.0, true, true}, 0.0, out);
+    EXPECT_TRUE(out.size() >= 1 &&
+                out.back().kind == EngineEvent::Kind::CpuRequest);
+    // At threshold and whole: offload.
+    out.clear();
+    engine.admit({1, 100, 1.0, true, true}, 0.0, out);
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_EQ(out.back().kind, EngineEvent::Kind::GpuQuery);
+    // Shard part above threshold: never offloaded.
+    out.clear();
+    engine.admit({2, 500, 0.5, false, false}, 0.0, out);
+    ASSERT_FALSE(out.empty());
+    EXPECT_EQ(out.back().kind, EngineEvent::Kind::CpuRequest);
+}
+
+TEST(MachineEngine, GpuServesOneAtATime)
+{
+    const SimConfig cfg = engineConfig(64, true, 1);
+    MachineEngine engine(&cfg, 0.0);
+    std::vector<EngineEvent> out;
+    engine.admit({0, 200, 1.0, true, true}, 0.0, out);
+    engine.admit({1, 200, 1.0, true, true}, 0.0, out);
+    ASSERT_EQ(out.size(), 1u);    // second query queues behind the first
+    EXPECT_EQ(engine.queuedWork(), 1u);
+    std::vector<EngineEvent> next;
+    engine.gpuQueryDone(0, out[0].time, next);
+    ASSERT_EQ(next.size(), 1u);   // and starts when the GPU frees
+    EXPECT_EQ(next[0].partIdx, 1u);
+    const double service = cfg.gpu->querySeconds(200);
+    EXPECT_NEAR(next[0].time, out[0].time + service, 1e-12);
+}
+
+TEST(MachineEngine, GpuSampleAccounting)
+{
+    const SimConfig cfg = engineConfig(64, true, 150);
+    MachineEngine engine(&cfg, 0.0);
+    std::vector<EngineEvent> out;
+    engine.admit({0, 100, 1.0, true, true}, 0.0, out);
+    engine.admit({1, 300, 1.0, true, true}, 0.0, out);
+    EXPECT_DOUBLE_EQ(engine.totalSamples(), 400.0);
+    EXPECT_DOUBLE_EQ(engine.gpuSamples(), 300.0);
+}
+
+TEST(MachineEngine, ShardPartsExcludedFromWholeSampleAccounting)
+{
+    const SimConfig cfg = engineConfig(64);
+    MachineEngine engine(&cfg, 0.0);
+    std::vector<EngineEvent> out;
+    engine.admit({0, 100, 1.0, true, true}, 0.0, out);
+    engine.admit({1, 100, 0.25, false, false}, 0.0, out);
+    // Only the whole part counts toward query-sample totals: shard
+    // parts of the same query must not double-count its samples.
+    EXPECT_DOUBLE_EQ(engine.totalSamples(), 100.0);
+}
+
+TEST(MachineEngine, UtilizationIntegralsAdvanceLazily)
+{
+    const SimConfig cfg = engineConfig(256);
+    MachineEngine engine(&cfg, 0.0);
+    std::vector<EngineEvent> out;
+    engine.admit({0, 100, 1.0, true, true}, 0.0, out);   // one request
+    ASSERT_EQ(out.size(), 1u);
+    engine.advanceTo(0.5);
+    EXPECT_DOUBLE_EQ(engine.busyCoreSeconds(), 0.5);     // 1 core busy
+    std::vector<EngineEvent> none;
+    engine.cpuRequestDone(0, 0.5, none);
+    engine.advanceTo(2.0);
+    EXPECT_DOUBLE_EQ(engine.busyCoreSeconds(), 0.5);     // idle after
+}
+
+TEST(MachineEngine, ServiceTimePricedAtDispatchOccupancy)
+{
+    const SimConfig cfg = engineConfig(128);
+    MachineEngine engine(&cfg, 0.0);
+    std::vector<EngineEvent> out;
+    engine.admit({0, 128, 1.0, true, true}, 0.0, out);
+    ASSERT_EQ(out.size(), 1u);
+    // A lone request is priced against one busy core — itself.
+    EXPECT_DOUBLE_EQ(out[0].time, cfg.cpu.requestSeconds(128, 1));
+}
+
+TEST(MachineEngine, SlowdownScalesServiceTimes)
+{
+    SimConfig slow = engineConfig(128);
+    slow.slowdown = 2.0;
+    const SimConfig fast = engineConfig(128);
+    MachineEngine a(&fast, 0.0);
+    MachineEngine b(&slow, 0.0);
+    std::vector<EngineEvent> oa, ob;
+    a.admit({0, 128, 1.0, true, true}, 0.0, oa);
+    b.admit({0, 128, 1.0, true, true}, 0.0, ob);
+    EXPECT_NEAR(ob[0].time, 2.0 * oa[0].time, 1e-12);
+}
+
+TEST(MachineEngineDeath, RejectsBadConfigs)
+{
+    SimConfig zero_batch = engineConfig();
+    zero_batch.policy.perRequestBatch = 0;
+    EXPECT_DEATH(MachineEngine::validate(zero_batch), "batch");
+    SimConfig bad_slowdown = engineConfig();
+    bad_slowdown.slowdown = 0.0;
+    EXPECT_DEATH(MachineEngine::validate(bad_slowdown), "slowdown");
+    SimConfig gpu_less = engineConfig();
+    gpu_less.policy.gpuEnabled = true;
+    EXPECT_DEATH(MachineEngine::validate(gpu_less), "GPU");
+}
+
+TEST(MachineEngineDeath, RejectsDuplicateAndUnknownParts)
+{
+    const SimConfig cfg = engineConfig();
+    MachineEngine engine(&cfg, 0.0);
+    std::vector<EngineEvent> out;
+    engine.admit({0, 10, 1.0, true, true}, 0.0, out);
+    EXPECT_DEATH(engine.admit({0, 10, 1.0, true, true}, 0.0, out),
+                 "twice");
+    std::vector<EngineEvent> none;
+    EXPECT_DEATH(engine.cpuRequestDone(42, 0.1, none), "unknown");
+}
+
+TEST(EventQueueOrder, TiesBreakOnInsertionSequence)
+{
+    EventQueue q;
+    q.push(1.0, SimEvent::Kind::CpuRequest, 0, 10);
+    q.push(0.5, SimEvent::Kind::CpuRequest, 0, 20);
+    q.push(1.0, SimEvent::Kind::GpuQuery, 1, 30);
+    EXPECT_EQ(q.pop().partIdx, 20u);
+    EXPECT_EQ(q.pop().partIdx, 10u);    // earlier insertion wins the tie
+    EXPECT_EQ(q.pop().partIdx, 30u);
+    EXPECT_TRUE(q.empty());
+}
+
+TEST(DriverHelpers, WarmupCountMatchesHistoricalTruncation)
+{
+    EXPECT_EQ(warmupCount(0.05, 100), 5u);
+    EXPECT_EQ(warmupCount(0.0, 1000), 0u);
+    EXPECT_EQ(warmupCount(0.5, 99), 49u);
+}
+
+TEST(DriverHelpers, TraceOfferedQpsFromStamps)
+{
+    QueryTrace trace;
+    for (uint64_t i = 0; i <= 100; i++)
+        trace.push_back({i, static_cast<double>(i) * 0.01, 1});
+    EXPECT_NEAR(traceOfferedQps(trace), 100.0, 1e-9);
+    EXPECT_DOUBLE_EQ(traceOfferedQps({}), 0.0);
+    EXPECT_DOUBLE_EQ(traceOfferedQps({{0, 1.0, 1}}), 0.0);
+}
+
+TEST(DriverHelpers, MeasuredSpanAccounting)
+{
+    MeasuredSpan span;
+    EXPECT_DOUBLE_EQ(span.seconds(), 0.0);
+    EXPECT_DOUBLE_EQ(span.achievedQps(10), 0.0);
+    span.onArrival(1.0);
+    span.onArrival(2.0);    // later arrivals do not move the origin
+    span.onCompletion(3.0);
+    span.onCompletion(2.5); // earlier completions do not shrink it
+    EXPECT_DOUBLE_EQ(span.seconds(), 2.0);
+    EXPECT_DOUBLE_EQ(span.achievedQps(10), 5.0);
+}
+
+} // namespace
+} // namespace deeprecsys
