@@ -12,9 +12,11 @@
 
 #include <iostream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "base/table.hh"
+#include "base/thread_pool.hh"
 #include "core/deeprecsched.hh"
 
 namespace deeprecsys::bench {
@@ -52,6 +54,22 @@ geomean(const std::vector<double>& values)
     for (double v : values)
         log_sum += std::log(v);
     return std::exp(log_sum / static_cast<double>(values.size()));
+}
+
+/**
+ * Evaluate one sweep point per grid item on the shared thread pool
+ * (DRS_THREADS) and return the results **in input order** — never in
+ * completion order, so a bench's printed table and JSON are identical
+ * at every thread count (the golden/bench-JSON CI checks diff them).
+ * Each fn(item) must be independent and deterministic; with
+ * DRS_THREADS=1 this is exactly the historical serial loop.
+ */
+template <typename Item, typename Fn>
+auto
+sweepMap(const std::vector<Item>& items, Fn fn)
+{
+    return ThreadPool::shared().parallelMap(
+        items.size(), [&](size_t i) { return fn(items[i]); });
 }
 
 } // namespace deeprecsys::bench

@@ -72,18 +72,21 @@ main(int argc, char** argv)
         QueryStream stream(load);
         const QueryTrace trace = stream.generate(queries);
 
-        // Evaluate every policy first so each row can be compared
+        // Evaluate every policy first — concurrently on the shared
+        // pool, consumed in input order — so each row can be compared
         // against the uniform-random baseline.
-        std::vector<ClusterResult> results;
+        const std::vector<ClusterResult> results =
+            bench::sweepMap(allRoutingKinds(), [&](RoutingKind kind) {
+                RoutingSpec spec;
+                spec.kind = kind;
+                spec.seed = 0xfeedULL;
+                spec.sizeThreshold = 400;
+                return sim.run(trace, spec);
+            });
         double random_p99 = 0.0;
-        for (RoutingKind kind : allRoutingKinds()) {
-            RoutingSpec spec;
-            spec.kind = kind;
-            spec.seed = 0xfeedULL;
-            spec.sizeThreshold = 400;
-            results.push_back(sim.run(trace, spec));
-            if (kind == RoutingKind::UniformRandom)
-                random_p99 = results.back().p99Ms();
+        for (size_t i = 0; i < results.size(); i++) {
+            if (allRoutingKinds()[i] == RoutingKind::UniformRandom)
+                random_p99 = results[i].p99Ms();
         }
         for (size_t i = 0; i < results.size(); i++) {
             const RoutingKind kind = allRoutingKinds()[i];

@@ -19,17 +19,28 @@ sweep(const DeepRecInfra& infra, double sla_ms, const std::string& label)
 {
     TextTable table({"batch", "QPS under p95<=" +
                      TextTable::num(sla_ms, 0) + "ms"});
-    SchedulerPolicy policy;
+    std::vector<size_t> batches;
+    for (size_t batch = 1; batch <= 1024; batch *= 2)
+        batches.push_back(batch);
+
+    // Every grid point is an independent max-QPS search; the sweep
+    // helper evaluates them concurrently and returns input order.
+    const std::vector<double> qps_curve =
+        sweepMap(batches, [&](size_t batch) {
+            SchedulerPolicy policy;
+            policy.perRequestBatch = batch;
+            return infra.maxQps(policy, sla_ms).maxQps;
+        });
+
     double best_qps = 0.0;
     size_t best_batch = 1;
-    for (size_t batch = 1; batch <= 1024; batch *= 2) {
-        policy.perRequestBatch = batch;
-        const double qps = infra.maxQps(policy, sla_ms).maxQps;
-        if (qps > best_qps * 1.02) {
-            best_qps = qps;
-            best_batch = batch;
+    for (size_t i = 0; i < batches.size(); i++) {
+        if (qps_curve[i] > best_qps * 1.02) {
+            best_qps = qps_curve[i];
+            best_batch = batches[i];
         }
-        table.addRow({std::to_string(batch), TextTable::num(qps, 0)});
+        table.addRow({std::to_string(batches[i]),
+                      TextTable::num(qps_curve[i], 0)});
     }
     printBanner(std::cout, label + " -> optimal batch " +
                                std::to_string(best_batch));

@@ -24,20 +24,28 @@ main()
         // The batch size for CPU-resident work comes from stage 1 of
         // DeepRecSched (Section IV-C).
         const TuningResult cpu = DeepRecSched::tuneCpu(infra, sla);
-        SchedulerPolicy policy = cpu.policy;
-        policy.gpuEnabled = true;
+
+        // One independent max-QPS search per threshold, swept on the
+        // shared pool; rows print in input order.
+        const std::vector<QpsSearchResult> curve =
+            sweepMap(thresholds, [&](uint32_t t) {
+                SchedulerPolicy policy = cpu.policy;
+                policy.gpuEnabled = true;
+                policy.gpuQueryThreshold = t;
+                return infra.maxQps(policy, sla);
+            });
 
         TextTable table({"threshold", "QPS", "GPU work frac"});
         double best_qps = 0.0;
         uint32_t best_threshold = 1;
-        for (uint32_t t : thresholds) {
-            policy.gpuQueryThreshold = t;
-            const QpsSearchResult r = infra.maxQps(policy, sla);
+        for (size_t i = 0; i < thresholds.size(); i++) {
+            const QpsSearchResult& r = curve[i];
             if (r.maxQps > best_qps * 1.02) {
                 best_qps = r.maxQps;
-                best_threshold = t;
+                best_threshold = thresholds[i];
             }
-            table.addRow({std::to_string(t), TextTable::num(r.maxQps, 0),
+            table.addRow({std::to_string(thresholds[i]),
+                          TextTable::num(r.maxQps, 0),
                           TextTable::num(
                               r.atMax.gpuWorkFraction * 100.0, 1) + "%"});
         }

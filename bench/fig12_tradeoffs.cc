@@ -24,7 +24,8 @@ main()
         TextTable table({"tier", "production: batch", "QPS",
                          "lognormal: batch", "QPS",
                          "mis-tuned penalty"});
-        for (SlaTier tier : allTiers()) {
+        // One row per tier, tuned concurrently; rows land input-order.
+        const auto rows = sweepMap(allTiers(), [&](SlaTier tier) {
             InfraConfig prod_cfg = defaultInfra(ModelId::DlrmRmc1);
             DeepRecInfra prod(prod_cfg);
             InfraConfig logn_cfg = prod_cfg;
@@ -41,14 +42,16 @@ main()
             const double mistuned_qps =
                 prod.maxQps(mistuned, sla).maxQps;
 
-            table.addRow({slaTierName(tier),
-                          std::to_string(rp.policy.perRequestBatch),
-                          TextTable::num(rp.qps(), 0),
-                          std::to_string(rl.policy.perRequestBatch),
-                          TextTable::num(rl.qps(), 0),
-                          TextTable::num(rp.qps() / mistuned_qps, 2) +
-                              "x"});
-        }
+            return std::vector<std::string>{
+                slaTierName(tier),
+                std::to_string(rp.policy.perRequestBatch),
+                TextTable::num(rp.qps(), 0),
+                std::to_string(rl.policy.perRequestBatch),
+                TextTable::num(rl.qps(), 0),
+                TextTable::num(rp.qps() / mistuned_qps, 2) + "x"};
+        });
+        for (const std::vector<std::string>& row : rows)
+            table.addRow(row);
         table.print(std::cout);
     }
 
@@ -64,14 +67,19 @@ main()
             {ModelId::WideAndDeep, "MLP"},
             {ModelId::Dien, "recurrent"},
         };
-        for (const auto& [id, klass] : models) {
-            DeepRecInfra infra(defaultInfra(id));
-            const TuningResult r =
-                DeepRecSched::tuneCpu(infra, infra.slaMs(SlaTier::High));
-            table.addRow({modelName(id), klass,
-                          std::to_string(r.policy.perRequestBatch),
-                          TextTable::num(r.qps(), 0)});
-        }
+        const auto rows = sweepMap(
+            models, [&](const std::pair<ModelId, const char*>& entry) {
+                const auto& [id, klass] = entry;
+                DeepRecInfra infra(defaultInfra(id));
+                const TuningResult r = DeepRecSched::tuneCpu(
+                    infra, infra.slaMs(SlaTier::High));
+                return std::vector<std::string>{
+                    modelName(id), klass,
+                    std::to_string(r.policy.perRequestBatch),
+                    TextTable::num(r.qps(), 0)};
+            });
+        for (const std::vector<std::string>& row : rows)
+            table.addRow(row);
         table.print(std::cout);
     }
 
@@ -83,8 +91,10 @@ main()
         TextTable table({"Platform", "LLC", "optimal batch", "QPS",
                          "QPS@16 / QPS@opt",
                          "contention @16", "contention @1024"});
-        for (const CpuPlatform& platform :
-             {CpuPlatform::broadwell(), CpuPlatform::skylake()}) {
+        const std::vector<CpuPlatform> platforms = {
+            CpuPlatform::broadwell(), CpuPlatform::skylake()};
+        const auto rows = sweepMap(platforms, [&](const CpuPlatform&
+                                                      platform) {
             InfraConfig cfg = defaultInfra(ModelId::DlrmRmc3);
             cfg.platform = platform;
             DeepRecInfra infra(cfg);
@@ -95,17 +105,19 @@ main()
             const double qps_small = infra.maxQps(small, 175.0).maxQps;
 
             const CpuCostModel& cost = infra.cpuModel();
-            table.addRow({platform.name,
-                          platform.inclusiveLlc ? "inclusive"
-                                                : "exclusive",
-                          std::to_string(r.policy.perRequestBatch),
-                          TextTable::num(r.qps(), 0),
-                          TextTable::num(qps_small / r.qps(), 2),
-                          TextTable::num(cost.contentionFactor(
-                              platform.cores, 16), 2),
-                          TextTable::num(cost.contentionFactor(
-                              platform.cores, 1024), 2)});
-        }
+            return std::vector<std::string>{
+                platform.name,
+                platform.inclusiveLlc ? "inclusive" : "exclusive",
+                std::to_string(r.policy.perRequestBatch),
+                TextTable::num(r.qps(), 0),
+                TextTable::num(qps_small / r.qps(), 2),
+                TextTable::num(cost.contentionFactor(platform.cores, 16),
+                               2),
+                TextTable::num(
+                    cost.contentionFactor(platform.cores, 1024), 2)};
+        });
+        for (const std::vector<std::string>& row : rows)
+            table.addRow(row);
         table.print(std::cout);
         std::cout << "\nInclusive caches (Broadwell) pay a steep"
                      " request-parallel penalty; batch parallelism"

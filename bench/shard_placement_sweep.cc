@@ -96,8 +96,18 @@ main(int argc, char** argv)
     QueryStream stream(load);
     const QueryTrace trace = stream.generate(16000);
 
+    // The (budget x strategy) grid: every cell is two independent
+    // cluster simulations, evaluated concurrently on the shared pool;
+    // rows print in input order regardless of completion order.
+    std::vector<std::pair<double, PlacementStrategy>> grid;
     for (double budget_gb : {1.25, 1.5, 2.0, 3.0, 4.0, 6.0, 9.0}) {
-        for (PlacementStrategy strategy : allPlacementStrategies()) {
+        for (PlacementStrategy strategy : allPlacementStrategies())
+            grid.push_back({budget_gb, strategy});
+    }
+    const auto rows = bench::sweepMap(
+        grid,
+        [&](const std::pair<double, PlacementStrategy>& cell) {
+            const auto& [budget_gb, strategy] = cell;
             ClusterConfig cluster = tierWithBudget(budget_gb);
             PlacementSpec placement_spec;
             placement_spec.strategy = strategy;
@@ -105,12 +115,11 @@ main(int argc, char** argv)
                 tables, machineMemoryBudgets(cluster.machines),
                 placement_spec);
             if (!placement.feasible()) {
-                table.addRow({TextTable::num(qps, 0),
-                              TextTable::num(budget_gb, 2),
-                              placementStrategyName(strategy),
-                              "-", "-", "-", "-", "-", "infeasible",
-                              "-", "-"});
-                continue;
+                return std::vector<std::string>{
+                    TextTable::num(qps, 0),
+                    TextTable::num(budget_gb, 2),
+                    placementStrategyName(strategy),
+                    "-", "-", "-", "-", "-", "infeasible", "-", "-"};
             }
             cluster.sharding = ShardingConfig{placement, table_set};
 
@@ -123,20 +132,22 @@ main(int argc, char** argv)
             const ClusterResult r =
                 ClusterSimulator(cluster).run(trace, routing);
 
-            table.addRow({TextTable::num(qps, 0),
-                          TextTable::num(budget_gb, 2),
-                          placementStrategyName(strategy),
-                          TextTable::num(static_cast<int64_t>(
-                              placement.totalReplicas())),
-                          TextTable::num(r.meanFanout, 2),
-                          TextTable::num(r.tailMs(50), 2),
-                          TextTable::num(r.p95Ms(), 2),
-                          TextTable::num(opt.p99Ms(), 2),
-                          TextTable::num(r.p99Ms(), 2),
-                          TextTable::num(r.p99Ms() / opt.p99Ms(), 2),
-                          TextTable::num(r.meanCpuUtilization, 2)});
-        }
-    }
+            return std::vector<std::string>{
+                TextTable::num(qps, 0),
+                TextTable::num(budget_gb, 2),
+                placementStrategyName(strategy),
+                TextTable::num(static_cast<int64_t>(
+                    placement.totalReplicas())),
+                TextTable::num(r.meanFanout, 2),
+                TextTable::num(r.tailMs(50), 2),
+                TextTable::num(r.p95Ms(), 2),
+                TextTable::num(opt.p99Ms(), 2),
+                TextTable::num(r.p99Ms(), 2),
+                TextTable::num(r.p99Ms() / opt.p99Ms(), 2),
+                TextTable::num(r.meanCpuUtilization, 2)};
+        });
+    for (const std::vector<std::string>& row : rows)
+        table.addRow(row);
     }
     table.print(std::cout);
     std::cout << "\nAt light load, sharding acts as free model"

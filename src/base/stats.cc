@@ -18,8 +18,15 @@ SampleStats::add(double value)
 void
 SampleStats::addAll(const std::vector<double>& values)
 {
+    if (values.empty())
+        return;
+    samples.reserve(samples.size() + values.size());
+    samples.insert(samples.end(), values.begin(), values.end());
+    // Same accumulation order as per-element add(), so totals stay
+    // bit-identical to the historical loop.
     for (double v : values)
-        add(v);
+        total += v;
+    sortedValid = false;
 }
 
 double
@@ -180,11 +187,32 @@ Cdf::inverse(double q) const
 double
 Cdf::ksDistance(const Cdf& other) const
 {
+    // Linear merge over the two sorted arrays: at every sample value
+    // x (from either set) compare the empirical CDFs. Equivalent to
+    // evaluating at()/upper_bound per sample — |F_a(x) - F_b(x)| at
+    // the same evaluation points with the same count/size divisions —
+    // but O(n + m) instead of O((n + m) log nm).
+    if (sorted.empty() || other.sorted.empty())
+        return sorted.empty() == other.sorted.empty() ? 0.0 : 1.0;
+    const double na = static_cast<double>(sorted.size());
+    const double nb = static_cast<double>(other.sorted.size());
     double max_d = 0.0;
-    for (double x : sorted)
-        max_d = std::max(max_d, std::abs(at(x) - other.at(x)));
-    for (double x : other.sorted)
-        max_d = std::max(max_d, std::abs(at(x) - other.at(x)));
+    size_t i = 0;
+    size_t j = 0;
+    while (i < sorted.size() || j < other.sorted.size()) {
+        // Next evaluation point: the smaller of the two heads.
+        const double x = (j >= other.sorted.size() ||
+                          (i < sorted.size() && sorted[i] <= other.sorted[j]))
+            ? sorted[i]
+            : other.sorted[j];
+        while (i < sorted.size() && sorted[i] <= x)
+            i++;
+        while (j < other.sorted.size() && other.sorted[j] <= x)
+            j++;
+        const double fa = static_cast<double>(i) / na;
+        const double fb = static_cast<double>(j) / nb;
+        max_d = std::max(max_d, std::abs(fa - fb));
+    }
     return max_d;
 }
 

@@ -29,10 +29,17 @@ class SampleStats
     /** Pre-allocate capacity for an expected number of samples. */
     explicit SampleStats(size_t expected) { samples.reserve(expected); }
 
+    /** Pre-allocate capacity for an expected number of samples. */
+    void reserve(size_t expected) { samples.reserve(expected); }
+
     /** Record one sample. */
     void add(double value);
 
-    /** Record many samples. */
+    /**
+     * Record many samples: reserves once and bulk-appends (callers
+     * merge whole latency vectors per simulation, so the per-element
+     * growth checks of add() would dominate).
+     */
     void addAll(const std::vector<double>& values);
 
     /** Number of recorded samples. */

@@ -1,0 +1,243 @@
+#include "thread_pool.hh"
+
+#include <atomic>
+#include <cstdlib>
+
+#include "base/logging.hh"
+
+namespace deeprecsys {
+
+namespace detail {
+
+bool
+TaskStateBase::tryRun()
+{
+    std::function<void()> claimed;
+    {
+        std::lock_guard<std::mutex> lock(mu);
+        if (status != TaskStatus::Pending)
+            return false;
+        status = TaskStatus::Running;
+        claimed = std::move(body);
+        body = nullptr;
+    }
+    std::exception_ptr thrown;
+    try {
+        claimed();
+    } catch (...) {
+        thrown = std::current_exception();
+    }
+    {
+        std::lock_guard<std::mutex> lock(mu);
+        error = thrown;
+        status = TaskStatus::Done;
+    }
+    cv.notify_all();
+    return true;
+}
+
+void
+TaskStateBase::waitFinished()
+{
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [this] {
+        return status == TaskStatus::Done ||
+               status == TaskStatus::Cancelled;
+    });
+    drs_assert(status == TaskStatus::Done,
+               "waited on a cancelled task");
+}
+
+bool
+TaskStateBase::cancelIfPending()
+{
+    std::lock_guard<std::mutex> lock(mu);
+    if (status != TaskStatus::Pending)
+        return false;
+    status = TaskStatus::Cancelled;
+    body = nullptr;
+    return true;
+}
+
+void
+TaskStateBase::cancelOrWait()
+{
+    {
+        std::lock_guard<std::mutex> lock(mu);
+        switch (status) {
+          case TaskStatus::Pending:
+            status = TaskStatus::Cancelled;
+            body = nullptr;
+            return;
+          case TaskStatus::Done:
+          case TaskStatus::Cancelled:
+            return;   // already settled (repeat discards are no-ops)
+          case TaskStatus::Running:
+            break;    // wait below: captures must outlive the body
+        }
+    }
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [this] { return status == TaskStatus::Done; });
+}
+
+} // namespace detail
+
+ThreadPool::ThreadPool(size_t threads)
+{
+    if (threads == 0)
+        threads = defaultThreadCount();
+    workers.reserve(threads - 1);
+    for (size_t t = 0; t + 1 < threads; t++)
+        workers.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(queueMu);
+        stopping = true;
+    }
+    queueCv.notify_all();
+    for (std::thread& worker : workers)
+        worker.join();
+}
+
+size_t
+ThreadPool::defaultThreadCount()
+{
+    if (const char* env = std::getenv("DRS_THREADS")) {
+        char* end = nullptr;
+        const unsigned long parsed = std::strtoul(env, &end, 10);
+        if (end != env && parsed >= 1 && parsed <= 1024)
+            return static_cast<size_t>(parsed);
+        if (end != env && parsed == 0)
+            ; // fall through to hardware concurrency
+        else if (env[0] != '\0')
+            drs_warn("ignoring unparseable DRS_THREADS=", env);
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw >= 1 ? hw : 1;
+}
+
+namespace {
+
+std::mutex sharedPoolMu;
+std::unique_ptr<ThreadPool> sharedPool;
+
+} // namespace
+
+ThreadPool&
+ThreadPool::shared()
+{
+    std::lock_guard<std::mutex> lock(sharedPoolMu);
+    if (!sharedPool)
+        sharedPool = std::make_unique<ThreadPool>();
+    return *sharedPool;
+}
+
+void
+ThreadPool::setSharedThreads(size_t threads)
+{
+    std::lock_guard<std::mutex> lock(sharedPoolMu);
+    sharedPool = std::make_unique<ThreadPool>(
+        threads == 0 ? defaultThreadCount() : threads);
+}
+
+void
+ThreadPool::enqueue(std::shared_ptr<detail::TaskStateBase> task)
+{
+    if (workers.empty())
+        return;   // serial pool: the task runs inline at its get()
+    {
+        std::lock_guard<std::mutex> lock(queueMu);
+        queue.push_back(std::move(task));
+    }
+    queueCv.notify_one();
+}
+
+void
+ThreadPool::workerLoop()
+{
+    for (;;) {
+        std::shared_ptr<detail::TaskStateBase> task;
+        {
+            std::unique_lock<std::mutex> lock(queueMu);
+            queueCv.wait(lock,
+                         [this] { return stopping || !queue.empty(); });
+            if (queue.empty())
+                return;   // stopping with nothing left to drain
+            task = std::move(queue.front());
+            queue.pop_front();
+        }
+        task->tryRun();   // no-op if a get() already stole it
+    }
+}
+
+void
+ThreadPool::parallelFor(size_t n, const std::function<void(size_t)>& fn)
+{
+    if (n == 0)
+        return;
+    if (workers.empty() || n == 1) {
+        // Serial path: plain loop, first exception propagates as-is.
+        for (size_t i = 0; i < n; i++)
+            fn(i);
+        return;
+    }
+
+    // Shared claim counter: every participant (workers via helper
+    // tasks, plus this thread) grabs the next unclaimed index. Helper
+    // count never exceeds the iteration count, and each helper loops
+    // until the range drains, so scheduling order cannot change which
+    // indices run — only who runs them.
+    struct Sweep
+    {
+        std::atomic<size_t> next{0};
+        size_t total;
+        const std::function<void(size_t)>* fn;
+        std::mutex mu;
+        std::exception_ptr firstError;
+        size_t firstErrorIndex;
+    };
+    auto sweep = std::make_shared<Sweep>();
+    sweep->total = n;
+    sweep->fn = &fn;
+    sweep->firstErrorIndex = n;
+
+    auto drain = [](Sweep& s) {
+        for (;;) {
+            const size_t i = s.next.fetch_add(1);
+            if (i >= s.total)
+                return;
+            try {
+                (*s.fn)(i);
+            } catch (...) {
+                std::lock_guard<std::mutex> lock(s.mu);
+                if (i < s.firstErrorIndex) {
+                    s.firstError = std::current_exception();
+                    s.firstErrorIndex = i;
+                }
+            }
+        }
+    };
+
+    const size_t helpers = std::min(workers.size(), n - 1);
+    std::vector<TaskFuture<int>> futures;
+    futures.reserve(helpers);
+    for (size_t h = 0; h < helpers; h++) {
+        futures.push_back(submit([sweep, drain] {
+            drain(*sweep);
+            return 0;
+        }));
+    }
+    drain(*sweep);
+    // Helpers either never started (cancel is then free — the range
+    // is already drained) or must finish before fn and the caller's
+    // captures go out of scope.
+    for (TaskFuture<int>& future : futures)
+        future.get();
+    if (sweep->firstError)
+        std::rethrow_exception(sweep->firstError);
+}
+
+} // namespace deeprecsys

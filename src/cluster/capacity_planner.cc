@@ -1,8 +1,10 @@
 #include "capacity_planner.hh"
 
 #include <algorithm>
+#include <utility>
 
 #include "base/logging.hh"
+#include "sim/rate_search.hh"
 
 namespace deeprecsys {
 
@@ -56,27 +58,63 @@ planCapacity(const CapacityPlanSpec& spec)
         return placement;
     };
 
-    auto meets = [&](size_t units, ClusterResult& out) {
+    // The query population is drawn once and re-timed per candidate
+    // (bit-identical to regenerating); larger tiers consume a longer
+    // prefix. ensure() only ever runs on this thread, between
+    // generations — materialize() is what the workers share.
+    LoadSpec load = spec.load;
+    load.qps = spec.targetQps;
+    TraceTemplate trace_template(load);
+    auto trace_length = [&](size_t units) {
+        return std::max(spec.minQueries,
+                        spec.queriesPerMachine * units *
+                            spec.unitMachines.size());
+    };
+
+    // Evaluate one candidate unit count end-to-end. Thread-safe: pure
+    // function of (spec, units) given a pre-drawn template.
+    auto evaluate = [&](size_t units)
+        -> std::pair<ClusterResult, bool> {
         ClusterConfig cluster = clusterOfUnits(spec, units);
         cluster.network = spec.network;
         if (sharded) {
             std::optional<ShardPlacement> placement = placement_for(units);
             if (!placement.has_value())
-                return false;    // memory infeasible at this size
+                return {ClusterResult{}, false};  // memory infeasible
             cluster.sharding =
                 ShardingConfig{std::move(*placement), spec.tableSet};
         }
-        ClusterQpsSpec eval;
-        eval.slaMs = spec.slaMs;
-        eval.percentile = spec.percentile;
-        eval.load = spec.load;
-        eval.routing = spec.routing;
-        eval.numQueries = std::max(
-            spec.minQueries,
-            spec.queriesPerMachine * cluster.machines.size());
-        out = evaluateClusterAtQps(cluster, eval, spec.targetQps);
-        plan.evaluations++;
-        return out.tailMs(spec.percentile) <= spec.slaMs;
+        const QueryTrace trace = trace_template.materialize(
+            spec.targetQps, trace_length(units));
+        ClusterResult r =
+            ClusterSimulator(cluster).run(trace, spec.routing);
+        const bool meets = r.tailMs(spec.percentile) <= spec.slaMs;
+        return {std::move(r), meets};
+    };
+
+    // Consume a generation of candidate counts ascending (the shared
+    // speculative primitive of sim/rate_search.hh): infeasible counts
+    // raise lo, the first feasible count becomes hi and stops the
+    // generation. Deterministic at any thread count.
+    size_t lo = 0;           // largest count proven infeasible
+    size_t hi = 0;           // smallest count proven feasible
+    ClusterResult atHi;
+    bool found = false;
+    auto consume = [&](const std::vector<size_t>& counts) {
+        trace_template.ensure(trace_length(counts.back()));
+        consumeGeneration(
+            counts, evaluate,
+            [&](size_t i, std::pair<ClusterResult, bool>& point) {
+                plan.evaluations++;
+                if (!point.second) {
+                    lo = counts[i];
+                    return false;
+                }
+                hi = counts[i];
+                atHi = std::move(point.first);
+                found = true;
+                return true;   // smallest feasible count this round
+            });
     };
 
     // Memory floor first: the smallest unit count whose placement is
@@ -104,28 +142,36 @@ planCapacity(const CapacityPlanSpec& spec)
         plan.minUnitsForMemory = memory_floor;
     }
 
-    // Geometric probe for the first feasible unit count; lo tracks
-    // the largest count proven infeasible.
-    size_t lo = memory_floor - 1;
-    size_t hi = memory_floor;
-    ClusterResult atHi;
-    while (!meets(hi, atHi)) {
-        if (hi >= spec.maxUnits)
+    // Geometric probe for the first feasible unit count, speculating
+    // up to three rungs per generation.
+    constexpr size_t width = 3;
+    lo = memory_floor - 1;
+    size_t rung = memory_floor;
+    while (!found) {
+        std::vector<size_t> rungs;
+        for (size_t j = 0; j < width; j++) {
+            rungs.push_back(rung);
+            if (rung >= spec.maxUnits)
+                break;
+            rung = std::min(2 * rung, spec.maxUnits);
+        }
+        consume(rungs);
+        if (!found && rungs.back() >= spec.maxUnits)
             return plan;    // infeasible within the unit budget
-        lo = hi;
-        hi = std::min(2 * hi, spec.maxUnits);
     }
 
-    // Bisect (lo infeasible, hi feasible] for the minimal count.
+    // Bisect (lo infeasible, hi feasible] for the minimal count with
+    // a speculative midpoint frontier.
     while (hi - lo > 1) {
-        const size_t mid = lo + (hi - lo) / 2;
-        ClusterResult atMid;
-        if (meets(mid, atMid)) {
-            hi = mid;
-            atHi = std::move(atMid);
-        } else {
-            lo = mid;
+        std::vector<size_t> mids;
+        for (size_t j = 1; j <= width; j++) {
+            const size_t mid = lo + (hi - lo) * j / (width + 1);
+            if (mid > lo && mid < hi &&
+                (mids.empty() || mid > mids.back()))
+                mids.push_back(mid);
         }
+        drs_assert(!mids.empty(), "empty bisection generation");
+        consume(mids);   // every consumed midpoint moves lo or hi
     }
 
     plan.feasible = true;

@@ -75,7 +75,10 @@ struct CapacityPlan
     size_t units = 0;           ///< minimal feasible unit count
     size_t machines = 0;        ///< units * unit size
     ClusterResult atPlan;       ///< cluster stats at the plan point
-    size_t evaluations = 0;     ///< cluster runs performed
+
+    /** Candidate counts the plan consumed (thread-count independent;
+     *  cancelled speculative candidates never count). */
+    size_t evaluations = 0;
 
     /**
      * Smallest unit count whose shard placement fits the memory
@@ -96,7 +99,9 @@ struct CapacityPlan
 /**
  * Find the minimal number of deployable units whose cluster meets the
  * SLA at the target global rate (geometric probe, then bisection on
- * the unit count). Deterministic for fixed seeds.
+ * the unit count, both with a speculative candidate frontier
+ * evaluated on the shared ThreadPool — see sim/rate_search.hh for the
+ * pattern). Deterministic for fixed seeds at every DRS_THREADS value.
  */
 CapacityPlan planCapacity(const CapacityPlanSpec& spec);
 

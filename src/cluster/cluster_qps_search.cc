@@ -1,8 +1,10 @@
 #include "cluster_qps_search.hh"
 
 #include <algorithm>
+#include <utility>
 
 #include "base/logging.hh"
+#include "sim/rate_search.hh"
 
 namespace deeprecsys {
 
@@ -31,63 +33,39 @@ ClusterQpsResult
 findClusterMaxQps(const ClusterConfig& cluster, const ClusterQpsSpec& spec)
 {
     drs_assert(spec.slaMs > 0.0, "SLA target must be positive");
-    ClusterQpsResult result;
 
-    auto meets = [&](double qps, ClusterResult& out) {
-        out = evaluateClusterAtQps(cluster, spec, qps);
-        result.evaluations++;
-        return out.tailMs(spec.percentile) <= spec.slaMs;
+    // Drawn once, re-timed per candidate rate (bit-identical to
+    // regenerating); the simulator is built once and shared — run()
+    // is const and the routing policy is rebuilt per evaluation.
+    const size_t num_queries = clusterTraceLength(cluster, spec);
+    TraceTemplate trace_template(spec.load);
+    trace_template.ensure(num_queries);
+    const ClusterSimulator sim(cluster);
+
+    auto eval = [&](double qps) -> std::pair<ClusterResult, bool> {
+        const QueryTrace trace =
+            trace_template.materialize(qps, num_queries);
+        ClusterResult r = sim.run(trace, spec.routing);
+        const bool meets = r.tailMs(spec.percentile) <= spec.slaMs;
+        return {std::move(r), meets};
     };
 
-    // Feasibility probe at a trickle rate: if the SLA cannot be met
-    // when the cluster is effectively unloaded, no rate will help.
-    ClusterResult probe;
-    if (!meets(spec.qpsFloor, probe))
-        return result;
+    RateSearchKnobs knobs;
+    knobs.qpsFloor = spec.qpsFloor;
+    knobs.qpsCeiling = spec.qpsCeiling;
+    knobs.relTolerance = spec.relTolerance;
+    // Start the probe high enough that small clusters don't waste
+    // rounds (the historical per-machine rung).
+    knobs.growthStart =
+        64.0 * static_cast<double>(cluster.machines.size());
 
-    // Exponential growth until the SLA breaks (or the ceiling). Start
-    // the probe high enough that small clusters don't waste rounds.
-    double lo = spec.qpsFloor;
-    ClusterResult atLo = probe;
-    double hi = std::max(2.0 * lo,
-                         64.0 * static_cast<double>(
-                             cluster.machines.size()));
-    bool hi_infeasible = false;
-    while (hi < spec.qpsCeiling) {
-        ClusterResult r;
-        if (!meets(hi, r)) {
-            hi_infeasible = true;
-            break;
-        }
-        lo = hi;
-        atLo = std::move(r);
-        hi *= 2.0;
-    }
-    if (!hi_infeasible) {
-        // The probe ran into the ceiling while still feasible: test
-        // the ceiling itself, and bisect up to it when it fails.
-        hi = spec.qpsCeiling;
-        ClusterResult r;
-        if (meets(hi, r)) {
-            result.maxQps = hi;
-            result.atMax = std::move(r);
-            return result;
-        }
-    }
+    RateSearchOutcome<ClusterResult> found =
+        findMaxRateUnderSla<ClusterResult>(eval, knobs);
 
-    // Bisection on the feasible boundary.
-    while ((hi - lo) / hi > spec.relTolerance) {
-        const double mid = 0.5 * (lo + hi);
-        ClusterResult r;
-        if (meets(mid, r)) {
-            lo = mid;
-            atLo = std::move(r);
-        } else {
-            hi = mid;
-        }
-    }
-    result.maxQps = lo;
-    result.atMax = std::move(atLo);
+    ClusterQpsResult result;
+    result.maxQps = found.maxRate;
+    result.atMax = std::move(found.atMax);
+    result.evaluations = found.evaluations;
     return result;
 }
 

@@ -47,7 +47,12 @@ struct ClusterQpsResult
 {
     double maxQps = 0.0;        ///< 0 when the SLA is unachievable
     ClusterResult atMax;        ///< cluster stats at the found rate
-    size_t evaluations = 0;     ///< cluster runs performed
+
+    /**
+     * Candidate rates the search consumed — thread-count independent
+     * (speculative candidates that were cancelled never count).
+     */
+    size_t evaluations = 0;
 };
 
 /** Effective trace length for one evaluation of @p spec. */

@@ -139,6 +139,7 @@ ClusterSimulator::run(const QueryTrace& trace, RoutingPolicy& policy) const
         return result;
 
     const size_t warmup = warmupCount(cfg.warmupFraction, trace.size());
+    result.fleetLatencySeconds.reserve(trace.size() - warmup);
 
     std::vector<QueryState> queries(trace.size());
     std::vector<PartRec> parts;
@@ -151,7 +152,14 @@ ClusterSimulator::run(const QueryTrace& trace, RoutingPolicy& policy) const
     std::vector<uint64_t> inFlight(cfg.machines.size(), 0);
 
     EventQueue events;
+    // Pre-size the heap: per machine at most one completion per busy
+    // core plus one offload, plus forwarded parts in flight.
+    size_t total_cores = 0;
+    for (const SimConfig& machine : cfg.machines)
+        total_cores += machine.cpu.platform().cores;
+    events.reserve(std::min(trace.size(), total_cores + 256));
     std::vector<EngineEvent> scheduled;
+    scheduled.reserve(256);
 
     LiveView view(cfg.machines, machines, inFlight);
     result.machineOfQuery.resize(trace.size());
@@ -338,16 +346,16 @@ ClusterSimulator::run(const QueryTrace& trace, RoutingPolicy& policy) const
 
           case SimEvent::Kind::CpuRequest:
             scheduled.clear();
-            if (machines[ev.machine].cpuRequestDone(ev.partIdx, ev.time,
-                                                    scheduled))
+            if (machines[ev.machine].cpuRequestDone(ev.slot, ev.partIdx,
+                                                    ev.time, scheduled))
                 finish_part(ev.partIdx, ev.time);
             events.pushAll(scheduled, ev.machine);
             break;
 
           case SimEvent::Kind::GpuQuery:
             scheduled.clear();
-            machines[ev.machine].gpuQueryDone(ev.partIdx, ev.time,
-                                              scheduled);
+            machines[ev.machine].gpuQueryDone(ev.slot, ev.partIdx,
+                                              ev.time, scheduled);
             finish_part(ev.partIdx, ev.time);
             events.pushAll(scheduled, ev.machine);
             break;

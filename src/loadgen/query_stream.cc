@@ -1,5 +1,7 @@
 #include "query_stream.hh"
 
+#include "base/logging.hh"
+
 namespace deeprecsys {
 
 QueryStream::QueryStream(const LoadSpec& spec)
@@ -31,6 +33,47 @@ QueryStream::reset()
     sizes = QuerySizeDistribution::byKind(spec_.sizes, spec_.sizeSeed);
     clock = 0.0;
     nextId = 0;
+}
+
+TraceTemplate::TraceTemplate(const LoadSpec& spec)
+    : spec_(spec), arrivals(spec.arrival, 1.0, spec.arrivalSeed),
+      sizeDist(QuerySizeDistribution::byKind(spec.sizes, spec.sizeSeed))
+{
+}
+
+void
+TraceTemplate::ensure(size_t count)
+{
+    if (count <= unitGaps.size())
+        return;
+    unitGaps.reserve(count);
+    sizes.reserve(count);
+    while (unitGaps.size() < count) {
+        unitGaps.push_back(arrivals.nextGap());
+        sizes.push_back(sizeDist.sample());
+    }
+}
+
+QueryTrace
+TraceTemplate::materialize(double qps, size_t count) const
+{
+    drs_assert(count <= unitGaps.size(),
+               "materialize beyond the drawn template; call ensure()");
+    QueryTrace trace;
+    trace.reserve(count);
+    double clock = 0.0;
+    for (size_t i = 0; i < count; i++) {
+        // Same floating-point op sequence as generate() at this rate:
+        // gap(1.0) is the dividend ArrivalProcess would divide by the
+        // rate, so gap(1.0) / qps is bit-identical to its nextGap().
+        clock += unitGaps[i] / qps;
+        Query q;
+        q.id = static_cast<uint64_t>(i);
+        q.arrivalSeconds = clock;
+        q.size = sizes[i];
+        trace.push_back(q);
+    }
+    return trace;
 }
 
 } // namespace deeprecsys

@@ -51,6 +51,47 @@ class QueryStream
     uint64_t nextId = 0;
 };
 
+/**
+ * The rate-sweep form of a query stream: sizes and *unit-rate*
+ * inter-arrival gaps are drawn once, and materialize() re-times them
+ * at any candidate rate. Every ArrivalKind prices a gap as
+ * gap(rate) = gap(1.0) / rate, and IEEE division by 1.0 is exact, so
+ * a materialized trace is **bit-identical** to QueryStream::generate
+ * at that rate with the same LoadSpec — the draw order never changes.
+ * This is what lets the QPS searches re-time one drawn population per
+ * candidate rate instead of regenerating the trace per evaluation.
+ *
+ * Thread-safety: ensure() mutates and must be called from one thread;
+ * materialize() is const and safe to call concurrently afterwards.
+ */
+class TraceTemplate
+{
+  public:
+    explicit TraceTemplate(const LoadSpec& spec);
+
+    /** Draw through @p count queries (monotone; cheap when already
+     *  drawn). Prefixes are stable: growing never redraws. */
+    void ensure(size_t count);
+
+    /**
+     * First @p count queries re-timed at @p qps. Requires
+     * ensure(count) to have happened.
+     */
+    QueryTrace materialize(double qps, size_t count) const;
+
+    /** Queries drawn so far. */
+    size_t size() const { return unitGaps.size(); }
+
+    const LoadSpec& spec() const { return spec_; }
+
+  private:
+    LoadSpec spec_;
+    ArrivalProcess arrivals;        ///< runs at rate 1.0
+    QuerySizeDistribution sizeDist;
+    std::vector<double> unitGaps;   ///< inter-arrival gaps at rate 1.0
+    std::vector<uint32_t> sizes;
+};
+
 } // namespace deeprecsys
 
 #endif // DRS_LOADGEN_QUERY_STREAM_HH

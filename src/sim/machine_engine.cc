@@ -34,6 +34,35 @@ MachineEngine::advanceTo(double now)
     lastEventTime = now;
 }
 
+MachineEngine::PartBook&
+MachineEngine::bookAt(uint32_t slot, uint64_t part_idx)
+{
+    drs_assert(slot < slab.size() && slab[slot].active,
+               "completion for unknown part");
+    drs_assert(slab[slot].partIdx == part_idx,
+               "completion for a recycled slot (stale event)");
+    return slab[slot];
+}
+
+uint32_t
+MachineEngine::allocSlot()
+{
+    if (!freeSlots.empty()) {
+        const uint32_t slot = freeSlots.back();
+        freeSlots.pop_back();
+        return slot;
+    }
+    slab.emplace_back();
+    return static_cast<uint32_t>(slab.size() - 1);
+}
+
+void
+MachineEngine::freeSlot(uint32_t slot)
+{
+    slab[slot].active = false;
+    freeSlots.push_back(slot);
+}
+
 void
 MachineEngine::dispatchCpu(double now, std::vector<EngineEvent>& out)
 {
@@ -42,7 +71,7 @@ MachineEngine::dispatchCpu(double now, std::vector<EngineEvent>& out)
         const PendingRequest req = cpuQueue.front();
         cpuQueue.pop_front();
         busyCores_++;
-        const PartBook& book = parts.at(req.partIdx);
+        const PartBook& book = slab[req.slot];
         // Whole queries take the historical full-model path; shard
         // parts are charged their local share of the embedding work
         // (plus the dense stacks when they lead). The contention term
@@ -55,7 +84,7 @@ MachineEngine::dispatchCpu(double now, std::vector<EngineEvent>& out)
                                                   book.leader)) *
             cfg->slowdown;
         out.push_back({now + service, EngineEvent::Kind::CpuRequest,
-                       req.partIdx});
+                       book.partIdx, req.slot});
         requestsDispatched_++;
     }
 }
@@ -65,12 +94,14 @@ MachineEngine::startGpu(double now, std::vector<EngineEvent>& out)
 {
     if (gpuBusy || gpuQueue.empty())
         return;
-    const uint64_t idx = gpuQueue.front();
+    const uint32_t slot = gpuQueue.front();
     gpuQueue.pop_front();
     gpuBusy = true;
+    const PartBook& book = slab[slot];
     const double service =
-        cfg->gpu->querySeconds(parts.at(idx).samples) * cfg->slowdown;
-    out.push_back({now + service, EngineEvent::Kind::GpuQuery, idx});
+        cfg->gpu->querySeconds(book.samples) * cfg->slowdown;
+    out.push_back({now + service, EngineEvent::Kind::GpuQuery,
+                   book.partIdx, slot});
 }
 
 void
@@ -78,13 +109,15 @@ MachineEngine::admit(const PartSpec& part, double now,
                      std::vector<EngineEvent>& out)
 {
     drs_assert(part.samples >= 1, "part needs samples");
-    drs_assert(parts.find(part.partIdx) == parts.end(),
-               "part id admitted twice");
-    PartBook& book = parts[part.partIdx];
+    const uint32_t slot = allocSlot();
+    PartBook& book = slab[slot];
+    book.partIdx = part.partIdx;
     book.samples = part.samples;
+    book.requestsLeft = 0;
     book.embFraction = part.embFraction;
     book.leader = part.leader;
     book.whole = part.whole;
+    book.active = true;
 
     if (part.whole)
         totalSamples_ += part.samples;
@@ -93,7 +126,7 @@ MachineEngine::admit(const PartSpec& part, double now,
         part.samples >= sched.gpuQueryThreshold;
     if (offload) {
         gpuSamples_ += part.samples;
-        gpuQueue.push_back(part.partIdx);
+        gpuQueue.push_back(slot);
         startGpu(now, out);
         return;
     }
@@ -102,7 +135,7 @@ MachineEngine::admit(const PartSpec& part, double now,
     uint32_t remaining = part.samples;
     while (remaining > 0) {
         const uint32_t take = std::min(remaining, batch);
-        cpuQueue.push_back({part.partIdx, take});
+        cpuQueue.push_back({slot, take});
         book.requestsLeft++;
         remaining -= take;
     }
@@ -110,35 +143,42 @@ MachineEngine::admit(const PartSpec& part, double now,
 }
 
 bool
-MachineEngine::cpuRequestDone(uint64_t part_idx, double now,
+MachineEngine::cpuRequestDone(uint32_t slot, uint64_t part_idx, double now,
                               std::vector<EngineEvent>& out)
 {
     drs_assert(busyCores_ > 0, "completion with no busy core");
     busyCores_--;
-    auto it = parts.find(part_idx);
-    drs_assert(it != parts.end(), "completion for unknown part");
-    drs_assert(it->second.requestsLeft > 0,
-               "part with no pending requests");
-    const bool finished = --it->second.requestsLeft == 0;
+    PartBook& book = bookAt(slot, part_idx);
+    drs_assert(book.requestsLeft > 0, "part with no pending requests");
+    const bool finished = --book.requestsLeft == 0;
     if (finished)
-        parts.erase(it);
+        freeSlot(slot);
     dispatchCpu(now, out);
     return finished;
 }
 
 void
-MachineEngine::gpuQueryDone(uint64_t part_idx, double now,
+MachineEngine::gpuQueryDone(uint32_t slot, uint64_t part_idx, double now,
                             std::vector<EngineEvent>& out)
 {
     drs_assert(gpuBusy, "GPU completion while idle");
     gpuBusy = false;
-    drs_assert(parts.erase(part_idx) == 1, "completion for unknown part");
+    bookAt(slot, part_idx);   // validates the slot is live and unrecycled
+    freeSlot(slot);
     startGpu(now, out);
 }
 
 size_t
 warmupCount(double fraction, size_t trace_size)
 {
+    // Clamp defensively: the fraction is an unvalidated config field,
+    // and a value outside [0, 1] must degrade to "measure everything"
+    // / "measure nothing" rather than underflow the callers'
+    // trace_size - warmup arithmetic.
+    if (!(fraction > 0.0))
+        return 0;
+    if (fraction >= 1.0)
+        return trace_size;
     return static_cast<size_t>(fraction *
                                static_cast<double>(trace_size));
 }

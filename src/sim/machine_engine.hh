@@ -20,8 +20,11 @@
  * query. A whole-query dispatch is one part with embFraction 1; a
  * sharded fan-out admits one part per machine of the replica cover;
  * the two-stage join admits a second, dense-only leader part once the
- * remote embedding parts have returned. Parts are identified by a
- * driver-chosen opaque id; the engine never interprets it.
+ * remote embedding parts have returned. Parts carry a driver-chosen
+ * opaque id the engine never interprets, echoed in every event; the
+ * engine additionally stamps events with its internal slab *slot* so
+ * completions index book-keeping directly (no hashing on the per-event
+ * hot path) — drivers hand the slot back verbatim.
  *
  * Units: seconds throughout. Ownership: the engine keeps a pointer to
  * the driver's SimConfig, which must outlive it; everything else is
@@ -34,11 +37,10 @@
 #ifndef DRS_SIM_MACHINE_ENGINE_HH
 #define DRS_SIM_MACHINE_ENGINE_HH
 
+#include <algorithm>
 #include <cstdint>
 #include <deque>
 #include <optional>
-#include <queue>
-#include <unordered_map>
 #include <vector>
 
 #include "costmodel/cpu_cost.hh"
@@ -108,7 +110,16 @@ struct EngineEvent
 {
     double time = 0;
     enum class Kind { CpuRequest, GpuQuery } kind = Kind::CpuRequest;
+
+    /** Driver-chosen opaque id of the part (echoed for joins). */
     uint64_t partIdx = 0;
+
+    /**
+     * Engine-internal slab slot of the part; the driver hands it back
+     * to cpuRequestDone/gpuQueryDone so the engine's hot path indexes
+     * its book-keeping directly instead of hashing part ids.
+     */
+    uint32_t slot = 0;
 };
 
 /**
@@ -143,19 +154,23 @@ class MachineEngine
     void admit(const PartSpec& part, double now, std::vector<EngineEvent>& out);
 
     /**
-     * A CPU request of part @p part_idx completed at @p now: free the
-     * core, dispatch queued work, and report whether that was the
-     * part's last request (the part is finished).
+     * A CPU request of the part at slab slot @p slot finished at
+     * @p now: free the core, dispatch queued work, and report whether
+     * that was the part's last request (the part is finished). Both
+     * @p slot and @p part_idx come from the completing EngineEvent;
+     * the pair is validated against the slab, so a stale slot that
+     * was recycled to another part panics instead of corrupting it.
      */
-    bool cpuRequestDone(uint64_t part_idx, double now,
+    bool cpuRequestDone(uint32_t slot, uint64_t part_idx, double now,
                         std::vector<EngineEvent>& out);
 
     /**
-     * The accelerator query of part @p part_idx completed at @p now:
-     * free the accelerator and start the next queued offload. GPU
-     * parts always finish in one completion.
+     * The accelerator query of the part at slab slot @p slot
+     * completed at @p now: free the accelerator and start the next
+     * queued offload. GPU parts always finish in one completion.
+     * @p slot / @p part_idx come from the completing EngineEvent.
      */
-    void gpuQueryDone(uint64_t part_idx, double now,
+    void gpuQueryDone(uint32_t slot, uint64_t part_idx, double now,
                       std::vector<EngineEvent>& out);
 
     /** Advance the utilization integrals to @p now (monotone). */
@@ -169,7 +184,7 @@ class MachineEngine
     size_t busyCores() const { return busyCores_; }
 
     /** Parts admitted and not yet finished. */
-    size_t partsInService() const { return parts.size(); }
+    size_t partsInService() const { return slab.size() - freeSlots.size(); }
 
     // ------------------------------------------------------- results
     /** CPU requests dispatched so far. */
@@ -190,30 +205,49 @@ class MachineEngine
     const SimConfig& config() const { return *cfg; }
 
   private:
-    /** Book-keeping for one in-service part. */
+    /**
+     * Book-keeping for one in-service part, held in a slab indexed by
+     * slot: admission allocates a slot (reusing freed ones via the
+     * free list), completions index it straight from the event — the
+     * dominant per-event lookup is one vector index instead of a hash
+     * probe, and live books stay packed in a few cache lines.
+     */
     struct PartBook
     {
+        uint64_t partIdx = 0;      ///< driver id, echoed in events
         uint32_t samples = 0;
         uint32_t requestsLeft = 0;
         double embFraction = 1.0;
         bool leader = true;
         bool whole = true;
+        bool active = false;       ///< slot occupied (free-list guard)
     };
 
     /** A queued CPU request: part of a part awaiting a core. */
     struct PendingRequest
     {
-        uint64_t partIdx;
+        uint32_t slot;
         uint32_t batch;
     };
 
     void dispatchCpu(double now, std::vector<EngineEvent>& out);
     void startGpu(double now, std::vector<EngineEvent>& out);
 
+    /** The live book at @p slot, validated against the event's part
+     *  id (panics on a stale, recycled, or bad slot). */
+    PartBook& bookAt(uint32_t slot, uint64_t part_idx);
+
+    /** Allocate a slab slot for a newly admitted part. */
+    uint32_t allocSlot();
+
+    /** Return a finished part's slot to the free list. */
+    void freeSlot(uint32_t slot);
+
     const SimConfig* cfg;
     std::deque<PendingRequest> cpuQueue;
-    std::deque<uint64_t> gpuQueue;           ///< part ids awaiting offload
-    std::unordered_map<uint64_t, PartBook> parts;
+    std::deque<uint32_t> gpuQueue;           ///< slots awaiting offload
+    std::vector<PartBook> slab;              ///< indexed by slot
+    std::vector<uint32_t> freeSlots;         ///< LIFO free list
     size_t busyCores_ = 0;
     bool gpuBusy = false;
 
@@ -242,6 +276,9 @@ struct SimEvent
     uint32_t machine = 0;
     uint64_t partIdx = 0;
 
+    /** Engine slab slot for CpuRequest/GpuQuery completions. */
+    uint32_t slot = 0;
+
     bool
     operator>(const SimEvent& other) const
     {
@@ -251,28 +288,41 @@ struct SimEvent
     }
 };
 
-/** Min-time event queue with deterministic insertion-order tie-break. */
+/**
+ * Min-time event queue with deterministic insertion-order tie-break.
+ * An explicit binary heap over a vector (rather than
+ * std::priority_queue) so drivers can reserve() capacity up front —
+ * trace sizes are known before the run, and the pop order is fully
+ * determined by the (time, seq) total order either way.
+ */
 class EventQueue
 {
   public:
     bool empty() const { return heap.empty(); }
 
-    const SimEvent& top() const { return heap.top(); }
+    size_t size() const { return heap.size(); }
+
+    /** Pre-size the heap (drivers know the trace length up front). */
+    void reserve(size_t events) { heap.reserve(events); }
+
+    const SimEvent& top() const { return heap.front(); }
 
     SimEvent
     pop()
     {
-        SimEvent ev = heap.top();
-        heap.pop();
+        std::pop_heap(heap.begin(), heap.end(), std::greater<SimEvent>());
+        SimEvent ev = heap.back();
+        heap.pop_back();
         return ev;
     }
 
     /** Enqueue a driver event (stamps the tie-break sequence). */
     void
     push(double time, SimEvent::Kind kind, uint32_t machine,
-         uint64_t part_idx)
+         uint64_t part_idx, uint32_t slot = 0)
     {
-        heap.push({time, nextSeq++, kind, machine, part_idx});
+        heap.push_back({time, nextSeq++, kind, machine, part_idx, slot});
+        std::push_heap(heap.begin(), heap.end(), std::greater<SimEvent>());
     }
 
     /** Enqueue engine completions for @p machine in emission order. */
@@ -284,13 +334,12 @@ class EventQueue
                  ev.kind == EngineEvent::Kind::CpuRequest
                      ? SimEvent::Kind::CpuRequest
                      : SimEvent::Kind::GpuQuery,
-                 machine, ev.partIdx);
+                 machine, ev.partIdx, ev.slot);
         }
     }
 
   private:
-    std::priority_queue<SimEvent, std::vector<SimEvent>,
-                        std::greater<SimEvent>> heap;
+    std::vector<SimEvent> heap;
     uint64_t nextSeq = 0;
 };
 

@@ -1,8 +1,9 @@
 #include "qps_search.hh"
 
-#include <algorithm>
+#include <utility>
 
 #include "base/logging.hh"
+#include "sim/rate_search.hh"
 
 namespace deeprecsys {
 
@@ -22,62 +23,34 @@ QpsSearchResult
 findMaxQps(const SimConfig& sim, const QpsSearchSpec& spec)
 {
     drs_assert(spec.slaMs > 0.0, "SLA target must be positive");
-    QpsSearchResult result;
 
-    auto meets = [&](double qps, SimResult& out) {
-        out = evaluateAtQps(sim, spec.load, qps, spec.numQueries);
-        result.evaluations++;
-        return out.tailMs(spec.percentile) <= spec.slaMs;
+    // The query population is drawn once; every candidate rate only
+    // re-times it (bit-identical to regenerating the trace per rate).
+    TraceTemplate trace_template(spec.load);
+    trace_template.ensure(spec.numQueries);
+
+    auto eval = [&](double qps) -> std::pair<SimResult, bool> {
+        const QueryTrace trace =
+            trace_template.materialize(qps, spec.numQueries);
+        ServingSimulator simulator(sim);
+        SimResult r = simulator.run(trace);
+        const bool meets = r.tailMs(spec.percentile) <= spec.slaMs;
+        return {std::move(r), meets};
     };
 
-    // Feasibility probe: if the SLA cannot be met when the machine is
-    // effectively unloaded, no rate will help.
-    SimResult probe;
-    if (!meets(spec.qpsFloor, probe))
-        return result;
+    RateSearchKnobs knobs;
+    knobs.qpsFloor = spec.qpsFloor;
+    knobs.qpsCeiling = spec.qpsCeiling;
+    knobs.relTolerance = spec.relTolerance;
+    knobs.growthStart = 64.0;
 
-    // Exponential growth until the SLA breaks (or the ceiling).
-    double lo = spec.qpsFloor;
-    SimResult atLo = probe;
-    double hi = std::max(2.0 * lo, 64.0);
-    bool hi_infeasible = false;
-    while (hi < spec.qpsCeiling) {
-        SimResult r;
-        if (!meets(hi, r)) {
-            hi_infeasible = true;
-            break;
-        }
-        lo = hi;
-        atLo = r;
-        hi *= 2.0;
-    }
-    if (!hi_infeasible) {
-        // The probe ran into the ceiling while still feasible: test
-        // the ceiling itself, and bisect up to it when it fails —
-        // mirrors findClusterMaxQps so the two searches cannot
-        // diverge on ceiling handling.
-        hi = spec.qpsCeiling;
-        SimResult r;
-        if (meets(hi, r)) {
-            result.maxQps = hi;
-            result.atMax = r;
-            return result;
-        }
-    }
+    RateSearchOutcome<SimResult> found =
+        findMaxRateUnderSla<SimResult>(eval, knobs);
 
-    // Bisection on the feasible boundary.
-    while ((hi - lo) / hi > spec.relTolerance) {
-        const double mid = 0.5 * (lo + hi);
-        SimResult r;
-        if (meets(mid, r)) {
-            lo = mid;
-            atLo = r;
-        } else {
-            hi = mid;
-        }
-    }
-    result.maxQps = lo;
-    result.atMax = atLo;
+    QpsSearchResult result;
+    result.maxQps = found.maxRate;
+    result.atMax = std::move(found.atMax);
+    result.evaluations = found.evaluations;
     return result;
 }
 

@@ -35,13 +35,21 @@ struct QpsSearchResult
 {
     double maxQps = 0.0;        ///< 0 when the SLA is unachievable
     SimResult atMax;            ///< simulation stats at the found rate
-    size_t evaluations = 0;     ///< simulator runs performed
+
+    /**
+     * Candidate rates the search consumed — thread-count independent
+     * (speculatively evaluated-but-cancelled candidates never count;
+     * see sim/rate_search.hh).
+     */
+    size_t evaluations = 0;
 };
 
 /**
  * Find the maximum Poisson arrival rate at which the simulated
- * machine's tail latency meets the SLA. Deterministic: the same seeds
- * re-time the same query population at every candidate rate.
+ * machine's tail latency meets the SLA. The query population is drawn
+ * once and re-timed per candidate rate, and candidate generations are
+ * evaluated speculatively on the shared ThreadPool (DRS_THREADS).
+ * Deterministic: results are bit-identical at every thread count.
  */
 QpsSearchResult findMaxQps(const SimConfig& sim, const QpsSearchSpec& spec);
 

@@ -32,10 +32,16 @@ ServingSimulator::run(const QueryTrace& trace)
 
     const size_t warmup = warmupCount(cfg.warmupFraction, trace.size());
     std::vector<QueryState> queries(trace.size());
+    result.queryLatencySeconds.reserve(trace.size() - warmup);
 
     MachineEngine engine(&cfg, trace.front().arrivalSeconds);
     EventQueue events;
+    // Pre-size the heap: in-flight completions are bounded by the
+    // core pool plus queued offloads, far under one event per query.
+    events.reserve(std::min<size_t>(trace.size(),
+                                    cfg.cpu.platform().cores + 64));
     std::vector<EngineEvent> scheduled;
+    scheduled.reserve(cfg.cpu.platform().cores + 8);
 
     MeasuredSpan span;
     double lastEventTime = trace.front().arrivalSeconds;
@@ -85,10 +91,11 @@ ServingSimulator::run(const QueryTrace& trace)
         lastEventTime = std::max(lastEventTime, ev.time);
         scheduled.clear();
         if (ev.kind == SimEvent::Kind::CpuRequest) {
-            if (engine.cpuRequestDone(ev.partIdx, ev.time, scheduled))
+            if (engine.cpuRequestDone(ev.slot, ev.partIdx, ev.time,
+                                      scheduled))
                 complete_query(ev.partIdx, ev.time);
         } else {
-            engine.gpuQueryDone(ev.partIdx, ev.time, scheduled);
+            engine.gpuQueryDone(ev.slot, ev.partIdx, ev.time, scheduled);
             complete_query(ev.partIdx, ev.time);
         }
         events.pushAll(scheduled, 0);

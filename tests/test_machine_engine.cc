@@ -66,7 +66,7 @@ TEST(MachineEngine, CompletionDispatchesQueuedRequestFifo)
     ASSERT_EQ(out.size(), cores);
     const double t = out.front().time;
     std::vector<EngineEvent> next;
-    const bool finished = engine.cpuRequestDone(0, t, next);
+    const bool finished = engine.cpuRequestDone(out.front().slot, out.front().partIdx, t, next);
     EXPECT_FALSE(finished);    // other requests of the part remain
     ASSERT_EQ(next.size(), 1u);      // the queued request started
     EXPECT_EQ(engine.queuedWork(), 0u);
@@ -79,9 +79,10 @@ TEST(MachineEngine, PartFinishesOnLastRequest)
     std::vector<EngineEvent> out;
     engine.admit({7, 100, 1.0, true, true}, 0.0, out);
     ASSERT_EQ(out.size(), 2u);
+    EXPECT_EQ(out[0].partIdx, 7u);    // driver id echoed alongside slot
     std::vector<EngineEvent> none;
-    EXPECT_FALSE(engine.cpuRequestDone(7, out[0].time, none));
-    EXPECT_TRUE(engine.cpuRequestDone(7, out[1].time, none));
+    EXPECT_FALSE(engine.cpuRequestDone(out[0].slot, out[0].partIdx, out[0].time, none));
+    EXPECT_TRUE(engine.cpuRequestDone(out[1].slot, out[1].partIdx, out[1].time, none));
     EXPECT_EQ(engine.partsInService(), 0u);
 }
 
@@ -116,7 +117,7 @@ TEST(MachineEngine, GpuServesOneAtATime)
     ASSERT_EQ(out.size(), 1u);    // second query queues behind the first
     EXPECT_EQ(engine.queuedWork(), 1u);
     std::vector<EngineEvent> next;
-    engine.gpuQueryDone(0, out[0].time, next);
+    engine.gpuQueryDone(out[0].slot, out[0].partIdx, out[0].time, next);
     ASSERT_EQ(next.size(), 1u);   // and starts when the GPU frees
     EXPECT_EQ(next[0].partIdx, 1u);
     const double service = cfg.gpu->querySeconds(200);
@@ -156,7 +157,7 @@ TEST(MachineEngine, UtilizationIntegralsAdvanceLazily)
     engine.advanceTo(0.5);
     EXPECT_DOUBLE_EQ(engine.busyCoreSeconds(), 0.5);     // 1 core busy
     std::vector<EngineEvent> none;
-    engine.cpuRequestDone(0, 0.5, none);
+    engine.cpuRequestDone(out[0].slot, out[0].partIdx, 0.5, none);
     engine.advanceTo(2.0);
     EXPECT_DOUBLE_EQ(engine.busyCoreSeconds(), 0.5);     // idle after
 }
@@ -198,16 +199,40 @@ TEST(MachineEngineDeath, RejectsBadConfigs)
     EXPECT_DEATH(MachineEngine::validate(gpu_less), "GPU");
 }
 
-TEST(MachineEngineDeath, RejectsDuplicateAndUnknownParts)
+TEST(MachineEngineDeath, RejectsStaleAndUnknownSlots)
 {
     const SimConfig cfg = engineConfig();
     MachineEngine engine(&cfg, 0.0);
     std::vector<EngineEvent> out;
     engine.admit({0, 10, 1.0, true, true}, 0.0, out);
-    EXPECT_DEATH(engine.admit({0, 10, 1.0, true, true}, 0.0, out),
-                 "twice");
+    ASSERT_EQ(out.size(), 1u);
     std::vector<EngineEvent> none;
-    EXPECT_DEATH(engine.cpuRequestDone(42, 0.1, none), "unknown");
+    // A slot the slab never allocated.
+    EXPECT_DEATH(engine.cpuRequestDone(42, 0, 0.1, none), "unknown");
+    // A freed (stale) slot: the part finished, its slot is recycled.
+    EXPECT_TRUE(engine.cpuRequestDone(out[0].slot, out[0].partIdx, out[0].time, none));
+    EXPECT_DEATH(engine.cpuRequestDone(out[0].slot, out[0].partIdx, out[0].time, none),
+                 "core|unknown");
+}
+
+TEST(MachineEngine, SlotsRecycleThroughTheFreeList)
+{
+    const SimConfig cfg = engineConfig(64);
+    MachineEngine engine(&cfg, 0.0);
+    std::vector<EngineEvent> out;
+    engine.admit({100, 10, 1.0, true, true}, 0.0, out);
+    ASSERT_EQ(out.size(), 1u);
+    const uint32_t first_slot = out[0].slot;
+    std::vector<EngineEvent> none;
+    EXPECT_TRUE(engine.cpuRequestDone(out[0].slot, out[0].partIdx, out[0].time, none));
+    // The freed slot is reused for the next admission, and the new
+    // part id is echoed — the slab never grows past peak concurrency.
+    out.clear();
+    engine.admit({200, 10, 1.0, true, true}, 1.0, out);
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_EQ(out[0].slot, first_slot);
+    EXPECT_EQ(out[0].partIdx, 200u);
+    EXPECT_EQ(engine.partsInService(), 1u);
 }
 
 TEST(EventQueueOrder, TiesBreakOnInsertionSequence)
@@ -227,6 +252,10 @@ TEST(DriverHelpers, WarmupCountMatchesHistoricalTruncation)
     EXPECT_EQ(warmupCount(0.05, 100), 5u);
     EXPECT_EQ(warmupCount(0.0, 1000), 0u);
     EXPECT_EQ(warmupCount(0.5, 99), 49u);
+    // Out-of-range fractions clamp instead of underflowing the
+    // drivers' trace_size - warmup arithmetic.
+    EXPECT_EQ(warmupCount(1.5, 1000), 1000u);
+    EXPECT_EQ(warmupCount(-0.3, 1000), 0u);
 }
 
 TEST(DriverHelpers, TraceOfferedQpsFromStamps)

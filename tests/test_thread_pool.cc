@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Unit tests for the parallel runtime: inline degeneration at one
+ * thread, exception propagation, nested submits, speculative
+ * cancellation, and result ordering under concurrency.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <thread>
+
+#include "base/thread_pool.hh"
+
+namespace deeprecsys {
+namespace {
+
+TEST(ThreadPool, SingleThreadRunsInlineOnCallingThread)
+{
+    // DRS_THREADS=1 semantics: no workers, everything inline.
+    ThreadPool pool(1);
+    EXPECT_EQ(pool.threadCount(), 1u);
+    const std::thread::id caller = std::this_thread::get_id();
+    std::vector<std::thread::id> ran(4);
+    pool.parallelFor(4, [&](size_t i) {
+        ran[i] = std::this_thread::get_id();
+    });
+    for (const std::thread::id& id : ran)
+        EXPECT_EQ(id, caller);
+}
+
+TEST(ThreadPool, SingleThreadSubmitIsLazyUntilGet)
+{
+    ThreadPool pool(1);
+    std::atomic<int> runs{0};
+    auto future = pool.submit([&] {
+        runs++;
+        return 7;
+    });
+    EXPECT_EQ(runs.load(), 0);    // nothing runs until consumed
+    EXPECT_EQ(future.get(), 7);
+    EXPECT_EQ(runs.load(), 1);
+}
+
+TEST(ThreadPool, CancelledSpeculationNeverRunsAtOneThread)
+{
+    ThreadPool pool(1);
+    std::atomic<int> runs{0};
+    auto future = pool.submit([&] {
+        runs++;
+        return 0;
+    });
+    future.discard();
+    EXPECT_EQ(runs.load(), 0);    // free speculation on the serial path
+}
+
+TEST(ThreadPool, ParallelMapPreservesInputOrder)
+{
+    ThreadPool pool(4);
+    const std::vector<int> out = pool.parallelMap(
+        100, [](size_t i) { return static_cast<int>(i * i); });
+    ASSERT_EQ(out.size(), 100u);
+    for (size_t i = 0; i < out.size(); i++)
+        EXPECT_EQ(out[i], static_cast<int>(i * i));
+}
+
+TEST(ThreadPool, ParallelForRunsEveryIndexExactlyOnce)
+{
+    ThreadPool pool(4);
+    std::vector<std::atomic<int>> counts(1000);
+    pool.parallelFor(1000, [&](size_t i) { counts[i]++; });
+    for (const std::atomic<int>& c : counts)
+        EXPECT_EQ(c.load(), 1);
+}
+
+TEST(ThreadPool, ExceptionPropagatesFromParallelFor)
+{
+    for (size_t threads : {size_t{1}, size_t{4}}) {
+        ThreadPool pool(threads);
+        std::atomic<int> completed{0};
+        EXPECT_THROW(
+            pool.parallelFor(64,
+                             [&](size_t i) {
+                                 if (i == 13)
+                                     throw std::runtime_error("boom");
+                                 completed++;
+                             }),
+            std::runtime_error);
+        // Every non-throwing claimed iteration still finished before
+        // the rethrow — no torn state behind the caller's back.
+        EXPECT_LE(completed.load(), 63);
+    }
+}
+
+TEST(ThreadPool, ExceptionPropagatesFromFutureGet)
+{
+    ThreadPool pool(2);
+    auto future = pool.submit([]() -> int {
+        throw std::logic_error("task failed");
+    });
+    EXPECT_THROW(future.get(), std::logic_error);
+}
+
+TEST(ThreadPool, NestedSubmitDoesNotDeadlock)
+{
+    // A task that itself fans out must complete even when every
+    // worker is occupied by the outer level: get() steals unclaimed
+    // work instead of blocking on it.
+    ThreadPool pool(2);
+    const std::vector<int> outer = pool.parallelMap(8, [&](size_t i) {
+        const std::vector<int> inner = pool.parallelMap(
+            8, [&](size_t j) { return static_cast<int>(i * 8 + j); });
+        return std::accumulate(inner.begin(), inner.end(), 0);
+    });
+    int total = 0;
+    for (int v : outer)
+        total += v;
+    EXPECT_EQ(total, (64 * 63) / 2);
+}
+
+TEST(ThreadPool, GetOnUnclaimedTaskStealsInline)
+{
+    // With a saturated pool, get() must not wait for a worker.
+    ThreadPool pool(2);
+    std::atomic<bool> release{false};
+    auto blocker = pool.submit([&] {
+        while (!release.load())
+            std::this_thread::yield();
+        return 0;
+    });
+    auto quick = pool.submit([] { return 42; });
+    EXPECT_EQ(quick.get(), 42);   // steals even if queued behind blocker
+    release = true;
+    EXPECT_EQ(blocker.get(), 0);
+}
+
+TEST(ThreadPool, DefaultThreadCountIsPositive)
+{
+    EXPECT_GE(ThreadPool::defaultThreadCount(), 1u);
+}
+
+TEST(ThreadPool, ParallelForZeroAndOneAreTrivial)
+{
+    ThreadPool pool(4);
+    pool.parallelFor(0, [](size_t) { FAIL() << "must not run"; });
+    std::atomic<int> runs{0};
+    pool.parallelFor(1, [&](size_t) { runs++; });
+    EXPECT_EQ(runs.load(), 1);
+}
+
+} // namespace
+} // namespace deeprecsys
