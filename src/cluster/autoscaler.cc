@@ -1,0 +1,925 @@
+#include "autoscaler.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "base/logging.hh"
+#include "cluster/routing_policy.hh"
+#include "sim/machine_engine.hh"
+
+namespace deeprecsys {
+
+const char*
+scalingPolicyName(ScalingPolicyKind kind)
+{
+    switch (kind) {
+      case ScalingPolicyKind::Static:     return "static";
+      case ScalingPolicyKind::Reactive:   return "reactive";
+      case ScalingPolicyKind::Predictive: return "predictive";
+    }
+    return "unknown";
+}
+
+const std::vector<ScalingPolicyKind>&
+allScalingPolicyKinds()
+{
+    static const std::vector<ScalingPolicyKind> kinds = {
+        ScalingPolicyKind::Static,
+        ScalingPolicyKind::Reactive,
+        ScalingPolicyKind::Predictive,
+    };
+    return kinds;
+}
+
+namespace {
+
+/** Clamp a policy's ask to what the tier can actually field. */
+size_t
+clampTarget(size_t desired, size_t min_machines, size_t max_machines)
+{
+    return std::clamp(desired, std::max<size_t>(1, min_machines),
+                      max_machines);
+}
+
+/** The static peak plan as a policy: the comparison baseline. */
+class StaticPolicy final : public ScalingPolicy
+{
+  public:
+    explicit StaticPolicy(const ScalingPolicySpec& spec) : spec_(spec) {}
+
+    size_t
+    targetMachines(const ScalingSignals& signals) override
+    {
+        const size_t fixed = spec_.staticMachines > 0
+            ? spec_.staticMachines
+            : signals.maxMachines;
+        return clampTarget(fixed, spec_.minMachines, signals.maxMachines);
+    }
+
+    ScalingPolicyKind kind() const override
+    {
+        return ScalingPolicyKind::Static;
+    }
+
+  private:
+    ScalingPolicySpec spec_;
+};
+
+/**
+ * Measurement-driven feedback: steer the accepting-capacity
+ * utilization into [downUtilization, upUtilization], sizing jumps so
+ * utilization lands near targetUtilization, with windowed tail
+ * latency as an override in both directions — a hot tail scales up
+ * even when utilization looks fine (the queueing knee precedes core
+ * saturation), and an elevated tail blocks scale-down even when
+ * utilization looks low (near the knee, utilization is violently
+ * nonlinear in offered rate, so it alone cannot be trusted). A
+ * second shed gate ratchets on the measured capacity high-water mark
+ * (ScalingPolicySpec::shedRateHeadroom). Tail-driven scale-up jumps
+ * proportionally (emergency); utilization-driven growth steps by
+ * maxStepUp, and scale-down sheds at most maxStepDown per tick so a
+ * measurement dip cannot collapse the tier.
+ */
+class ReactivePolicy final : public ScalingPolicy
+{
+  public:
+    ReactivePolicy(const ScalingPolicySpec& spec, double sla_ms)
+        : spec_(spec), slaMs(sla_ms)
+    {
+        drs_assert(spec_.targetUtilization > 0.0 &&
+                       spec_.targetUtilization < 1.0,
+                   "target utilization must be in (0, 1)");
+        drs_assert(spec_.downUtilization <= spec_.targetUtilization &&
+                       spec_.targetUtilization <= spec_.upUtilization,
+                   "utilization band must bracket the target");
+    }
+
+    size_t
+    targetMachines(const ScalingSignals& signals) override
+    {
+        const size_t serving =
+            signals.acceptingMachines + signals.warmingMachines;
+        const double util = signals.windowUtilization;
+        const bool hot_tail = signals.windowTailMs >= 0.0 &&
+            signals.windowTailMs > spec_.slaHeadroomFraction * slaMs;
+
+        const bool calm_tail = signals.windowTailMs < 0.0 ||
+            signals.windowTailMs <
+                spec_.downLatencyFraction * slaMs;
+
+        // Ratchet the measured capacity high-water mark: the highest
+        // per-accepting-machine rate served with a comfortable tail.
+        if (signals.acceptingMachines > 0 &&
+            signals.windowTailMs >= 0.0 &&
+            signals.windowTailMs < 0.5 * slaMs) {
+            highWaterQps = std::max(
+                highWaterQps,
+                signals.arrivalQps /
+                    static_cast<double>(signals.acceptingMachines));
+        }
+
+        size_t desired = serving;
+        if (util > spec_.upUtilization || hot_tail) {
+            // Size the jump so utilization lands on target; always
+            // grow by at least one machine when hot. Growth on
+            // utilization alone is stepped (tracking a ramp), only a
+            // hot tail may jump proportionally (emergency).
+            desired = static_cast<size_t>(std::ceil(
+                static_cast<double>(serving) * util /
+                spec_.targetUtilization));
+            desired = std::max(desired, serving + 1);
+            if (!hot_tail)
+                desired = std::min(desired, serving + spec_.maxStepUp);
+        } else if (util < spec_.downUtilization && calm_tail &&
+                   serving > 1) {
+            const size_t step =
+                std::min(spec_.maxStepDown, serving - 1);
+            // Two shed gates. Projected utilization must stay under
+            // the scale-up threshold, or the shed would immediately
+            // bounce back; and the projected per-machine rate must
+            // stay within the measured capacity high-water mark —
+            // near the knee, utilization and tail both look calm one
+            // machine above the melt-down point, so only the served-
+            // rate history bounds how far down is safe.
+            const double shrunk = static_cast<double>(serving - step);
+            const double projected_util =
+                util * static_cast<double>(serving) / shrunk;
+            const bool rate_safe = highWaterQps <= 0.0 ||
+                signals.arrivalQps / shrunk <=
+                    highWaterQps * spec_.shedRateHeadroom;
+            if (projected_util < spec_.upUtilization && rate_safe) {
+                const size_t want = static_cast<size_t>(std::ceil(
+                    static_cast<double>(serving) * util /
+                    spec_.targetUtilization));
+                desired = std::max(want, serving - step);
+            }
+        }
+        return clampTarget(desired, spec_.minMachines,
+                           signals.maxMachines);
+    }
+
+    ScalingPolicyKind kind() const override
+    {
+        return ScalingPolicyKind::Reactive;
+    }
+
+  private:
+    ScalingPolicySpec spec_;
+    double slaMs;
+
+    /** Highest per-accepting-machine rate served with a calm tail. */
+    double highWaterQps = 0.0;
+};
+
+/**
+ * Profile-aware feed-forward: provision machines proportional to the
+ * rate the diurnal profile predicts one look-ahead out, anchored to
+ * the static plan (machinesAtPeak machines carry the peak rate), plus
+ * a safety margin for the stochastic arrival/size draws around the
+ * profile's mean.
+ */
+class PredictivePolicy final : public ScalingPolicy
+{
+  public:
+    PredictivePolicy(const ScalingPolicySpec& spec,
+                     const AutoscaleSpec& run)
+        : spec_(spec), profile(run.profile), meanQps(run.meanQps),
+          machinesAtPeak(run.machinesAtPeak)
+    {
+        drs_assert(meanQps > 0.0,
+                   "predictive scaling needs AutoscaleSpec::meanQps");
+        drs_assert(machinesAtPeak > 0,
+                   "predictive scaling needs AutoscaleSpec::machinesAtPeak");
+        peakQps = meanQps * (1.0 + profile.swingAmplitude());
+        lead = spec_.leadSeconds > 0.0
+            ? spec_.leadSeconds
+            : run.warmupDelaySeconds + run.controlIntervalSeconds;
+    }
+
+    size_t
+    targetMachines(const ScalingSignals& signals) override
+    {
+        const double predicted =
+            meanQps * profile.multiplier(signals.timeSeconds + lead);
+        const size_t desired = static_cast<size_t>(std::ceil(
+            static_cast<double>(machinesAtPeak) * (predicted / peakQps) *
+            (1.0 + spec_.safetyMargin)));
+        return clampTarget(desired, spec_.minMachines,
+                           signals.maxMachines);
+    }
+
+    ScalingPolicyKind kind() const override
+    {
+        return ScalingPolicyKind::Predictive;
+    }
+
+  private:
+    ScalingPolicySpec spec_;
+    DiurnalProfile profile;
+    double meanQps;
+    double peakQps = 0.0;
+    double lead = 0.0;
+    size_t machinesAtPeak;
+};
+
+/** Machine lifecycle of the elastic tier. */
+enum class MState
+{
+    Off,        ///< powered down; costs nothing
+    Warming,    ///< powered, not yet accepting (warm-up delay)
+    Accepting,  ///< in the routing set
+    Draining,   ///< out of the routing set, finishing in-flight work
+};
+
+/** One machine's share of one in-flight query (as in cluster_sim). */
+struct PartRec
+{
+    uint64_t queryIdx = 0;
+    uint32_t machine = 0;
+    double embFraction = 1.0;
+    bool leader = true;
+
+    enum class Kind
+    {
+        Whole,
+        FanEmb,
+        FanDense,
+    } kind = Kind::Whole;
+};
+
+/** Book-keeping for one in-flight query (as in cluster_sim). */
+struct QueryState
+{
+    double arrival = 0;
+    uint32_t size = 0;
+    uint32_t partsLeft = 0;
+    uint32_t machine = 0;
+    double joinTime = 0;
+    double leaderReady = 0;
+    bool measured = true;
+};
+
+/**
+ * Live view for the elastic tier: cluster state plus the accepting
+ * mask, so routing policies only ever dispatch into the live set.
+ */
+class ElasticView final : public ClusterView
+{
+  public:
+    ElasticView(const std::vector<SimConfig>& configs,
+                const std::vector<MachineEngine>& engines,
+                const std::vector<uint64_t>& in_flight,
+                const std::vector<MState>& states,
+                const size_t& accepting_count)
+        : cfgs(configs), engines(engines), inFlight(in_flight),
+          states(states), acceptingCount(accepting_count)
+    {
+    }
+
+    size_t numMachines() const override { return engines.size(); }
+
+    size_t
+    inFlightQueries(size_t m) const override
+    {
+        return inFlight[m];
+    }
+
+    size_t
+    queuedWork(size_t m) const override
+    {
+        return engines[m].queuedWork();
+    }
+
+    bool
+    hasGpu(size_t m) const override
+    {
+        return cfgs[m].policy.gpuEnabled && cfgs[m].gpu.has_value();
+    }
+
+    double
+    speedFactor(size_t m) const override
+    {
+        return 1.0 / cfgs[m].slowdown;
+    }
+
+    bool
+    accepting(size_t m) const override
+    {
+        return states[m] == MState::Accepting;
+    }
+
+    bool
+    allAccepting() const override
+    {
+        return acceptingCount == states.size();
+    }
+
+  private:
+    const std::vector<SimConfig>& cfgs;
+    const std::vector<MachineEngine>& engines;
+    const std::vector<uint64_t>& inFlight;
+    const std::vector<MState>& states;
+
+    /** Driver-maintained count of Accepting machines (no O(n) scan). */
+    const size_t& acceptingCount;
+};
+
+} // namespace
+
+std::unique_ptr<ScalingPolicy>
+makeScalingPolicy(const ScalingPolicySpec& policy,
+                  const AutoscaleSpec& spec)
+{
+    switch (policy.kind) {
+      case ScalingPolicyKind::Static:
+        return std::make_unique<StaticPolicy>(policy);
+      case ScalingPolicyKind::Reactive:
+        return std::make_unique<ReactivePolicy>(policy, spec.slaMs);
+      case ScalingPolicyKind::Predictive:
+        return std::make_unique<PredictivePolicy>(policy, spec);
+    }
+    drs_panic("unknown scaling policy kind");
+}
+
+Autoscaler::Autoscaler(AutoscaleSpec spec) : spec_(std::move(spec))
+{
+    const ClusterConfig& cfg = spec_.cluster;
+    drs_assert(!cfg.machines.empty(), "elastic tier needs machines");
+    for (const SimConfig& machine : cfg.machines)
+        MachineEngine::validate(machine);
+    drs_assert(spec_.controlIntervalSeconds > 0.0,
+               "control interval must be positive");
+    drs_assert(spec_.warmupDelaySeconds >= 0.0,
+               "warm-up delay cannot be negative");
+    drs_assert(spec_.initialMachines <= cfg.machines.size(),
+               "initial machines exceed the tier");
+    if (cfg.sharding.has_value()) {
+        const ShardPlacement& placement = cfg.sharding->placement;
+        drs_assert(placement.feasible(),
+                   "elastic sharding needs a feasible placement");
+        drs_assert(placement.numMachines() == cfg.machines.size(),
+                   "placement machine count mismatch");
+        drs_assert(cfg.sharding->tableSet.numTables ==
+                       placement.numTables(),
+                   "table-set model must match the placed tables");
+        for (size_t m = 0; m < cfg.machines.size(); m++) {
+            const uint64_t budget = cfg.machines[m].memoryBytes;
+            drs_assert(budget == 0 ||
+                           placement.bytesOnMachine(m) <= budget,
+                       "placement exceeds a machine memory budget");
+        }
+        // The machines accepting at trace start must already cover
+        // every table — the mirror of the drain re-validation: a
+        // query cannot be routed to a replica that is powered off.
+        const size_t initial = spec_.initialMachines == 0
+            ? cfg.machines.size()
+            : spec_.initialMachines;
+        for (uint32_t t = 0;
+             t < static_cast<uint32_t>(placement.numTables()); t++) {
+            bool covered = false;
+            for (size_t m = 0; m < initial && !covered; m++)
+                covered = placement.holds(m, t);
+            drs_assert(covered,
+                       "initial accepting set leaves a table with no"
+                       " replica; raise initialMachines");
+        }
+    }
+}
+
+AutoscaleResult
+Autoscaler::run(const QueryTrace& trace, ScalingPolicy& policy) const
+{
+    const ClusterConfig& cfg = spec_.cluster;
+    const size_t n = cfg.machines.size();
+
+    AutoscaleResult result;
+    result.perMachine.resize(n);
+    result.poweredSecondsPerMachine.assign(n, 0.0);
+    if (cfg.sharding.has_value()) {
+        for (size_t m = 0; m < n; m++)
+            result.perMachine[m].embBytesStored =
+                cfg.sharding->placement.bytesOnMachine(m);
+    }
+    if (trace.empty())
+        return result;
+
+    const std::unique_ptr<RoutingPolicy> router = makeRoutingPolicy(
+        spec_.routing, cfg.sharding.has_value() ? &*cfg.sharding : nullptr);
+
+    const size_t warmup = warmupCount(cfg.warmupFraction, trace.size());
+    result.fleetLatencySeconds.reserve(trace.size() - warmup);
+
+    std::vector<QueryState> queries(trace.size());
+    std::vector<PartRec> parts;
+    parts.reserve(trace.size());
+
+    const double t0 = trace.front().arrivalSeconds;
+    std::vector<MachineEngine> machines;
+    machines.reserve(n);
+    for (const SimConfig& machine : cfg.machines)
+        machines.emplace_back(&machine, t0);
+    std::vector<uint64_t> inFlight(n, 0);
+
+    // Fanned-out TwoStage queries led here whose dense join phase has
+    // not been admitted yet: between the leader's own embedding part
+    // finishing and the last remote part landing, the leader holds no
+    // engine work and inFlight can read 0, yet it still owes the join
+    // phase — a draining leader must not power off across that gap.
+    std::vector<uint32_t> pendingJoins(n, 0);
+
+    // ----------------------------------------------- elastic state
+    std::vector<MState> state(n, MState::Off);
+    std::vector<double> poweredSince(n, 0.0);
+    std::vector<double> acceptingSince(n, 0.0);
+    std::vector<uint64_t> upEpoch(n, 0);
+    const size_t initial = spec_.initialMachines == 0
+        ? n
+        : spec_.initialMachines;
+    for (size_t m = 0; m < initial; m++) {
+        state[m] = MState::Accepting;
+        poweredSince[m] = t0;
+        acceptingSince[m] = t0;
+    }
+    size_t acceptingCount = initial;
+
+    EventQueue events;
+    size_t total_cores = 0;
+    for (const SimConfig& machine : cfg.machines)
+        total_cores += machine.cpu.platform().cores;
+    events.reserve(std::min(trace.size(), total_cores + 256));
+    std::vector<EngineEvent> scheduled;
+    scheduled.reserve(256);
+
+    ElasticView view(cfg.machines, machines, inFlight, state,
+                     acceptingCount);
+    MeasuredSpan span;
+    double lastEventTime = t0;
+
+    // --------------------------------------- window signal tracking
+    SampleStats windowLat;
+    uint64_t windowArrivals = 0;
+    double windowStart = t0;
+    std::vector<double> windowBusyStart(n, 0.0);
+
+    auto cores_of = [&](size_t m) {
+        return static_cast<double>(cfg.machines[m].cpu.platform().cores);
+    };
+
+    auto count_state = [&](MState s) {
+        size_t count = 0;
+        for (size_t m = 0; m < n; m++)
+            count += state[m] == s ? 1 : 0;
+        return count;
+    };
+
+    size_t serving_now = initial;
+    result.minServingMachines = serving_now;
+    result.maxServingMachines = serving_now;
+
+    auto power_off = [&](size_t m, double now) {
+        result.poweredSecondsPerMachine[m] += now - poweredSince[m];
+        state[m] = MState::Off;
+    };
+
+    /** A draining machine with no remaining work powers off now. */
+    auto try_power_off_drained = [&](size_t m, double now) {
+        if (state[m] == MState::Draining && inFlight[m] == 0 &&
+            pendingJoins[m] == 0 && machines[m].idle())
+            power_off(m, now);
+    };
+
+    /**
+     * Shard re-validation for removal: machine @p m may only leave
+     * the accepting set if every table it holds keeps a replica on
+     * another machine that is still accepting — otherwise a query
+     * touching that table could no longer be routed.
+     */
+    auto can_drain = [&](size_t m) {
+        if (!cfg.sharding.has_value())
+            return true;
+        const ShardPlacement& placement = cfg.sharding->placement;
+        for (uint32_t t = 0;
+             t < static_cast<uint32_t>(placement.numTables()); t++) {
+            if (!placement.holds(m, t))
+                continue;
+            bool covered = false;
+            for (size_t other = 0; other < n && !covered; other++) {
+                covered = other != m &&
+                    state[other] == MState::Accepting &&
+                    placement.holds(other, t);
+            }
+            if (!covered)
+                return false;
+        }
+        return true;
+    };
+
+    /**
+     * Move the tier toward @p target serving machines (accepting +
+     * warming). Growth cancels drains first (those machines are still
+     * warm), then powers on cold machines through the warm-up delay;
+     * shrink cancels warm-ups first (they hold no work), then drains
+     * accepting machines newest-first, skipping any the placement
+     * re-validation refuses. Returns the serving count achieved.
+     */
+    auto apply_target = [&](size_t target, double now) {
+        size_t accepting = count_state(MState::Accepting);
+        size_t serving = accepting + count_state(MState::Warming);
+        if (target > serving) {
+            size_t need = target - serving;
+            for (size_t m = n; m-- > 0 && need > 0;) {
+                if (state[m] == MState::Draining) {
+                    state[m] = MState::Accepting;
+                    acceptingSince[m] = now;
+                    acceptingCount++;
+                    need--;
+                    serving++;
+                    accepting++;
+                }
+            }
+            for (size_t m = 0; m < n && need > 0; m++) {
+                if (state[m] != MState::Off)
+                    continue;
+                poweredSince[m] = now;
+                need--;
+                serving++;
+                if (spec_.warmupDelaySeconds > 0.0) {
+                    state[m] = MState::Warming;
+                    upEpoch[m]++;
+                    events.push(now + spec_.warmupDelaySeconds,
+                                SimEvent::Kind::MachineUp,
+                                static_cast<uint32_t>(m), upEpoch[m]);
+                } else {
+                    state[m] = MState::Accepting;
+                    acceptingSince[m] = now;
+                    acceptingCount++;
+                    accepting++;
+                }
+            }
+        } else if (target < serving) {
+            size_t excess = serving - target;
+            for (size_t m = n; m-- > 0 && excess > 0;) {
+                if (state[m] == MState::Warming) {
+                    power_off(m, now);    // accepted nothing yet
+                    excess--;
+                    serving--;
+                }
+            }
+            for (size_t m = n; m-- > 0 && excess > 0;) {
+                if (state[m] != MState::Accepting || accepting <= 1)
+                    continue;
+                if (!can_drain(m))
+                    continue;    // would orphan a shard: refused
+                state[m] = MState::Draining;
+                acceptingCount--;
+                accepting--;
+                serving--;
+                excess--;
+                try_power_off_drained(m, now);
+            }
+        }
+        return serving;
+    };
+
+    // ------------------------------------------------ part plumbing
+    auto admit_part = [&](uint64_t part_idx, const PartSpec& spec,
+                          double now) {
+        const uint32_t m = parts[part_idx].machine;
+        scheduled.clear();
+        machines[m].admit(spec, now, scheduled);
+        events.pushAll(scheduled, m);
+    };
+
+    auto start_part = [&](uint64_t part_idx, double now) {
+        const PartRec& part = parts[part_idx];
+        const QueryState& q = queries[part.queryIdx];
+        PartSpec spec;
+        spec.partIdx = part_idx;
+        spec.samples = q.size;
+        switch (part.kind) {
+          case PartRec::Kind::Whole:
+            break;
+          case PartRec::Kind::FanEmb:
+            spec.embFraction = part.embFraction;
+            spec.leader = cfg.join == JoinModel::Optimistic &&
+                part.leader;
+            spec.whole = false;
+            break;
+          case PartRec::Kind::FanDense:
+            spec.embFraction = 0.0;
+            spec.leader = true;
+            spec.whole = false;
+            break;
+        }
+        admit_part(part_idx, spec, now);
+    };
+
+    auto complete_query = [&](uint64_t query_idx) {
+        QueryState& q = queries[query_idx];
+        result.numCompleted++;
+        result.perMachine[q.machine].queriesCompleted++;
+        const double latency = q.joinTime - q.arrival;
+        windowLat.add(latency);
+        if (q.measured) {
+            result.fleetLatencySeconds.add(latency);
+            result.perMachine[q.machine].latencySeconds.add(latency);
+            span.onCompletion(q.joinTime);
+        }
+        lastEventTime = std::max(lastEventTime, q.joinTime);
+    };
+
+    auto finish_part = [&](uint64_t part_idx, double now) {
+        const PartRec& part = parts[part_idx];
+        drs_assert(inFlight[part.machine] > 0,
+                   "completion with nothing in flight");
+        inFlight[part.machine]--;
+        QueryState& q = queries[part.queryIdx];
+
+        if (part.kind == PartRec::Kind::FanEmb &&
+            cfg.join == JoinModel::TwoStage) {
+            const double to_leader = part.leader
+                ? 0.0
+                : cfg.network.oneWaySeconds(
+                      static_cast<double>(q.size) *
+                      cfg.network.embeddingBytesPerSample);
+            q.leaderReady = std::max(q.leaderReady, now + to_leader);
+            drs_assert(q.partsLeft > 0, "query with no pending parts");
+            if (--q.partsLeft > 0) {
+                try_power_off_drained(part.machine, now);
+                return;
+            }
+            q.partsLeft = 1;
+            const uint64_t dense_idx = parts.size();
+            parts.push_back({part.queryIdx, q.machine, 0.0, true,
+                             PartRec::Kind::FanDense});
+            // The leader may already be draining; its join phase is
+            // in-flight work and still runs there.
+            drs_assert(pendingJoins[q.machine] > 0,
+                       "join phase with no pending leadership");
+            pendingJoins[q.machine]--;
+            inFlight[q.machine]++;
+            result.perMachine[q.machine].joinPhases++;
+            events.push(q.leaderReady, SimEvent::Kind::JoinPhase,
+                        q.machine, dense_idx);
+            try_power_off_drained(part.machine, now);
+            return;
+        }
+
+        const double back = cfg.network.oneWaySeconds(
+            static_cast<double>(q.size) *
+            cfg.network.responseBytesPerSample);
+        q.joinTime = std::max(q.joinTime, now + back);
+        drs_assert(q.partsLeft > 0, "query with no pending parts");
+        if (--q.partsLeft == 0)
+            complete_query(part.queryIdx);
+        try_power_off_drained(part.machine, now);
+    };
+
+    // ------------------------------------------------- control loop
+    auto control_tick = [&](double now) {
+        for (size_t m = 0; m < n; m++)
+            machines[m].advanceTo(now);
+
+        // Utilization over *accepting* capacity only: draining and
+        // warming machines would dilute the signal right after a
+        // scale event (ScalingSignals::windowUtilization).
+        double busy = 0.0;
+        double capacity = 0.0;
+        for (size_t m = 0; m < n; m++) {
+            const double delta =
+                machines[m].busyCoreSeconds() - windowBusyStart[m];
+            windowBusyStart[m] = machines[m].busyCoreSeconds();
+            if (state[m] == MState::Accepting) {
+                busy += delta;
+                capacity +=
+                    (now - std::max(acceptingSince[m], windowStart)) *
+                    cores_of(m);
+            }
+        }
+
+        ScalingSignals sig;
+        sig.timeSeconds = now;
+        sig.windowSeconds = now - windowStart;
+        sig.windowTailMs = windowLat.count() > 0
+            ? windowLat.percentile(spec_.percentile) * 1e3
+            : -1.0;
+        sig.windowUtilization = capacity > 0.0
+            ? std::min(busy / capacity, 1.0)
+            : 0.0;
+        sig.arrivalQps = sig.windowSeconds > 0.0
+            ? static_cast<double>(windowArrivals) / sig.windowSeconds
+            : 0.0;
+        drs_assert(count_state(MState::Accepting) == acceptingCount,
+                   "accepting counter drifted from machine states");
+        sig.acceptingMachines = acceptingCount;
+        sig.warmingMachines = count_state(MState::Warming);
+        sig.drainingMachines = count_state(MState::Draining);
+        sig.maxMachines = n;
+
+        // A window is violating when its observed tail exceeds the
+        // SLA — or when nothing completed at all while queries were
+        // outstanding: a stalled tier must score as the worst window,
+        // not a perfect one.
+        const uint64_t outstanding =
+            result.numDispatched - result.numCompleted;
+        const bool violation =
+            (windowLat.count() > 0 && sig.windowTailMs > spec_.slaMs) ||
+            (windowLat.count() == 0 && outstanding > 0);
+        if (violation)
+            result.slaViolationSeconds += sig.windowSeconds;
+
+        const size_t serving_before =
+            sig.acceptingMachines + sig.warmingMachines;
+        const size_t target =
+            clampTarget(policy.targetMachines(sig), 1, n);
+        const size_t granted = apply_target(target, now);
+        if (target != serving_before || granted != serving_before)
+            result.scaleEvents.push_back(
+                {now, serving_before, target, granted});
+        serving_now = granted;
+        result.minServingMachines =
+            std::min(result.minServingMachines, serving_now);
+        result.maxServingMachines =
+            std::max(result.maxServingMachines, serving_now);
+
+        AutoscaleWindow row;
+        row.endSeconds = now;
+        row.tailMs = sig.windowTailMs;
+        row.utilization = sig.windowUtilization;
+        row.arrivalQps = sig.arrivalQps;
+        row.servingMachines = serving_now;
+        row.poweredMachines = serving_now + count_state(MState::Draining);
+        row.slaViolation = violation;
+        result.timeline.push_back(row);
+
+        windowLat = SampleStats{};
+        windowArrivals = 0;
+        windowStart = now;
+    };
+
+    events.push(t0 + spec_.controlIntervalSeconds,
+                SimEvent::Kind::Control, 0, 0);
+
+    size_t nextArrival = 0;
+    while (nextArrival < trace.size() || !events.empty()) {
+        const bool haveArrival = nextArrival < trace.size();
+        const bool takeArrival = haveArrival &&
+            (events.empty() ||
+             trace[nextArrival].arrivalSeconds <= events.top().time);
+
+        if (takeArrival) {
+            const Query& in = trace[nextArrival];
+            drs_assert(nextArrival == 0 ||
+                           in.arrivalSeconds >=
+                               trace[nextArrival - 1].arrivalSeconds,
+                       "trace must be sorted by arrival");
+
+            const std::vector<ShardTarget> plan =
+                router->routeParts(in, view);
+            drs_assert(!plan.empty(), "policy returned no targets");
+            lastEventTime = std::max(lastEventTime, in.arrivalSeconds);
+            windowArrivals++;
+
+            QueryState& q = queries[nextArrival];
+            q.arrival = in.arrivalSeconds;
+            q.size = in.size;
+            q.partsLeft = static_cast<uint32_t>(plan.size());
+            q.joinTime = in.arrivalSeconds;
+            q.leaderReady = in.arrivalSeconds;
+            q.measured = nextArrival >= warmup;
+            if (q.measured)
+                span.onArrival(in.arrivalSeconds);
+
+            result.numDispatched++;
+            const double forward = cfg.network.oneWaySeconds(
+                static_cast<double>(in.size) *
+                cfg.network.requestBytesPerSample);
+
+            size_t leaders = 0;
+            for (const ShardTarget& target : plan) {
+                drs_assert(target.machine < machines.size(),
+                           "policy routed out of range");
+                const uint32_t m = target.machine;
+                drs_assert(state[m] == MState::Accepting,
+                           "policy routed to a non-accepting machine");
+                machines[m].advanceTo(in.arrivalSeconds);
+                inFlight[m]++;
+                if (target.leader) {
+                    leaders++;
+                    q.machine = m;
+                    result.perMachine[m].queriesDispatched++;
+                } else {
+                    result.perMachine[m].remoteParts++;
+                }
+
+                const uint64_t part_idx = parts.size();
+                parts.push_back({nextArrival, m, target.embFraction,
+                                 target.leader,
+                                 plan.size() == 1
+                                     ? PartRec::Kind::Whole
+                                     : PartRec::Kind::FanEmb});
+                result.numParts++;
+                if (forward > 0.0) {
+                    events.push(in.arrivalSeconds + forward,
+                                SimEvent::Kind::PartArrival, m, part_idx);
+                } else {
+                    start_part(part_idx, in.arrivalSeconds);
+                }
+            }
+            drs_assert(leaders == 1, "plan needs exactly one leader");
+            if (plan.size() > 1 && cfg.join == JoinModel::TwoStage)
+                pendingJoins[q.machine]++;
+            nextArrival++;
+            continue;
+        }
+
+        const SimEvent ev = events.pop();
+        lastEventTime = std::max(lastEventTime, ev.time);
+
+        switch (ev.kind) {
+          case SimEvent::Kind::Control:
+            control_tick(ev.time);
+            // Stop ticking once the trace is exhausted: the remaining
+            // events only drain in-flight work.
+            if (nextArrival < trace.size())
+                events.push(ev.time + spec_.controlIntervalSeconds,
+                            SimEvent::Kind::Control, 0, 0);
+            break;
+
+          case SimEvent::Kind::MachineUp:
+            // Stale warm-ups (cancelled, possibly re-ordered) carry
+            // an old epoch and are ignored.
+            if (state[ev.machine] == MState::Warming &&
+                ev.partIdx == upEpoch[ev.machine]) {
+                state[ev.machine] = MState::Accepting;
+                acceptingSince[ev.machine] = ev.time;
+                acceptingCount++;
+            }
+            break;
+
+          case SimEvent::Kind::PartArrival:
+          case SimEvent::Kind::JoinPhase:
+            machines[ev.machine].advanceTo(ev.time);
+            start_part(ev.partIdx, ev.time);
+            break;
+
+          case SimEvent::Kind::CpuRequest:
+            machines[ev.machine].advanceTo(ev.time);
+            scheduled.clear();
+            if (machines[ev.machine].cpuRequestDone(ev.slot, ev.partIdx,
+                                                    ev.time, scheduled))
+                finish_part(ev.partIdx, ev.time);
+            events.pushAll(scheduled, ev.machine);
+            break;
+
+          case SimEvent::Kind::GpuQuery:
+            machines[ev.machine].advanceTo(ev.time);
+            scheduled.clear();
+            machines[ev.machine].gpuQueryDone(ev.slot, ev.partIdx,
+                                              ev.time, scheduled);
+            finish_part(ev.partIdx, ev.time);
+            events.pushAll(scheduled, ev.machine);
+            break;
+        }
+    }
+
+    // -------------------------------------------------- final books
+    for (size_t m = 0; m < n; m++) {
+        if (state[m] != MState::Off)
+            power_off(m, lastEventTime);
+    }
+
+    result.numQueries = result.fleetLatencySeconds.count();
+    result.offeredQps = traceOfferedQps(trace);
+    result.spanSeconds = lastEventTime - t0;
+    result.staticMachineSeconds =
+        static_cast<double>(n) * result.spanSeconds;
+    for (size_t m = 0; m < n; m++)
+        result.machineSeconds += result.poweredSecondsPerMachine[m];
+
+    for (size_t m = 0; m < n; m++) {
+        machines[m].advanceTo(lastEventTime);
+        MachineStats& stats = result.perMachine[m];
+        stats.requestsDispatched = machines[m].requestsDispatched();
+        stats.busyCoreSeconds = machines[m].busyCoreSeconds();
+        stats.gpuBusySeconds = machines[m].gpuBusySeconds();
+        const double powered = result.poweredSecondsPerMachine[m];
+        if (powered > 0.0) {
+            stats.cpuUtilization =
+                stats.busyCoreSeconds / (powered * cores_of(m));
+            stats.gpuUtilization = stats.gpuBusySeconds / powered;
+        }
+    }
+    return result;
+}
+
+AutoscaleResult
+Autoscaler::run(const QueryTrace& trace,
+                const ScalingPolicySpec& policy_spec) const
+{
+    const std::unique_ptr<ScalingPolicy> policy =
+        makeScalingPolicy(policy_spec, spec_);
+    return run(trace, *policy);
+}
+
+} // namespace deeprecsys

@@ -1,0 +1,394 @@
+/**
+ * @file
+ * Online autoscaling of the cluster tier over diurnal load.
+ *
+ * The capacity planner (capacity_planner.hh) sizes a *static* tier
+ * for peak traffic, so every machine of the plan burns power through
+ * the trough of the day. Real recommendation fleets instead add and
+ * remove serving machines online against the diurnal swing — the
+ * provisioning cycle both DeepRecSys's tail-latency study (its
+ * Figure 13 runs over a day-long load swing) and the capacity-driven
+ * scale-out work (Lui et al.) describe. This header models that
+ * control loop: an Autoscaler drives the elastic variant of the
+ * cluster simulation over a DiurnalProfile-modulated arrival stream
+ * and adjusts the live machine count at a fixed control interval from
+ * observed windowed signals, reporting the machine-hours saved
+ * against the static peak plan and the minutes spent violating the
+ * SLA.
+ *
+ * Mechanics. The full tier (`AutoscaleSpec::cluster`, the static
+ * plan) is the maximum fleet; each machine is in one of four states:
+ *
+ *  - **Off**: powered down, costs nothing, serves nothing.
+ *  - **WarmingUp**: powered (billed) but not yet accepting — a scale
+ *    up takes `warmupDelaySeconds` before the machine joins the
+ *    router's accepting set (process start, model load, cache warm).
+ *  - **Accepting**: in the routing set, serving queries.
+ *  - **Draining**: removed from the routing set but still powered,
+ *    finishing its in-flight work — connection-draining removal, so
+ *    scale-down never drops a query. Powered off at the first moment
+ *    it holds no work; a scale-up may also cancel the drain and
+ *    return it to Accepting instantly (it is still warm).
+ *
+ * Scale decisions come from a pluggable ScalingPolicy evaluated at
+ * every control tick against windowed signals (tail latency of the
+ * window's completions vs the SLA, fleet utilization over powered
+ * capacity, observed arrival rate). Control ticks and warm-up
+ * completions enter the same deterministic event queue as service
+ * completions, so scale events interleave with traffic in one total
+ * (time, insertion) order. On a sharded tier, a machine may only
+ * drain if every embedding table it holds keeps at least one replica
+ * among the machines that remain accepting — the placement is
+ * re-validated on the surviving set at every scale-down, and drains
+ * that would orphan a table are refused (logged in the scale-event
+ * record).
+ *
+ * Units: all times in **seconds** unless the member name says
+ * otherwise (…Ms in milliseconds, machineHours() in hours); rates in
+ * queries per second. Ownership: the Autoscaler copies its spec;
+ * results are self-contained values. Determinism: run() is a pure
+ * function of (trace, spec, policy state) — a run is single-threaded
+ * and fixed seeds reproduce every statistic bit-for-bit at any
+ * DRS_THREADS value; only sweeps *across* runs parallelize.
+ */
+
+#ifndef DRS_CLUSTER_AUTOSCALER_HH
+#define DRS_CLUSTER_AUTOSCALER_HH
+
+#include <memory>
+#include <vector>
+
+#include "base/stats.hh"
+#include "cluster/cluster_sim.hh"
+#include "loadgen/distributions.hh"
+#include "loadgen/query.hh"
+
+namespace deeprecsys {
+
+/** The scaling-policy families the elastic tier can run. */
+enum class ScalingPolicyKind
+{
+    /** Fixed machine count — the static peak plan as a policy; the
+     *  baseline every elastic policy is compared against. */
+    Static,
+
+    /** Threshold feedback on observed utilization with an SLA guard:
+     *  scale up when utilization or windowed tail latency run hot,
+     *  step down conservatively when utilization runs cold. Sees only
+     *  measurements, never the traffic schedule. */
+    Reactive,
+
+    /** Profile-aware feed-forward: knows the DiurnalProfile and the
+     *  static plan, provisions machines proportional to the rate the
+     *  profile predicts one look-ahead interval out (plus a safety
+     *  margin), so capacity is already warm when the ramp arrives. */
+    Predictive,
+};
+
+/** Name for printing. */
+const char* scalingPolicyName(ScalingPolicyKind kind);
+
+/** Every scaling-policy kind, in declaration order (for sweeps). */
+const std::vector<ScalingPolicyKind>& allScalingPolicyKinds();
+
+/**
+ * What a scaling policy observes at one control tick. All signals are
+ * measured over the window since the previous tick.
+ */
+struct ScalingSignals
+{
+    double timeSeconds = 0;      ///< tick time (trace clock)
+    double windowSeconds = 0;    ///< signal window length
+
+    /** Tail latency of the window's completions in milliseconds at
+     *  the spec's percentile; negative when nothing completed. */
+    double windowTailMs = -1.0;
+
+    /**
+     * Busy core-seconds over **accepting** core-capacity, in [0, 1].
+     * Deliberately excludes draining and warming machines: counting
+     * a draining machine's capacity dilutes the reading right after
+     * a shed, and the stale low value would cascade further sheds
+     * before the measurement catches up.
+     */
+    double windowUtilization = 0;
+
+    double arrivalQps = 0;       ///< arrivals in window / window
+
+    size_t acceptingMachines = 0;
+    size_t warmingMachines = 0;
+    size_t drainingMachines = 0;
+    size_t maxMachines = 0;      ///< full-tier machine count
+};
+
+/**
+ * A scale decision function. Policies may keep state (trend history);
+ * build a fresh one per run to reproduce results.
+ */
+class ScalingPolicy
+{
+  public:
+    virtual ~ScalingPolicy() = default;
+
+    /**
+     * Desired number of *serving* machines (accepting + warming) for
+     * the next window. The driver clamps to [1, maxMachines], powers
+     * machines on (through warm-up) to grow, and drains to shrink.
+     */
+    virtual size_t targetMachines(const ScalingSignals& signals) = 0;
+
+    /** The policy family. */
+    virtual ScalingPolicyKind kind() const = 0;
+
+    /** Printable policy name. */
+    const char* name() const { return scalingPolicyName(kind()); }
+};
+
+/** Configuration from which a concrete scaling policy is built. */
+struct ScalingPolicySpec
+{
+    ScalingPolicyKind kind = ScalingPolicyKind::Reactive;
+
+    /** Floor on the serving machine count (every kind). */
+    size_t minMachines = 1;
+
+    /** Static only: the fixed count; 0 means the full tier. */
+    size_t staticMachines = 0;
+
+    // ---------------------------------------------------- reactive
+    /** Utilization the tier is steered toward when resizing. */
+    double targetUtilization = 0.65;
+
+    /** Scale up when window utilization exceeds this. */
+    double upUtilization = 0.75;
+
+    /** Consider scaling down when window utilization is below this
+     *  (hysteresis band against flapping). Deliberately far below
+     *  upUtilization: near the SLA knee, utilization is violently
+     *  nonlinear in offered rate (queueing contention feedback), so
+     *  a narrow band would flap across the knee. */
+    double downUtilization = 0.40;
+
+    /** Scale up when windowed tail latency exceeds this fraction of
+     *  the SLA, regardless of utilization. */
+    double slaHeadroomFraction = 0.80;
+
+    /**
+     * Latency interlock on scale-down: only shed when the windowed
+     * tail is also below this fraction of the SLA. Low utilization
+     * with an elevated tail means the tier is already near its
+     * queueing knee — shedding then trades the whole saving back as
+     * SLA violations.
+     */
+    double downLatencyFraction = 0.40;
+
+    /**
+     * Knee ratchet on scale-down. The policy remembers the highest
+     * per-accepting-machine arrival rate it has ever served with a
+     * calm tail (a measured lower bound on per-machine capacity) and
+     * refuses sheds whose projected per-machine rate exceeds that
+     * high-water mark by more than this factor. Near the SLA knee,
+     * utilization and tail latency both still look calm one machine
+     * above the melt-down point — only the served-rate history
+     * reveals how little headroom is left. 1.10 allows ~10% of
+     * unexplored headroom per shed, so the mark ratchets down a
+     * machine at a time instead of leaping past the knee.
+     */
+    double shedRateHeadroom = 1.10;
+
+    /** At most this many machines drained per control tick, so a
+     *  measurement dip cannot collapse the tier. */
+    size_t maxStepDown = 1;
+
+    /**
+     * Cap on *utilization-triggered* growth per tick: a rising ramp
+     * is tracked in steady steps instead of proportional jumps whose
+     * overshoot is then slowly shed again (a machine-hours sawtooth).
+     * Tail-triggered growth (windowed tail past slaHeadroomFraction)
+     * is never capped — that is the emergency response.
+     */
+    size_t maxStepUp = 2;
+
+    // -------------------------------------------------- predictive
+    /**
+     * Look-ahead in seconds when sampling the profile; 0 picks
+     * warm-up delay + control interval, so machines ordered now are
+     * accepting when the predicted rate materializes.
+     */
+    double leadSeconds = 0.0;
+
+    /** Fractional machine headroom added on top of the prediction. */
+    double safetyMargin = 0.12;
+};
+
+/** Configuration of an elastic cluster run. */
+struct AutoscaleSpec
+{
+    /**
+     * The full tier — typically the static peak plan from
+     * planCapacity. machines.size() is the maximum fleet; sharding,
+     * network, join model, and warmup fraction all behave as in
+     * ClusterSimulator.
+     */
+    ClusterConfig cluster;
+
+    RoutingSpec routing;         ///< router policy of the tier
+
+    double slaMs = 100.0;        ///< tail-latency target
+    double percentile = 99.0;    ///< which tail
+
+    /** Seconds between scaling-policy evaluations. */
+    double controlIntervalSeconds = 5.0;
+
+    /** Power-on to accepting (process start + model load). */
+    double warmupDelaySeconds = 2.0;
+
+    /** Machines accepting at trace start; 0 means the full tier. */
+    size_t initialMachines = 0;
+
+    // ------------------------- context for the predictive policy
+    /** The day's load shape (flat by default). */
+    DiurnalProfile profile{1.0};
+
+    /** Mean offered rate of the day's trace (Predictive requires). */
+    double meanQps = 0.0;
+
+    /** Static plan size at the day's peak rate (Predictive
+     *  requires); the baseline the savings are measured against. */
+    size_t machinesAtPeak = 0;
+};
+
+/**
+ * Build a concrete scaling policy. Predictive reads its profile and
+ * plan anchors from @p spec and asserts they are set.
+ */
+std::unique_ptr<ScalingPolicy> makeScalingPolicy(
+    const ScalingPolicySpec& policy, const AutoscaleSpec& spec);
+
+/** One scale decision as applied (recorded at each changing tick). */
+struct ScaleEvent
+{
+    double timeSeconds = 0;
+    size_t servingBefore = 0;  ///< accepting + warming at the tick
+    size_t target = 0;         ///< what the policy asked for (clamped)
+
+    /** What the driver achieved: scale-down on a sharded tier may
+     *  grant less when draining a machine would orphan a table. */
+    size_t granted = 0;
+};
+
+/** Signal snapshot of one control window (timeline for plots/docs). */
+struct AutoscaleWindow
+{
+    double endSeconds = 0;
+    double tailMs = -1.0;      ///< window completions; -1 when none
+    double utilization = 0;
+    double arrivalQps = 0;
+    size_t servingMachines = 0;  ///< accepting + warming after the tick
+    size_t poweredMachines = 0;  ///< + draining
+    bool slaViolation = false;
+};
+
+/** Outcome of one elastic cluster run. */
+struct AutoscaleResult
+{
+    SampleStats fleetLatencySeconds;   ///< measured queries
+    std::vector<MachineStats> perMachine;
+
+    /** Powered (billed) seconds per machine: on through drained. */
+    std::vector<double> poweredSecondsPerMachine;
+
+    uint64_t numQueries = 0;       ///< measured completions
+    uint64_t numDispatched = 0;    ///< all routed queries
+    uint64_t numCompleted = 0;     ///< all completed (== dispatched)
+    uint64_t numParts = 0;         ///< machine-parts dispatched
+
+    double offeredQps = 0;
+    double spanSeconds = 0;        ///< first arrival .. last event
+
+    /** Billed machine time: the elastic tier's actual burn. */
+    double machineSeconds = 0;
+
+    /** The static baseline: the full tier powered for the span. */
+    double staticMachineSeconds = 0;
+
+    /**
+     * Seconds of control windows whose observed tail exceeded the
+     * SLA — including windows in which *nothing* completed while
+     * queries were outstanding (a stalled tier counts as violating,
+     * not as unobserved).
+     */
+    double slaViolationSeconds = 0;
+
+    size_t minServingMachines = 0; ///< over all control windows
+    size_t maxServingMachines = 0;
+
+    std::vector<ScaleEvent> scaleEvents;
+    std::vector<AutoscaleWindow> timeline;
+
+    /** Billed machine-hours of the elastic run. */
+    double machineHours() const { return machineSeconds / 3600.0; }
+
+    /** Machine-hours of the static plan over the same span. */
+    double
+    staticMachineHours() const
+    {
+        return staticMachineSeconds / 3600.0;
+    }
+
+    /** Fraction of the static plan's machine-hours saved, in [0, 1). */
+    double
+    machineHoursSavedFraction() const
+    {
+        return staticMachineSeconds > 0.0
+                   ? 1.0 - machineSeconds / staticMachineSeconds
+                   : 0.0;
+    }
+
+    /** Minutes of control windows whose tail exceeded the SLA. */
+    double slaViolationMinutes() const { return slaViolationSeconds / 60.0; }
+
+    /** Whole-run fleet tail latency in milliseconds. */
+    double
+    tailMs(double pct) const
+    {
+        return fleetLatencySeconds.percentile(pct) * 1e3;
+    }
+
+    /** Whole-run fleet p99 in milliseconds. */
+    double p99Ms() const { return tailMs(99); }
+};
+
+/**
+ * The elastic cluster driver: ClusterSimulator's routing/fan-out/join
+ * mechanics with a machine set that changes while the trace runs.
+ */
+class Autoscaler
+{
+  public:
+    explicit Autoscaler(AutoscaleSpec spec);
+
+    /**
+     * Run the trace (sorted by arrival) to completion, evaluating
+     * @p policy every control interval. Stateful policy: pass a fresh
+     * one to reproduce a run.
+     */
+    AutoscaleResult run(const QueryTrace& trace,
+                        ScalingPolicy& policy) const;
+
+    /** Convenience: build a fresh policy from @p spec, then run. */
+    AutoscaleResult run(const QueryTrace& trace,
+                        const ScalingPolicySpec& spec) const;
+
+    const AutoscaleSpec& spec() const { return spec_; }
+
+    /** Number of machines of the full tier. */
+    size_t maxMachines() const { return spec_.cluster.machines.size(); }
+
+  private:
+    AutoscaleSpec spec_;
+};
+
+} // namespace deeprecsys
+
+#endif // DRS_CLUSTER_AUTOSCALER_HH

@@ -94,6 +94,19 @@ struct CapacityPlan
     {
         return atPlan.tailMs(pct);
     }
+
+    /**
+     * Machine-hours this static plan burns over @p span_seconds of
+     * wall time: every planned machine stays powered for the whole
+     * span, peak traffic or not. This is the provisioning baseline
+     * the elastic tier (cluster/autoscaler.hh) reports its
+     * machine-hours savings against.
+     */
+    double
+    machineHoursOver(double span_seconds) const
+    {
+        return static_cast<double>(machines) * span_seconds / 3600.0;
+    }
 };
 
 /**

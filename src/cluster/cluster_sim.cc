@@ -359,6 +359,10 @@ ClusterSimulator::run(const QueryTrace& trace, RoutingPolicy& policy) const
             finish_part(ev.partIdx, ev.time);
             events.pushAll(scheduled, ev.machine);
             break;
+
+          case SimEvent::Kind::Control:
+          case SimEvent::Kind::MachineUp:
+            drs_panic("scale events belong to the elastic driver");
         }
     }
 

@@ -33,7 +33,8 @@ FleetSimulator::run() const
     FleetResult result;
     result.perMachine.resize(cfg.numMachines);
     Rng fleet_rng(cfg.seed);
-    const DiurnalProfile diurnal(cfg.diurnalPeakToTrough);
+    const DiurnalProfile diurnal(cfg.diurnalPeakToTrough,
+                                 cfg.diurnalPeriodSeconds);
 
     // Persistent machine heterogeneity: each machine forks its own
     // stream for its lognormal speed and per-window interference draws.
@@ -56,7 +57,7 @@ FleetSimulator::run() const
             ? static_cast<double>(w) / static_cast<double>(cfg.numWindows)
             : 0.25;
         const double per_machine_rate = cfg.perMachineQps *
-            diurnal.multiplier(t_frac * 86400.0);
+            diurnal.multiplier(t_frac * cfg.diurnalPeriodSeconds);
 
         // One global stream per window, split across machines by the
         // cluster router. The default round-robin split smooths each

@@ -54,8 +54,21 @@ struct FleetConfig
     size_t queriesPerWindow = 1500;
     /** Number of traffic windows (24 = hourly day simulation). */
     size_t numWindows = 1;
-    /** Diurnal peak-to-trough load ratio across windows. */
+
+    /**
+     * Diurnal peak-to-trough load ratio across windows
+     * (dimensionless, >= 1; 1.0 = flat load). Window w of numWindows
+     * samples the profile at fraction w/numWindows of one period.
+     */
     double diurnalPeakToTrough = 1.0;
+
+    /**
+     * Length of one diurnal cycle in **seconds** (default 24 h). The
+     * windows always span exactly one cycle regardless of this value
+     * — it matters once the same DiurnalProfile also paces something
+     * with real time units, like the elastic tier's control loop.
+     */
+    double diurnalPeriodSeconds = 86400.0;
     uint64_t seed = 1234;
     LoadSpec load;      ///< qps overridden per machine/window
 

@@ -67,13 +67,37 @@ leastLoaded(const ClusterView& view, const std::vector<size_t>& candidates)
     return best;
 }
 
+/**
+ * The machines currently accepting queries, ascending. Under a static
+ * tier this is every machine, so policies drawing over it consume
+ * their random streams exactly as they did before the elastic tier
+ * existed.
+ */
+void
+acceptingMachines(const ClusterView& view, std::vector<size_t>& out)
+{
+    out.clear();
+    for (size_t m = 0; m < view.numMachines(); m++) {
+        if (view.accepting(m))
+            out.push_back(m);
+    }
+    drs_assert(!out.empty(), "no machine is accepting queries");
+}
+
 class RoundRobinPolicy final : public RoutingPolicy
 {
   public:
     size_t
     route(const Query&, const ClusterView& view) override
     {
-        return next++ % view.numMachines();
+        // Advance the cursor past non-accepting machines so the
+        // rotation stays even over whichever set is live.
+        for (size_t tried = 0; tried < view.numMachines(); tried++) {
+            const size_t m = next++ % view.numMachines();
+            if (view.accepting(m))
+                return m;
+        }
+        drs_panic("no machine is accepting queries");
     }
 
     RoutingKind kind() const override { return RoutingKind::RoundRobin; }
@@ -90,14 +114,20 @@ class UniformRandomPolicy final : public RoutingPolicy
     size_t
     route(const Query&, const ClusterView& view) override
     {
-        return static_cast<size_t>(
-            rng.uniformInt(0, static_cast<int64_t>(view.numMachines()) - 1));
+        if (view.allAccepting()) {
+            return static_cast<size_t>(rng.uniformInt(
+                0, static_cast<int64_t>(view.numMachines()) - 1));
+        }
+        acceptingMachines(view, candidates);
+        return candidates[static_cast<size_t>(rng.uniformInt(
+            0, static_cast<int64_t>(candidates.size()) - 1))];
     }
 
     RoutingKind kind() const override { return RoutingKind::UniformRandom; }
 
   private:
     Rng rng;
+    std::vector<size_t> candidates;    ///< scratch, reused per call
 };
 
 class JoinShortestQueuePolicy final : public RoutingPolicy
@@ -106,16 +136,20 @@ class JoinShortestQueuePolicy final : public RoutingPolicy
     size_t
     route(const Query&, const ClusterView& view) override
     {
-        size_t best = 0;
-        double best_load = loadSignal(view, 0);
-        for (size_t m = 1; m < view.numMachines(); m++) {
-            const double load = loadSignal(view, m);
-            if (load < best_load) {
-                best = m;
-                best_load = load;
+        if (view.allAccepting()) {
+            size_t best = 0;
+            double best_load = loadSignal(view, 0);
+            for (size_t m = 1; m < view.numMachines(); m++) {
+                const double load = loadSignal(view, m);
+                if (load < best_load) {
+                    best = m;
+                    best_load = load;
+                }
             }
+            return best;
         }
-        return best;
+        acceptingMachines(view, candidates);
+        return leastLoaded(view, candidates);
     }
 
     RoutingKind
@@ -123,6 +157,9 @@ class JoinShortestQueuePolicy final : public RoutingPolicy
     {
         return RoutingKind::JoinShortestQueue;
     }
+
+  private:
+    std::vector<size_t> candidates;    ///< scratch, reused per call
 };
 
 class PowerOfTwoChoicesPolicy final : public RoutingPolicy
@@ -133,14 +170,29 @@ class PowerOfTwoChoicesPolicy final : public RoutingPolicy
     size_t
     route(const Query&, const ClusterView& view) override
     {
-        const int64_t n = static_cast<int64_t>(view.numMachines());
+        if (view.allAccepting()) {
+            const int64_t n = static_cast<int64_t>(view.numMachines());
+            if (n == 1)
+                return 0;
+            const size_t a =
+                static_cast<size_t>(rng.uniformInt(0, n - 1));
+            size_t b = static_cast<size_t>(rng.uniformInt(0, n - 2));
+            if (b >= a)
+                b++;    // sample without replacement
+            return loadSignal(view, b) < loadSignal(view, a) ? b : a;
+        }
+        acceptingMachines(view, candidates);
+        const int64_t n = static_cast<int64_t>(candidates.size());
         if (n == 1)
-            return 0;
+            return candidates.front();
         const size_t a = static_cast<size_t>(rng.uniformInt(0, n - 1));
         size_t b = static_cast<size_t>(rng.uniformInt(0, n - 2));
         if (b >= a)
             b++;    // sample without replacement
-        return loadSignal(view, b) < loadSignal(view, a) ? b : a;
+        return loadSignal(view, candidates[b]) <
+                       loadSignal(view, candidates[a])
+                   ? candidates[b]
+                   : candidates[a];
     }
 
     RoutingKind
@@ -151,6 +203,7 @@ class PowerOfTwoChoicesPolicy final : public RoutingPolicy
 
   private:
     Rng rng;
+    std::vector<size_t> candidates;    ///< scratch, reused per call
 };
 
 /**
@@ -175,13 +228,11 @@ class SizeAwarePolicy final : public RoutingPolicy
         const bool wants_gpu = query.size >= threshold;
         candidates.clear();
         for (size_t m = 0; m < view.numMachines(); m++) {
-            if (view.hasGpu(m) == wants_gpu)
+            if (view.accepting(m) && view.hasGpu(m) == wants_gpu)
                 candidates.push_back(m);
         }
-        if (candidates.empty()) {
-            for (size_t m = 0; m < view.numMachines(); m++)
-                candidates.push_back(m);
-        }
+        if (candidates.empty())
+            acceptingMachines(view, candidates);
         return leastLoaded(view, candidates);
     }
 
@@ -229,11 +280,11 @@ class ShardAwarePolicy final : public RoutingPolicy
         const std::vector<uint32_t> tables =
             tablesOfQuery(query.id, sharding.tableSet, popularity);
 
-        // Single-hop when some machine holds every table the query
-        // touches (always true under full replication).
+        // Single-hop when some accepting machine holds every table
+        // the query touches (always true under full replication).
         candidates.clear();
         for (size_t m = 0; m < view.numMachines(); m++) {
-            if (placement.holdsAll(m, tables))
+            if (view.accepting(m) && placement.holdsAll(m, tables))
                 candidates.push_back(m);
         }
         if (!candidates.empty()) {
@@ -253,7 +304,7 @@ class ShardAwarePolicy final : public RoutingPolicy
             size_t best_cover = 0;
             double best_load = 0.0;
             for (size_t m = 0; m < view.numMachines(); m++) {
-                if (used[m])
+                if (used[m] || !view.accepting(m))
                     continue;
                 size_t cover = 0;
                 for (size_t i = 0; i < tables.size(); i++) {
@@ -271,7 +322,7 @@ class ShardAwarePolicy final : public RoutingPolicy
                 }
             }
             drs_assert(best < view.numMachines(),
-                       "uncovered table with no replica");
+                       "uncovered table with no accepting replica");
             used[best] = true;
             for (size_t i = 0; i < tables.size(); i++) {
                 if (!covered[i] && placement.holds(best, tables[i])) {

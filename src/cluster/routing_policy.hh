@@ -14,6 +14,13 @@
  * routes each query to machines holding (replicas of) its embedding
  * tables, fanning out over a set cover when no machine holds them all.
  *
+ * Policies observe machine availability through
+ * ClusterView::accepting(): under the elastic tier
+ * (cluster/autoscaler.hh) the accepting set changes mid-run as
+ * machines warm up or drain, and every policy routes only within it.
+ * Static tiers accept everywhere, preserving historical behavior
+ * bit-for-bit.
+ *
  * Ownership: policies are stateful and single-run — build a fresh one
  * (same seed) per run to reproduce results. The shard-aware policy
  * keeps a reference to the ShardingConfig it was built from, which
@@ -78,6 +85,25 @@ class ClusterView
 
     /** Relative machine speed (1.0 nominal; > 1.0 is faster). */
     virtual double speedFactor(size_t m) const = 0;
+
+    /**
+     * True when machine @p m accepts new queries. Statically
+     * provisioned tiers accept everywhere (the default); the elastic
+     * tier (cluster/autoscaler.hh) excludes machines that are powered
+     * off, still warming up, or draining toward removal. Policies
+     * must never route to a non-accepting machine; at least one
+     * machine always accepts.
+     */
+    virtual bool accepting(size_t) const { return true; }
+
+    /**
+     * True when every machine is accepting — the static-tier fast
+     * path. Policies that would otherwise build a candidate list per
+     * decision check this first and keep their historical O(1)-probe
+     * hot path; views with live machine-set state override it with a
+     * maintained counter, never an O(n) scan.
+     */
+    virtual bool allAccepting() const { return true; }
 };
 
 /**

@@ -130,12 +130,23 @@ DiurnalProfile::DiurnalProfile(double peak_to_trough, double period_seconds)
       period(period_seconds)
 {
     drs_assert(peak_to_trough >= 1.0, "peak/trough ratio must be >= 1");
+    drs_assert(period_seconds > 0.0, "profile period must be positive");
 }
 
 double
 DiurnalProfile::multiplier(double t_seconds) const
 {
     return 1.0 + amplitude * std::sin(2.0 * M_PI * t_seconds / period);
+}
+
+double
+DiurnalProfile::cumulativeSeconds(double t_seconds) const
+{
+    // Closed form of the sinusoid's integral; the cosine term
+    // vanishes at whole periods, recovering the mean-1 property.
+    const double phase = 2.0 * M_PI * t_seconds / period;
+    return t_seconds +
+           amplitude * period / (2.0 * M_PI) * (1.0 - std::cos(phase));
 }
 
 } // namespace deeprecsys

@@ -8,6 +8,15 @@
  * whose top quartile carries roughly half the total work, the property
  * Figure 6 builds on. Fixed / normal / lognormal alternatives are
  * provided for the ablations of Figure 12a.
+ *
+ * Units: all times are **seconds** (gaps, profile periods, absolute
+ * stamps); rates are queries per second; query sizes are candidate
+ * samples. Ownership: every type here is a self-contained value — the
+ * samplers own their Rng streams and keep no references to caller
+ * data. Determinism: a sampler's draw sequence is a pure function of
+ * its constructor arguments (kind, parameters, 64-bit seed), and
+ * DiurnalProfile holds no random state at all, so equal configs
+ * reproduce every trace bit-for-bit on every platform.
  */
 
 #ifndef DRS_LOADGEN_DISTRIBUTIONS_HH
@@ -24,7 +33,13 @@ namespace deeprecsys {
 /** Inter-arrival time models. */
 enum class ArrivalKind { Poisson, Fixed, Uniform };
 
-/** Generates inter-arrival gaps for a target average rate. */
+/**
+ * Generates inter-arrival gaps for a target average rate. Owns its
+ * random stream: two processes with equal (kind, qps, seed) emit the
+ * same gap sequence, and every kind prices a gap as gap(1.0) / qps,
+ * which is what lets TraceTemplate re-time one drawn population at
+ * any candidate rate bit-identically.
+ */
 class ArrivalProcess
 {
   public:
@@ -54,11 +69,15 @@ enum class SizeDistKind { Production, Lognormal, Normal, Fixed };
 const char* sizeDistName(SizeDistKind kind);
 
 /**
- * Samples query sizes in [1, maxSize].
+ * Samples query sizes in [1, maxSize] (candidate samples per query).
  *
  * The production distribution mixes a lognormal body with a Pareto
  * tail (20% tail weight, shape 1.3) clipped at maxSize = 1000, giving
- * the heavier-than-lognormal tail of Figure 5.
+ * the heavier-than-lognormal tail of Figure 5. Owns its Rng: the
+ * sample sequence is a pure function of (kind, parameters, seed), and
+ * the size stream is kept independent of the arrival stream so rate
+ * sweeps re-time the same query population (see LoadSpec's two
+ * seeds).
  */
 class QuerySizeDistribution
 {
@@ -99,21 +118,54 @@ class QuerySizeDistribution
 };
 
 /**
- * Diurnal traffic profile: a day-long sinusoidal load swing around
- * the mean rate, used by the fleet experiments (Figure 13).
+ * Diurnal traffic profile: a sinusoidal load swing around the mean
+ * rate, used by the fleet experiments (Figure 13) and the elastic
+ * cluster tier (cluster/autoscaler.hh). The multiplier starts at 1.0
+ * (the mean) at t = 0, peaks at a quarter period, and bottoms out at
+ * three quarters; it averages exactly 1.0 over any whole period, so
+ * modulating a mean rate by it preserves the day's total traffic.
+ *
+ * Units: all times in **seconds**; the multiplier and peak/trough
+ * ratio are dimensionless. Ownership: a plain value type (two
+ * doubles), freely copyable. Determinism: holds no random state —
+ * multiplier() and cumulativeSeconds() are pure functions, equal on
+ * every platform for equal configs.
  */
 class DiurnalProfile
 {
   public:
     /**
-     * @param peak_to_trough ratio of the busiest to the quietest hour
+     * @param peak_to_trough ratio of the busiest to the quietest
+     *        moment of the cycle (>= 1; 1.0 degenerates to constant
+     *        load)
      * @param period_seconds length of one cycle (default 24 h)
      */
     explicit DiurnalProfile(double peak_to_trough = 2.0,
                             double period_seconds = 86400.0);
 
-    /** Rate multiplier (mean 1.0) at an absolute time. */
+    /** Rate multiplier (mean 1.0 over a period) at an absolute time. */
     double multiplier(double t_seconds) const;
+
+    /**
+     * Integral of multiplier() over [0, t]: the expected arrivals by
+     * time @p t_seconds per unit of mean rate. Strictly increasing in
+     * t (the multiplier is positive), which is what lets diurnal
+     * re-timing invert it (TraceTemplate::materializeDiurnal).
+     */
+    double cumulativeSeconds(double t_seconds) const;
+
+    /** The configured busiest-to-quietest ratio (>= 1). */
+    double
+    peakToTrough() const
+    {
+        return (1.0 + amplitude) / (1.0 - amplitude);
+    }
+
+    /** Swing amplitude around the mean, in [0, 1). */
+    double swingAmplitude() const { return amplitude; }
+
+    /** Length of one cycle in seconds. */
+    double periodSeconds() const { return period; }
 
   private:
     double amplitude;

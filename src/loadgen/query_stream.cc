@@ -1,5 +1,7 @@
 #include "query_stream.hh"
 
+#include <cmath>
+
 #include "base/logging.hh"
 
 namespace deeprecsys {
@@ -70,6 +72,54 @@ TraceTemplate::materialize(double qps, size_t count) const
         Query q;
         q.id = static_cast<uint64_t>(i);
         q.arrivalSeconds = clock;
+        q.size = sizes[i];
+        trace.push_back(q);
+    }
+    return trace;
+}
+
+QueryTrace
+TraceTemplate::materializeDiurnal(double mean_qps,
+                                  const DiurnalProfile& profile,
+                                  size_t count) const
+{
+    drs_assert(count <= unitGaps.size(),
+               "materialize beyond the drawn template; call ensure()");
+    drs_assert(mean_qps > 0.0, "mean rate must be positive");
+    // A flat profile must reproduce the homogeneous path bit-for-bit
+    // (same accumulation order), so it takes that path literally.
+    if (profile.swingAmplitude() == 0.0)
+        return materialize(mean_qps, count);
+
+    QueryTrace trace;
+    trace.reserve(count);
+    // Inversion of the cumulative-arrivals integral: query i arrives
+    // at the t solving profile.cumulativeSeconds(t) = u_i, where u_i
+    // accumulates the template's unit gaps at the mean rate. Newton
+    // from the previous arrival converges in a couple of steps — the
+    // integrand (the multiplier) is smooth and bounded away from 0.
+    const double min_mult = 1.0 - profile.swingAmplitude();
+    double u = 0.0;
+    double t = 0.0;
+    for (size_t i = 0; i < count; i++) {
+        u += unitGaps[i] / mean_qps;
+        // First step overshoots conservatively using the trough rate,
+        // keeping the iterate on the near side of the root.
+        double step = (u - profile.cumulativeSeconds(t)) / min_mult;
+        for (int iter = 0; iter < 24 && step != 0.0; iter++) {
+            t += step;
+            const double err = profile.cumulativeSeconds(t) - u;
+            if (std::abs(err) <= 1e-12 * (1.0 + u))
+                break;
+            step = -err / profile.multiplier(t);
+        }
+        // The root is strictly increasing in u; keep the last-bit
+        // numerics from ever inverting two arrivals.
+        if (!trace.empty())
+            t = std::max(t, trace.back().arrivalSeconds);
+        Query q;
+        q.id = static_cast<uint64_t>(i);
+        q.arrivalSeconds = t;
         q.size = sizes[i];
         trace.push_back(q);
     }

@@ -79,6 +79,22 @@ class TraceTemplate
      */
     QueryTrace materialize(double qps, size_t count) const;
 
+    /**
+     * First @p count queries re-timed under a time-varying rate:
+     * mean_qps modulated by @p profile (a non-homogeneous Poisson
+     * process when the template's ArrivalKind is Poisson, by
+     * inversion of the profile's cumulative integral). The same drawn
+     * population — sizes and draw order untouched — arrives denser at
+     * the peak and sparser at the trough, which is what the elastic
+     * cluster tier serves over a simulated day. A flat profile
+     * (peak_to_trough 1.0) is **bit-identical** to
+     * materialize(mean_qps, count). Deterministic: a pure function of
+     * the drawn template and the arguments.
+     */
+    QueryTrace materializeDiurnal(double mean_qps,
+                                  const DiurnalProfile& profile,
+                                  size_t count) const;
+
     /** Queries drawn so far. */
     size_t size() const { return unitGaps.size(); }
 

@@ -186,6 +186,19 @@ class MachineEngine
     /** Parts admitted and not yet finished. */
     size_t partsInService() const { return slab.size() - freeSlots.size(); }
 
+    /**
+     * True when the machine holds no work at all — nothing queued, no
+     * busy core or accelerator, no part in service. The elastic
+     * cluster tier powers a draining machine off at the first moment
+     * this holds.
+     */
+    bool
+    idle() const
+    {
+        return busyCores_ == 0 && !gpuBusy && cpuQueue.empty() &&
+               gpuQueue.empty() && partsInService() == 0;
+    }
+
     // ------------------------------------------------------- results
     /** CPU requests dispatched so far. */
     uint64_t requestsDispatched() const { return requestsDispatched_; }
@@ -266,13 +279,26 @@ class MachineEngine
  * its machine and an insertion sequence number. Ties in time break on
  * the sequence so heap order never depends on container internals —
  * the determinism rule both simulators inherit.
+ *
+ * The last two kinds belong to the elastic cluster driver
+ * (cluster/autoscaler.cc): Control is a periodic scaling-policy tick
+ * and MachineUp is a warmed-up machine joining the accepting set.
+ * They share the queue with service completions so scale events
+ * interleave with traffic in one deterministic (time, seq) order.
  */
 struct SimEvent
 {
     double time = 0;
     uint64_t seq = 0;
-    enum class Kind { CpuRequest, GpuQuery, PartArrival, JoinPhase } kind =
-        Kind::CpuRequest;
+    enum class Kind
+    {
+        CpuRequest,
+        GpuQuery,
+        PartArrival,
+        JoinPhase,
+        Control,
+        MachineUp,
+    } kind = Kind::CpuRequest;
     uint32_t machine = 0;
     uint64_t partIdx = 0;
 

@@ -1,0 +1,412 @@
+/**
+ * @file
+ * Tests for the elastic cluster tier (cluster/autoscaler.hh): query
+ * conservation across scale events, connection-draining removal that
+ * never drops work, warm-up delay semantics, equivalence with the
+ * static cluster simulator when no scale event fires, bitwise
+ * determinism across repeated runs and thread counts, shard-placement
+ * re-validation refusing drains that would orphan a table, and the
+ * headline property — the reactive policy beats the static peak plan
+ * on machine-hours over a 2x diurnal day without violating the SLA.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "base/thread_pool.hh"
+#include "cluster/autoscaler.hh"
+#include "cluster/cluster_sim.hh"
+#include "loadgen/query_stream.hh"
+
+namespace deeprecsys {
+namespace {
+
+SimConfig
+cpuMachine(uint64_t memory_bytes = 0)
+{
+    const ModelProfile profile = ModelProfile::forModel(ModelId::DlrmRmc1);
+    SchedulerPolicy policy;
+    policy.perRequestBatch = 256;
+    SimConfig machine{CpuCostModel(profile, CpuPlatform::skylake()),
+                      std::nullopt, policy, 0.05, 1.0};
+    machine.memoryBytes = memory_bytes;
+    return machine;
+}
+
+AutoscaleSpec
+flatSpec(size_t machines)
+{
+    AutoscaleSpec spec;
+    for (size_t m = 0; m < machines; m++)
+        spec.cluster.machines.push_back(cpuMachine());
+    spec.routing.kind = RoutingKind::PowerOfTwoChoices;
+    spec.slaMs = 100.0;
+    spec.controlIntervalSeconds = 0.5;
+    spec.warmupDelaySeconds = 0.25;
+    return spec;
+}
+
+/** A diurnal day's trace plus the spec fields the policies need. */
+QueryTrace
+diurnalTrace(AutoscaleSpec& spec, double peak_qps, double ratio,
+             double day_seconds)
+{
+    const DiurnalProfile profile(ratio, day_seconds);
+    const double mean_qps = peak_qps / (1.0 + profile.swingAmplitude());
+    spec.profile = profile;
+    spec.meanQps = mean_qps;
+    spec.machinesAtPeak = spec.cluster.machines.size();
+
+    LoadSpec load;
+    load.qps = mean_qps;
+    TraceTemplate tmpl(load);
+    const size_t count = static_cast<size_t>(mean_qps * day_seconds);
+    tmpl.ensure(count);
+    return tmpl.materializeDiurnal(mean_qps, profile, count);
+}
+
+QueryTrace
+flatTrace(double qps, size_t count, uint64_t seed = 5)
+{
+    LoadSpec load;
+    load.qps = qps;
+    load.arrivalSeed = seed;
+    load.sizeSeed = seed + 1;
+    QueryStream stream(load);
+    return stream.generate(count);
+}
+
+void
+expectSameAutoscaleResult(const AutoscaleResult& a,
+                          const AutoscaleResult& b)
+{
+    EXPECT_EQ(a.numQueries, b.numQueries);
+    EXPECT_EQ(a.numDispatched, b.numDispatched);
+    EXPECT_EQ(a.numCompleted, b.numCompleted);
+    EXPECT_EQ(a.numParts, b.numParts);
+    EXPECT_DOUBLE_EQ(a.machineSeconds, b.machineSeconds);
+    EXPECT_DOUBLE_EQ(a.staticMachineSeconds, b.staticMachineSeconds);
+    EXPECT_DOUBLE_EQ(a.slaViolationSeconds, b.slaViolationSeconds);
+    EXPECT_DOUBLE_EQ(a.spanSeconds, b.spanSeconds);
+    EXPECT_DOUBLE_EQ(a.fleetLatencySeconds.sum(),
+                     b.fleetLatencySeconds.sum());
+    ASSERT_EQ(a.scaleEvents.size(), b.scaleEvents.size());
+    for (size_t i = 0; i < a.scaleEvents.size(); i++) {
+        EXPECT_DOUBLE_EQ(a.scaleEvents[i].timeSeconds,
+                         b.scaleEvents[i].timeSeconds);
+        EXPECT_EQ(a.scaleEvents[i].granted, b.scaleEvents[i].granted);
+    }
+}
+
+TEST(Autoscaler, StaticPolicyNeverScalesAndMatchesBaseline)
+{
+    AutoscaleSpec spec = flatSpec(4);
+    const QueryTrace trace = flatTrace(6000.0, 20000);
+
+    ScalingPolicySpec policy;
+    policy.kind = ScalingPolicyKind::Static;
+    const AutoscaleResult r = Autoscaler(spec).run(trace, policy);
+
+    EXPECT_EQ(r.scaleEvents.size(), 0u);
+    EXPECT_EQ(r.minServingMachines, 4u);
+    EXPECT_EQ(r.maxServingMachines, 4u);
+    // The full tier stays powered for the whole span: elastic burn
+    // equals the static baseline exactly.
+    EXPECT_DOUBLE_EQ(r.machineSeconds, r.staticMachineSeconds);
+    EXPECT_DOUBLE_EQ(r.machineHoursSavedFraction(), 0.0);
+    EXPECT_EQ(r.numDispatched, trace.size());
+    EXPECT_EQ(r.numCompleted, trace.size());
+}
+
+TEST(Autoscaler, StaticFullTierMatchesClusterSimulatorExactly)
+{
+    // With no scale event the elastic driver must be the cluster
+    // simulator: same routing decisions, same service schedule, same
+    // statistics bit-for-bit (control ticks shift event sequence
+    // numbers but never reorder equal-time service completions).
+    AutoscaleSpec spec = flatSpec(5);
+    const QueryTrace trace = flatTrace(7500.0, 15000, 23);
+
+    ScalingPolicySpec policy;
+    policy.kind = ScalingPolicyKind::Static;
+    const AutoscaleResult elastic = Autoscaler(spec).run(trace, policy);
+
+    ClusterConfig cluster;
+    cluster.machines = spec.cluster.machines;
+    const ClusterResult fixed =
+        ClusterSimulator(cluster).run(trace, spec.routing);
+
+    EXPECT_EQ(elastic.numDispatched, fixed.numDispatched);
+    EXPECT_EQ(elastic.numCompleted, fixed.numCompleted);
+    EXPECT_EQ(elastic.numQueries, fixed.numQueries);
+    EXPECT_DOUBLE_EQ(elastic.fleetLatencySeconds.sum(),
+                     fixed.fleetLatencySeconds.sum());
+    EXPECT_DOUBLE_EQ(elastic.p99Ms(), fixed.p99Ms());
+    for (size_t m = 0; m < 5; m++) {
+        EXPECT_EQ(elastic.perMachine[m].queriesDispatched,
+                  fixed.perMachine[m].queriesDispatched);
+        EXPECT_EQ(elastic.perMachine[m].requestsDispatched,
+                  fixed.perMachine[m].requestsDispatched);
+        EXPECT_DOUBLE_EQ(elastic.perMachine[m].busyCoreSeconds,
+                         fixed.perMachine[m].busyCoreSeconds);
+    }
+}
+
+TEST(Autoscaler, ConservationAcrossScaleEvents)
+{
+    AutoscaleSpec spec = flatSpec(6);
+    QueryTrace trace = diurnalTrace(spec, 10000.0, 2.0, 20.0);
+
+    ScalingPolicySpec policy;
+    policy.kind = ScalingPolicyKind::Reactive;
+    const AutoscaleResult r = Autoscaler(spec).run(trace, policy);
+
+    // Machines were added and removed mid-run...
+    EXPECT_GT(r.scaleEvents.size(), 0u);
+    EXPECT_LT(r.minServingMachines, r.maxServingMachines);
+    // ...yet every query completed exactly once and none was dropped.
+    EXPECT_EQ(r.numDispatched, trace.size());
+    EXPECT_EQ(r.numCompleted, trace.size());
+    uint64_t completed = 0;
+    for (const MachineStats& m : r.perMachine)
+        completed += m.queriesCompleted;
+    EXPECT_EQ(completed, trace.size());
+}
+
+TEST(Autoscaler, DrainFinishesInFlightWorkAndPowersOff)
+{
+    // Scale the tier from 6 to 2 machines mid-run: the drained
+    // machines finish their queues (nothing dropped), then power off
+    // (billed less than the span).
+    AutoscaleSpec spec = flatSpec(6);
+    const QueryTrace trace = flatTrace(3000.0, 15000);
+
+    ScalingPolicySpec policy;
+    policy.kind = ScalingPolicyKind::Static;
+    policy.staticMachines = 2;
+    const AutoscaleResult r = Autoscaler(spec).run(trace, policy);
+
+    EXPECT_EQ(r.numCompleted, trace.size());
+    EXPECT_EQ(r.minServingMachines, 2u);
+    EXPECT_LT(r.machineSeconds, r.staticMachineSeconds);
+    // The surviving machines stay powered the whole span; the
+    // drained ones power off early but only after finishing work.
+    EXPECT_DOUBLE_EQ(r.poweredSecondsPerMachine[0], r.spanSeconds);
+    for (size_t m = 2; m < 6; m++)
+        EXPECT_LT(r.poweredSecondsPerMachine[m],
+                  0.5 * r.spanSeconds);
+}
+
+TEST(Autoscaler, WarmupDelayKeepsNewMachinesOutOfRouting)
+{
+    // One machine accepts at trace start; the policy wants the full
+    // tier but the warm-up delay exceeds the trace, so the added
+    // machines are billed yet never serve a query.
+    AutoscaleSpec spec = flatSpec(3);
+    spec.initialMachines = 1;
+    spec.warmupDelaySeconds = 1e6;
+    const QueryTrace trace = flatTrace(1500.0, 4000);
+
+    ScalingPolicySpec policy;
+    policy.kind = ScalingPolicyKind::Static;
+    const AutoscaleResult r = Autoscaler(spec).run(trace, policy);
+
+    EXPECT_EQ(r.numCompleted, trace.size());
+    EXPECT_EQ(r.perMachine[0].queriesDispatched, trace.size());
+    for (size_t m = 1; m < 3; m++) {
+        EXPECT_EQ(r.perMachine[m].queriesDispatched, 0u);
+        EXPECT_EQ(r.perMachine[m].requestsDispatched, 0u);
+        // Powered from the first control tick, though: warm-up time
+        // is paid for.
+        EXPECT_GT(r.poweredSecondsPerMachine[m], 0.0);
+    }
+}
+
+TEST(Autoscaler, WarmedUpMachineJoinsAndServes)
+{
+    AutoscaleSpec spec = flatSpec(3);
+    spec.initialMachines = 1;
+    spec.warmupDelaySeconds = 0.25;
+    const QueryTrace trace = flatTrace(4000.0, 20000);
+
+    ScalingPolicySpec policy;
+    policy.kind = ScalingPolicyKind::Static;   // wants the full tier
+    const AutoscaleResult r = Autoscaler(spec).run(trace, policy);
+
+    EXPECT_EQ(r.numCompleted, trace.size());
+    // After the first tick + warm-up, the added machines serve.
+    for (size_t m = 1; m < 3; m++)
+        EXPECT_GT(r.perMachine[m].queriesDispatched, 0u);
+}
+
+TEST(Autoscaler, DeterministicAcrossRepeatedRunsAndThreadCounts)
+{
+    AutoscaleSpec spec = flatSpec(5);
+    QueryTrace trace = diurnalTrace(spec, 8000.0, 2.0, 15.0);
+    ScalingPolicySpec policy;
+    policy.kind = ScalingPolicyKind::Reactive;
+    const Autoscaler scaler(spec);
+
+    const AutoscaleResult first = scaler.run(trace, policy);
+    const AutoscaleResult again = scaler.run(trace, policy);
+    expectSameAutoscaleResult(first, again);
+
+    // A single run never uses the pool, but the surrounding sweeps
+    // do; pin the whole path at 1 vs 8 threads.
+    ThreadPool::setSharedThreads(1);
+    const AutoscaleResult serial = scaler.run(trace, policy);
+    ThreadPool::setSharedThreads(8);
+    const AutoscaleResult parallel = scaler.run(trace, policy);
+    ThreadPool::setSharedThreads(1);
+    expectSameAutoscaleResult(serial, parallel);
+    expectSameAutoscaleResult(first, serial);
+}
+
+TEST(Autoscaler, ReactiveBeatsStaticOverTwoXDiurnalDay)
+{
+    // The headline property at test scale: over a 2x peak-to-trough
+    // day, the reactive policy must save machine-hours against the
+    // static peak tier while holding the SLA.
+    AutoscaleSpec spec = flatSpec(8);
+    QueryTrace trace = diurnalTrace(spec, 13000.0, 2.0, 30.0);
+
+    ScalingPolicySpec static_policy;
+    static_policy.kind = ScalingPolicyKind::Static;
+    const AutoscaleResult fixed =
+        Autoscaler(spec).run(trace, static_policy);
+
+    ScalingPolicySpec reactive;
+    reactive.kind = ScalingPolicyKind::Reactive;
+    const AutoscaleResult elastic =
+        Autoscaler(spec).run(trace, reactive);
+
+    EXPECT_EQ(elastic.numCompleted, trace.size());
+    EXPECT_DOUBLE_EQ(fixed.machineHoursSavedFraction(), 0.0);
+    EXPECT_GT(elastic.machineHoursSavedFraction(), 0.10);
+    EXPECT_DOUBLE_EQ(elastic.slaViolationMinutes(), 0.0);
+    // Whole-day tail stays within the SLA for both tiers.
+    EXPECT_LE(elastic.p99Ms(), spec.slaMs);
+    EXPECT_LE(fixed.p99Ms(), spec.slaMs);
+}
+
+TEST(Autoscaler, PredictivePreWarmsAheadOfTheRamp)
+{
+    AutoscaleSpec spec = flatSpec(8);
+    QueryTrace trace = diurnalTrace(spec, 13000.0, 2.0, 30.0);
+
+    ScalingPolicySpec predictive;
+    predictive.kind = ScalingPolicyKind::Predictive;
+    const AutoscaleResult r = Autoscaler(spec).run(trace, predictive);
+
+    EXPECT_EQ(r.numCompleted, trace.size());
+    EXPECT_GT(r.machineHoursSavedFraction(), 0.05);
+    EXPECT_DOUBLE_EQ(r.slaViolationMinutes(), 0.0);
+    EXPECT_LE(r.p99Ms(), spec.slaMs);
+    EXPECT_LT(r.minServingMachines, 8u);
+}
+
+TEST(Autoscaler, ShardRevalidationRefusesOrphaningDrains)
+{
+    // Round-robin placement with no replication: every machine holds
+    // the sole copy of some tables, so no machine may drain and the
+    // tier must refuse the scale-down wholesale.
+    const ModelConfig model = modelConfig(ModelId::DlrmRmc2);
+    const std::vector<EmbeddingTableInfo> tables =
+        embeddingTables(model);
+    uint64_t total = 0;
+    for (const EmbeddingTableInfo& t : tables)
+        total += t.bytes;
+
+    AutoscaleSpec spec;
+    const size_t n = 4;
+    for (size_t m = 0; m < n; m++)
+        spec.cluster.machines.push_back(cpuMachine(total / 2));
+    PlacementSpec placement_spec;
+    placement_spec.strategy = PlacementStrategy::RoundRobin;
+    const ShardPlacement placement = ShardPlacement::build(
+        tables, machineMemoryBudgets(spec.cluster.machines),
+        placement_spec);
+    ASSERT_TRUE(placement.feasible());
+    TableSetSpec table_set;
+    table_set.numTables = static_cast<uint32_t>(tables.size());
+    table_set.tablesPerQuery = 4;
+    spec.cluster.sharding = ShardingConfig{placement, table_set};
+    spec.routing.kind = RoutingKind::ShardAware;
+    spec.slaMs = 100.0;
+    spec.controlIntervalSeconds = 0.5;
+    spec.warmupDelaySeconds = 0.25;
+
+    const QueryTrace trace = flatTrace(2000.0, 6000);
+    ScalingPolicySpec policy;
+    policy.kind = ScalingPolicyKind::Static;
+    policy.staticMachines = 1;    // asks for a 1-machine tier
+    const AutoscaleResult r = Autoscaler(spec).run(trace, policy);
+
+    // Every drain was refused: each machine holds tables nobody else
+    // replicates, so the serving set never shrank and no query was
+    // lost or unroutable.
+    EXPECT_EQ(r.minServingMachines, n);
+    EXPECT_EQ(r.numCompleted, trace.size());
+    for (const ScaleEvent& ev : r.scaleEvents) {
+        EXPECT_EQ(ev.target, 1u);
+        EXPECT_EQ(ev.granted, n);
+    }
+    EXPECT_GT(r.scaleEvents.size(), 0u);
+}
+
+TEST(Autoscaler, ShardDrainAllowedUnderFullReplication)
+{
+    // With every table replicated on every machine, drains pass
+    // re-validation and the tier really shrinks.
+    const ModelConfig model = modelConfig(ModelId::DlrmRmc2);
+    const std::vector<EmbeddingTableInfo> tables =
+        embeddingTables(model);
+
+    AutoscaleSpec spec;
+    const size_t n = 4;
+    for (size_t m = 0; m < n; m++)
+        spec.cluster.machines.push_back(cpuMachine(0));
+    PlacementSpec placement_spec;
+    placement_spec.strategy = PlacementStrategy::HotColdReplicated;
+    placement_spec.hotReplicaFraction = 1.0;
+    const ShardPlacement placement = ShardPlacement::build(
+        tables, std::vector<uint64_t>(n, 0), placement_spec);
+    ASSERT_TRUE(placement.feasible());
+    TableSetSpec table_set;
+    table_set.numTables = static_cast<uint32_t>(tables.size());
+    table_set.tablesPerQuery = 4;
+    spec.cluster.sharding = ShardingConfig{placement, table_set};
+    spec.routing.kind = RoutingKind::ShardAware;
+    spec.slaMs = 100.0;
+    spec.controlIntervalSeconds = 0.5;
+    spec.warmupDelaySeconds = 0.25;
+
+    const QueryTrace trace = flatTrace(2000.0, 6000);
+    ScalingPolicySpec policy;
+    policy.kind = ScalingPolicyKind::Static;
+    policy.staticMachines = 2;
+    const AutoscaleResult r = Autoscaler(spec).run(trace, policy);
+
+    EXPECT_EQ(r.minServingMachines, 2u);
+    EXPECT_EQ(r.numCompleted, trace.size());
+}
+
+TEST(ScalingPolicies, FactoryBuildsEveryKindWithNames)
+{
+    AutoscaleSpec spec = flatSpec(2);
+    spec.meanQps = 1000.0;
+    spec.machinesAtPeak = 2;
+    for (ScalingPolicyKind kind : allScalingPolicyKinds()) {
+        ScalingPolicySpec policy;
+        policy.kind = kind;
+        const std::unique_ptr<ScalingPolicy> built =
+            makeScalingPolicy(policy, spec);
+        ASSERT_NE(built, nullptr);
+        EXPECT_EQ(built->kind(), kind);
+        EXPECT_STRNE(built->name(), "unknown");
+    }
+}
+
+} // namespace
+} // namespace deeprecsys

@@ -6,6 +6,7 @@
  */
 
 #include <algorithm>
+#include <cmath>
 #include <gtest/gtest.h>
 #include <numeric>
 
@@ -235,8 +236,156 @@ TEST(DiurnalProfile, PeakToTroughRatio)
 TEST(DiurnalProfile, FlatProfileIsConstant)
 {
     DiurnalProfile profile(1.0);
+    EXPECT_DOUBLE_EQ(profile.swingAmplitude(), 0.0);
     for (int i = 0; i < 24; i++)
         EXPECT_DOUBLE_EQ(profile.multiplier(3600.0 * i), 1.0);
+}
+
+TEST(DiurnalProfile, PeakAndTroughLandAtQuarterPeriods)
+{
+    // The multiplier starts at the mean, peaks at P/4, and bottoms
+    // out at 3P/4 — exactly 1 +/- amplitude there.
+    const DiurnalProfile profile(3.0, 1000.0);
+    const double a = profile.swingAmplitude();
+    EXPECT_DOUBLE_EQ(a, 0.5);
+    EXPECT_DOUBLE_EQ(profile.multiplier(0.0), 1.0);
+    EXPECT_NEAR(profile.multiplier(250.0), 1.0 + a, 1e-12);
+    EXPECT_NEAR(profile.multiplier(750.0), 1.0 - a, 1e-12);
+    // Every point stays within the peak/trough bounds.
+    for (int i = 0; i < 500; i++) {
+        const double m = profile.multiplier(1000.0 * i / 500.0);
+        EXPECT_GE(m, 1.0 - a);
+        EXPECT_LE(m, 1.0 + a);
+    }
+}
+
+TEST(DiurnalProfile, AccessorsRoundTripTheConfig)
+{
+    const DiurnalProfile profile(2.5, 3600.0);
+    EXPECT_NEAR(profile.peakToTrough(), 2.5, 1e-12);
+    EXPECT_DOUBLE_EQ(profile.periodSeconds(), 3600.0);
+}
+
+TEST(DiurnalProfile, PeriodWrapAround)
+{
+    const DiurnalProfile profile(2.0, 500.0);
+    for (int i = 0; i < 50; i++) {
+        const double t = 500.0 * i / 50.0;
+        EXPECT_NEAR(profile.multiplier(t), profile.multiplier(t + 500.0),
+                    1e-9);
+        EXPECT_NEAR(profile.multiplier(t),
+                    profile.multiplier(t + 5 * 500.0), 1e-9);
+    }
+}
+
+TEST(DiurnalProfile, CumulativeMatchesNumericIntegral)
+{
+    const DiurnalProfile profile(2.0, 400.0);
+    double numeric = 0.0;
+    const int steps = 200000;
+    const double dt = 400.0 / steps;
+    for (int i = 0; i < steps; i++) {
+        const double mid = (i + 0.5) * dt;
+        numeric += profile.multiplier(mid) * dt;
+        if ((i + 1) % (steps / 4) == 0) {
+            EXPECT_NEAR(profile.cumulativeSeconds((i + 1) * dt), numeric,
+                        1e-6 * 400.0);
+        }
+    }
+    // Over a whole period the mean multiplier is exactly 1.
+    EXPECT_NEAR(profile.cumulativeSeconds(400.0), 400.0, 1e-9);
+}
+
+TEST(DiurnalProfile, CumulativeStrictlyIncreasing)
+{
+    const DiurnalProfile profile(4.0, 100.0);
+    double prev = 0.0;
+    for (int i = 1; i <= 400; i++) {
+        const double c = profile.cumulativeSeconds(100.0 * i / 400.0);
+        EXPECT_GT(c, prev);
+        prev = c;
+    }
+}
+
+TEST(TraceTemplate, FlatDiurnalIsBitIdenticalToMaterialize)
+{
+    LoadSpec spec;
+    spec.qps = 500.0;
+    TraceTemplate tmpl(spec);
+    tmpl.ensure(4000);
+    const QueryTrace flat = tmpl.materialize(500.0, 4000);
+    const QueryTrace diurnal =
+        tmpl.materializeDiurnal(500.0, DiurnalProfile(1.0), 4000);
+    ASSERT_EQ(flat.size(), diurnal.size());
+    for (size_t i = 0; i < flat.size(); i++) {
+        EXPECT_EQ(flat[i].id, diurnal[i].id);
+        EXPECT_EQ(flat[i].size, diurnal[i].size);
+        EXPECT_DOUBLE_EQ(flat[i].arrivalSeconds,
+                         diurnal[i].arrivalSeconds);
+    }
+}
+
+TEST(TraceTemplate, DiurnalKeepsPopulationAndOrdering)
+{
+    LoadSpec spec;
+    spec.qps = 1000.0;
+    TraceTemplate tmpl(spec);
+    tmpl.ensure(20000);
+    const DiurnalProfile profile(2.0, 20.0);
+    const QueryTrace flat = tmpl.materialize(1000.0, 20000);
+    const QueryTrace diurnal =
+        tmpl.materializeDiurnal(1000.0, profile, 20000);
+    ASSERT_EQ(diurnal.size(), flat.size());
+    for (size_t i = 0; i < diurnal.size(); i++) {
+        // Same drawn sizes in the same order; only the stamps move.
+        EXPECT_EQ(diurnal[i].size, flat[i].size);
+        if (i > 0) {
+            EXPECT_GE(diurnal[i].arrivalSeconds,
+                      diurnal[i - 1].arrivalSeconds);
+        }
+    }
+}
+
+TEST(TraceTemplate, DiurnalDensityTracksTheProfile)
+{
+    // The first half-period contains the peak: its share of arrivals
+    // must be cumulative(P/2) / cumulative(P) = 1/2 + a/pi.
+    LoadSpec spec;
+    spec.qps = 2000.0;
+    TraceTemplate tmpl(spec);
+    const size_t count = 40000;
+    tmpl.ensure(count);
+    const DiurnalProfile profile(2.0, 20.0);
+    const QueryTrace trace =
+        tmpl.materializeDiurnal(2000.0, profile, count);
+
+    size_t first_half = 0;
+    for (const Query& q : trace)
+        first_half += q.arrivalSeconds < 10.0 ? 1 : 0;
+    const double a = profile.swingAmplitude();
+    const double expected = 0.5 + a / M_PI;
+    EXPECT_NEAR(static_cast<double>(first_half) /
+                    static_cast<double>(trace.size()),
+                expected, 0.01);
+}
+
+TEST(TraceTemplate, DiurnalInvertsTheCumulativeIntegral)
+{
+    // Each arrival time t_i satisfies mean_qps * cumulative(t_i) =
+    // sum of the first i+1 unit gaps: verify the round trip.
+    LoadSpec spec;
+    spec.arrival = ArrivalKind::Fixed;    // unit gaps are exactly 1
+    spec.qps = 100.0;
+    TraceTemplate tmpl(spec);
+    tmpl.ensure(1000);
+    const DiurnalProfile profile(3.0, 10.0);
+    const QueryTrace trace =
+        tmpl.materializeDiurnal(100.0, profile, 1000);
+    for (size_t i = 0; i < trace.size(); i++) {
+        const double expected_u = static_cast<double>(i + 1) / 100.0;
+        EXPECT_NEAR(profile.cumulativeSeconds(trace[i].arrivalSeconds),
+                    expected_u, 1e-9);
+    }
 }
 
 /** Every distribution kind drives a stream without issue. */
