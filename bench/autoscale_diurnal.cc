@@ -28,11 +28,18 @@
  * tier size, so capacity scales ~linearly in machines and tracking
  * the diurnal swing can bank most of the provisioning gap.
  *
- * Usage: autoscale_diurnal [--smoke] [out.json]
+ * Usage: autoscale_diurnal [--smoke] [--trace F] [--metrics F]
+ *                          [out.json]
  * --smoke shrinks the day and sweeps only the 2x ratio (CI); the
  * optional path also writes the table as a JSON array (CI archives it
- * as BENCH_autoscale.json). Output is deterministic and bitwise
- * identical at every DRS_THREADS value.
+ * as BENCH_autoscale.json). --trace / --metrics additionally run a
+ * small sharded reactive day with a RunObserver attached (serially,
+ * after the sweep) and write its Chrome trace-event JSON / windowed
+ * metrics JSON, plus the latency-attribution stage split to stdout —
+ * the sharded tier's fan-out populates the network and join-wait
+ * spans and stages the unsharded study cells cannot show. Output —
+ * files included — is deterministic and bitwise identical at every
+ * DRS_THREADS value.
  */
 
 #include <cstring>
@@ -64,9 +71,15 @@ main(int argc, char** argv)
 {
     bool smoke = false;
     std::string json_path;
+    std::string trace_path;
+    std::string metrics_path;
     for (int i = 1; i < argc; i++) {
         if (std::strcmp(argv[i], "--smoke") == 0)
             smoke = true;
+        else if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc)
+            trace_path = argv[++i];
+        else if (std::strcmp(argv[i], "--metrics") == 0 && i + 1 < argc)
+            metrics_path = argv[++i];
         else
             json_path = argv[i];
     }
@@ -204,6 +217,94 @@ main(int argc, char** argv)
            " whose tail exceeded the SLA - the elastic policies must"
            " hold them at zero while shedding machines, or the saving"
            " is not real.\n";
+
+    if (!trace_path.empty() || !metrics_path.empty()) {
+        // Dedicated instrumented run: a small *sharded* reactive day
+        // (DLRM-RMC2, shard-aware fan-out) rather than a replay of a
+        // sweep cell — fan-out is what gives the trace its network
+        // and join-wait spans and the stage split all four buckets;
+        // the unsharded study cells would show queue/service only.
+        // Runs serially after the sweep (the sweep's cells execute on
+        // the shared pool), so the emitted bytes are identical at
+        // every DRS_THREADS value.
+        const ModelProfile profile =
+            ModelProfile::forModel(ModelId::DlrmRmc2);
+        AutoscaleSpec spec;
+        for (size_t m = 0; m < 8; m++) {
+            SchedulerPolicy sched;
+            sched.perRequestBatch = 256;
+            SimConfig machine{
+                CpuCostModel(profile, CpuPlatform::skylake()),
+                std::nullopt, sched, 0.05, 1.0};
+            machine.memoryBytes = 1'500'000'000ULL;
+            spec.cluster.machines.push_back(machine);
+        }
+        spec.cluster.network.hopSeconds = 150e-6;
+        spec.cluster.network.gigabytesPerSecond = 12.5;
+        const std::vector<EmbeddingTableInfo> tables =
+            embeddingTables(modelConfig(ModelId::DlrmRmc2));
+        const ShardPlacement placement = ShardPlacement::build(
+            tables, machineMemoryBudgets(spec.cluster.machines),
+            PlacementSpec{});
+        TableSetSpec table_set;
+        table_set.numTables = static_cast<uint32_t>(tables.size());
+        table_set.tablesPerQuery = 8;
+        spec.cluster.sharding = ShardingConfig{placement, table_set};
+        spec.routing.kind = RoutingKind::ShardAware;
+        spec.slaMs = sla_ms;
+        spec.controlIntervalSeconds = 0.75;
+        spec.warmupDelaySeconds = 0.5;
+
+        const double obs_peak_qps = 2600.0;
+        const DiurnalProfile obs_profile(2.0, day_seconds);
+        const double obs_mean_qps =
+            obs_peak_qps / (1.0 + obs_profile.swingAmplitude());
+        spec.profile = obs_profile;
+        spec.meanQps = obs_mean_qps;
+        spec.machinesAtPeak = spec.cluster.machines.size();
+
+        LoadSpec obs_load;
+        obs_load.qps = obs_mean_qps;
+        TraceTemplate obs_tmpl(obs_load);
+        const size_t obs_count =
+            static_cast<size_t>(obs_mean_qps * day_seconds);
+        obs_tmpl.ensure(obs_count);
+        const QueryTrace obs_trace = obs_tmpl.materializeDiurnal(
+            obs_mean_qps, obs_profile, obs_count);
+
+        ScalingPolicySpec obs_policy;
+        obs_policy.kind = ScalingPolicyKind::Reactive;
+        obs_policy.minMachines = 2;
+
+        const obs::ObsConfig obs_cfg = obs::ObsConfig::full(0.005);
+        obs::RunObserver observer(obs_cfg,
+                                  spec.cluster.machines.size());
+        Autoscaler scaler(spec);
+        scaler.setObserver(&observer);
+        const AutoscaleResult obs_r = scaler.run(obs_trace, obs_policy);
+        drs_assert(obs_r.numDispatched == obs_r.numCompleted &&
+                       obs_r.numDispatched == obs_trace.size(),
+                   "observed elastic run lost queries");
+
+        std::cout << "\nobserved sharded day: 8-machine RMC2 tier,"
+                     " reactive at 2.0x peak/trough, peak "
+                  << TextTable::num(obs_peak_qps, 0)
+                  << " QPS, span sample rate "
+                  << TextTable::num(obs_cfg.spanSampleRate, 3) << " ("
+                  << TextTable::num(static_cast<int64_t>(
+                         observer.numTraceEvents()))
+                  << " trace events, "
+                  << TextTable::num(static_cast<int64_t>(
+                         observer.metrics().numSnapshots()))
+                  << " metric snapshots)\n";
+        bench::printStageSplit(std::cout, observer.stageSplit());
+
+        if (!trace_path.empty() && observer.writeTraceFile(trace_path))
+            std::cout << "wrote " << trace_path << "\n";
+        if (!metrics_path.empty() &&
+            observer.writeMetricsFile(metrics_path))
+            std::cout << "wrote " << metrics_path << "\n";
+    }
 
     if (!json_path.empty()) {
         std::ofstream json(json_path);

@@ -18,6 +18,7 @@
 #include "base/table.hh"
 #include "base/thread_pool.hh"
 #include "core/deeprecsched.hh"
+#include "obs/observer.hh"
 
 namespace deeprecsys::bench {
 
@@ -54,6 +55,32 @@ geomean(const std::vector<double>& values)
     for (double v : values)
         log_sum += std::log(v);
     return std::exp(log_sum / static_cast<double>(values.size()));
+}
+
+/**
+ * Print a latency-attribution StageSplit (obs/observer.hh) as the
+ * paper's Figure-6-style decomposition: mean per-query milliseconds
+ * and share of total latency per stage. The four stages partition the
+ * total by construction, so the shares sum to 100%.
+ */
+inline void
+printStageSplit(std::ostream& os, const obs::StageSplit& split)
+{
+    os << "latency attribution ("
+       << TextTable::num(static_cast<int64_t>(split.queries))
+       << " measured queries):\n";
+    TextTable table({"stage", "mean ms/query", "share %"});
+    const std::pair<const char*, double> stages[] = {
+        {"queue", split.queueSeconds},
+        {"service", split.serviceSeconds},
+        {"network", split.networkSeconds},
+        {"join wait", split.joinWaitSeconds},
+        {"total", split.totalSeconds},
+    };
+    for (const auto& [name, seconds] : stages)
+        table.addRow({name, TextTable::num(split.meanMs(seconds), 3),
+                      TextTable::num(100.0 * split.fraction(seconds), 1)});
+    table.print(os);
 }
 
 /**

@@ -1,6 +1,36 @@
 #include "logging.hh"
 
+#include <atomic>
+
 namespace deeprecsys {
+
+namespace {
+
+std::atomic<LogSink> logSink{nullptr};
+
+/**
+ * Emit one complete line through the installed sink, or to stderr
+ * with a single write so lines from concurrent threads (the bench
+ * sweep pool) never interleave mid-line.
+ */
+void
+emitLine(std::string line)
+{
+    if (LogSink sink = logSink.load(std::memory_order_acquire)) {
+        sink(line);
+        return;
+    }
+    std::cerr << line;
+}
+
+} // namespace
+
+LogSink
+setLogSink(LogSink sink)
+{
+    return logSink.exchange(sink, std::memory_order_acq_rel);
+}
+
 namespace detail {
 
 void
@@ -20,13 +50,13 @@ panicImpl(const std::string& msg, const char* file, int line)
 void
 warnImpl(const std::string& msg)
 {
-    std::cerr << "warn: " << msg << "\n";
+    emitLine("warn: " + msg + "\n");
 }
 
 void
 informImpl(const std::string& msg)
 {
-    std::cout << "info: " << msg << "\n";
+    emitLine("info: " + msg + "\n");
 }
 
 } // namespace detail

@@ -17,6 +17,22 @@
 
 namespace deeprecsys {
 
+/**
+ * Process-wide log sink: receives each complete, newline-terminated
+ * diagnostic line ("warn: ...\n", "info: ...\n") in a single call.
+ * The default sink writes the line to std::cerr with one write, so
+ * concurrent bench harness threads never interleave mid-line; trace
+ * and metric writers report through the same hook.
+ */
+using LogSink = void (*)(const std::string& line);
+
+/**
+ * Install @p sink for warn/inform lines (nullptr restores the
+ * default stderr sink). Returns the previously installed sink.
+ * Intended for test capture and embedding harnesses.
+ */
+LogSink setLogSink(LogSink sink);
+
 namespace detail {
 
 /** Concatenate any streamable arguments into a std::string. */

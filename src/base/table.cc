@@ -1,10 +1,39 @@
 #include "table.hh"
 
 #include <algorithm>
+#include <cstdio>
 #include <iomanip>
 #include <sstream>
 
 namespace deeprecsys {
+
+std::string
+jsonEscaped(const std::string& s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\b': out += "\\b"; break;
+          case '\f': out += "\\f"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned char>(c));
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
 
 TextTable::TextTable(std::vector<std::string> headers)
     : headers(std::move(headers))
@@ -96,27 +125,17 @@ TextTable::printJson(std::ostream& os) const
         }
         return pos == cell.size();
     };
-    auto escape = [](const std::string& s) {
-        std::string out;
-        for (char c : s) {
-            if (c == '"' || c == '\\')
-                out += '\\';
-            out += c;
-        }
-        return out;
-    };
-
     os << "[\n";
     for (size_t r = 0; r < rows.size(); r++) {
         os << "  {";
         for (size_t c = 0; c < headers.size(); c++) {
             if (c)
                 os << ", ";
-            os << "\"" << escape(headers[c]) << "\": ";
+            os << "\"" << jsonEscaped(headers[c]) << "\": ";
             if (is_number(rows[r][c]))
                 os << rows[r][c];
             else
-                os << "\"" << escape(rows[r][c]) << "\"";
+                os << "\"" << jsonEscaped(rows[r][c]) << "\"";
         }
         os << "}" << (r + 1 < rows.size() ? "," : "") << "\n";
     }

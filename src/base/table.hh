@@ -17,6 +17,14 @@
 
 namespace deeprecsys {
 
+/**
+ * Escape a string for embedding inside a JSON string literal: quote,
+ * backslash, and all control characters (short escapes for \b \f \n
+ * \r \t, \u00XX otherwise). Shared by every JSON emitter in the repo
+ * so output stays uniformly parseable.
+ */
+std::string jsonEscaped(const std::string& s);
+
 /** Accumulates rows of strings and prints them column-aligned. */
 class TextTable
 {

@@ -5,6 +5,7 @@
 
 #include "base/logging.hh"
 #include "cluster/routing_policy.hh"
+#include "obs/observer.hh"
 #include "sim/machine_engine.hh"
 
 namespace deeprecsys {
@@ -237,6 +238,7 @@ struct PartRec
     uint64_t queryIdx = 0;
     uint32_t machine = 0;
     double embFraction = 1.0;
+    double start = 0;          ///< machine admission time (observer only)
     bool leader = true;
 
     enum class Kind
@@ -246,6 +248,18 @@ struct PartRec
         FanDense,
     } kind = Kind::Whole;
 };
+
+/** The observer-facing name of a part kind. */
+obs::PartStage
+stageOf(PartRec::Kind kind)
+{
+    switch (kind) {
+      case PartRec::Kind::Whole:    return obs::PartStage::Whole;
+      case PartRec::Kind::FanEmb:   return obs::PartStage::FanEmb;
+      case PartRec::Kind::FanDense: return obs::PartStage::FanDense;
+    }
+    return obs::PartStage::Whole;
+}
 
 /** Book-keeping for one in-flight query (as in cluster_sim). */
 struct QueryState
@@ -455,6 +469,11 @@ Autoscaler::run(const QueryTrace& trace, ScalingPolicy& policy) const
     MeasuredSpan span;
     double lastEventTime = t0;
 
+    if (obs_) {
+        obs_->onRunStart(t0, trace.size());
+        router->attachObserver(obs_);
+    }
+
     // --------------------------------------- window signal tracking
     SampleStats windowLat;
     uint64_t windowArrivals = 0;
@@ -591,6 +610,8 @@ Autoscaler::run(const QueryTrace& trace, ScalingPolicy& policy) const
     };
 
     auto start_part = [&](uint64_t part_idx, double now) {
+        if (obs_)
+            parts[part_idx].start = now;
         const PartRec& part = parts[part_idx];
         const QueryState& q = queries[part.queryIdx];
         PartSpec spec;
@@ -626,10 +647,23 @@ Autoscaler::run(const QueryTrace& trace, ScalingPolicy& policy) const
             span.onCompletion(q.joinTime);
         }
         lastEventTime = std::max(lastEventTime, q.joinTime);
+        if (obs_) {
+            const double back = cfg.network.oneWaySeconds(
+                static_cast<double>(q.size) *
+                cfg.network.responseBytesPerSample);
+            obs_->onQueryComplete(query_idx, q.joinTime, back);
+        }
     };
 
-    auto finish_part = [&](uint64_t part_idx, double now) {
+    auto finish_part = [&](uint64_t part_idx, double now, bool gpu) {
         const PartRec& part = parts[part_idx];
+        if (obs_) {
+            obs_->onPartDone(
+                part.queryIdx, part.machine, stageOf(part.kind),
+                part.leader, gpu, part.start,
+                machines[part.machine].lastFinishedFirstServiceStart(),
+                now);
+        }
         drs_assert(inFlight[part.machine] > 0,
                    "completion with nothing in flight");
         inFlight[part.machine]--;
@@ -650,7 +684,7 @@ Autoscaler::run(const QueryTrace& trace, ScalingPolicy& policy) const
             }
             q.partsLeft = 1;
             const uint64_t dense_idx = parts.size();
-            parts.push_back({part.queryIdx, q.machine, 0.0, true,
+            parts.push_back({part.queryIdx, q.machine, 0.0, 0.0, true,
                              PartRec::Kind::FanDense});
             // The leader may already be draining; its join phase is
             // in-flight work and still runs there.
@@ -733,9 +767,12 @@ Autoscaler::run(const QueryTrace& trace, ScalingPolicy& policy) const
         const size_t target =
             clampTarget(policy.targetMachines(sig), 1, n);
         const size_t granted = apply_target(target, now);
-        if (target != serving_before || granted != serving_before)
+        if (target != serving_before || granted != serving_before) {
             result.scaleEvents.push_back(
                 {now, serving_before, target, granted});
+            if (obs_)
+                obs_->onScaleEvent(now, serving_before, target, granted);
+        }
         serving_now = granted;
         result.minServingMachines =
             std::min(result.minServingMachines, serving_now);
@@ -751,6 +788,40 @@ Autoscaler::run(const QueryTrace& trace, ScalingPolicy& policy) const
         row.poweredMachines = serving_now + count_state(MState::Draining);
         row.slaViolation = violation;
         result.timeline.push_back(row);
+
+        if (obs_ && obs_->metricsOn()) {
+            obs::MetricRegistry& reg = obs_->metrics();
+            reg.gauge("machines").set(
+                static_cast<double>(row.servingMachines));
+            reg.gauge("accepting_machines").set(
+                static_cast<double>(acceptingCount));
+            reg.gauge("warming_machines").set(static_cast<double>(
+                count_state(MState::Warming)));
+            reg.gauge("draining_machines").set(static_cast<double>(
+                count_state(MState::Draining)));
+            reg.gauge("powered_machines").set(
+                static_cast<double>(row.poweredMachines));
+            reg.gauge("utilization").set(row.utilization);
+            reg.gauge("window_p99_ms").set(row.tailMs);
+            reg.gauge("arrival_qps").set(row.arrivalQps);
+            size_t queued_total = 0;
+            size_t queued_max = 0;
+            for (size_t m = 0; m < n; m++) {
+                const size_t queued = machines[m].queuedWork();
+                queued_total += queued;
+                queued_max = std::max(queued_max, queued);
+            }
+            reg.gauge("queue_depth_total").set(
+                static_cast<double>(queued_total));
+            reg.gauge("queue_depth_max").set(
+                static_cast<double>(queued_max));
+            obs::Counter& violations =
+                reg.counter("sla_violation_windows");
+            if (violation)
+                violations.add();
+        }
+        if (obs_)
+            obs_->snapshot(now);
 
         windowLat = SampleStats{};
         windowArrivals = 0;
@@ -794,6 +865,10 @@ Autoscaler::run(const QueryTrace& trace, ScalingPolicy& policy) const
             const double forward = cfg.network.oneWaySeconds(
                 static_cast<double>(in.size) *
                 cfg.network.requestBytesPerSample);
+            if (obs_)
+                obs_->onQueryDispatch(nextArrival, in.arrivalSeconds,
+                                      in.size, plan.size(), forward,
+                                      q.measured);
 
             size_t leaders = 0;
             for (const ShardTarget& target : plan) {
@@ -813,7 +888,7 @@ Autoscaler::run(const QueryTrace& trace, ScalingPolicy& policy) const
                 }
 
                 const uint64_t part_idx = parts.size();
-                parts.push_back({nextArrival, m, target.embFraction,
+                parts.push_back({nextArrival, m, target.embFraction, 0.0,
                                  target.leader,
                                  plan.size() == 1
                                      ? PartRec::Kind::Whole
@@ -868,7 +943,7 @@ Autoscaler::run(const QueryTrace& trace, ScalingPolicy& policy) const
             scheduled.clear();
             if (machines[ev.machine].cpuRequestDone(ev.slot, ev.partIdx,
                                                     ev.time, scheduled))
-                finish_part(ev.partIdx, ev.time);
+                finish_part(ev.partIdx, ev.time, false);
             events.pushAll(scheduled, ev.machine);
             break;
 
@@ -877,7 +952,7 @@ Autoscaler::run(const QueryTrace& trace, ScalingPolicy& policy) const
             scheduled.clear();
             machines[ev.machine].gpuQueryDone(ev.slot, ev.partIdx,
                                               ev.time, scheduled);
-            finish_part(ev.partIdx, ev.time);
+            finish_part(ev.partIdx, ev.time, true);
             events.pushAll(scheduled, ev.machine);
             break;
         }

@@ -380,6 +380,16 @@ class Autoscaler
     AutoscaleResult run(const QueryTrace& trace,
                         const ScalingPolicySpec& spec) const;
 
+    /**
+     * Attach an observability recorder for subsequent runs (nullptr
+     * detaches). Borrowed — the observer must outlive the run. The
+     * driver snapshots the observer's metric registry at every
+     * control tick, so metric snapshot times align with the
+     * AutoscaleResult timeline rows. The disabled path costs one
+     * pointer test per hook site.
+     */
+    void setObserver(obs::RunObserver* observer) { obs_ = observer; }
+
     const AutoscaleSpec& spec() const { return spec_; }
 
     /** Number of machines of the full tier. */
@@ -387,6 +397,7 @@ class Autoscaler
 
   private:
     AutoscaleSpec spec_;
+    obs::RunObserver* obs_ = nullptr;
 };
 
 } // namespace deeprecsys

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "base/logging.hh"
+#include "obs/observer.hh"
 
 namespace deeprecsys {
 
@@ -34,6 +35,7 @@ struct PartRec
     uint64_t queryIdx = 0;
     uint32_t machine = 0;
     double embFraction = 1.0;  ///< local share of the embedding work
+    double start = 0;          ///< machine admission time (observer only)
     bool leader = true;        ///< this part's machine leads the query
 
     enum class Kind
@@ -43,6 +45,18 @@ struct PartRec
         FanDense,  ///< TwoStage second phase: leader dense stacks
     } kind = Kind::Whole;
 };
+
+/** The observer-facing name of a part kind. */
+obs::PartStage
+stageOf(PartRec::Kind kind)
+{
+    switch (kind) {
+      case PartRec::Kind::Whole:    return obs::PartStage::Whole;
+      case PartRec::Kind::FanEmb:   return obs::PartStage::FanEmb;
+      case PartRec::Kind::FanDense: return obs::PartStage::FanDense;
+    }
+    return obs::PartStage::Whole;
+}
 
 /** Book-keeping for one in-flight query. */
 struct QueryState
@@ -168,6 +182,11 @@ ClusterSimulator::run(const QueryTrace& trace, RoutingPolicy& policy) const
     MeasuredSpan span;
     double lastEventTime = trace.front().arrivalSeconds;
 
+    if (obs_) {
+        obs_->onRunStart(trace.front().arrivalSeconds, trace.size());
+        policy.attachObserver(obs_);
+    }
+
     auto admit_part = [&](uint64_t part_idx, const PartSpec& spec,
                           double now) {
         const uint32_t m = parts[part_idx].machine;
@@ -178,6 +197,8 @@ ClusterSimulator::run(const QueryTrace& trace, RoutingPolicy& policy) const
 
     // A part reaches its machine (after the forward hop, if any).
     auto start_part = [&](uint64_t part_idx, double now) {
+        if (obs_)
+            parts[part_idx].start = now;
         const PartRec& part = parts[part_idx];
         const QueryState& q = queries[part.queryIdx];
         PartSpec spec;
@@ -215,11 +236,24 @@ ClusterSimulator::run(const QueryTrace& trace, RoutingPolicy& policy) const
             span.onCompletion(q.joinTime);
         }
         lastEventTime = std::max(lastEventTime, q.joinTime);
+        if (obs_) {
+            const double back = cfg.network.oneWaySeconds(
+                static_cast<double>(q.size) *
+                cfg.network.responseBytesPerSample);
+            obs_->onQueryComplete(query_idx, q.joinTime, back);
+        }
     };
 
     // A part finished all of its local work.
-    auto finish_part = [&](uint64_t part_idx, double now) {
+    auto finish_part = [&](uint64_t part_idx, double now, bool gpu) {
         const PartRec& part = parts[part_idx];
+        if (obs_) {
+            obs_->onPartDone(
+                part.queryIdx, part.machine, stageOf(part.kind),
+                part.leader, gpu, part.start,
+                machines[part.machine].lastFinishedFirstServiceStart(),
+                now);
+        }
         drs_assert(inFlight[part.machine] > 0,
                    "completion with nothing in flight");
         inFlight[part.machine]--;
@@ -241,7 +275,7 @@ ClusterSimulator::run(const QueryTrace& trace, RoutingPolicy& policy) const
                 return;
             q.partsLeft = 1;    // the dense phase itself
             const uint64_t dense_idx = parts.size();
-            parts.push_back({part.queryIdx, q.machine, 0.0, true,
+            parts.push_back({part.queryIdx, q.machine, 0.0, 0.0, true,
                              PartRec::Kind::FanDense});
             inFlight[q.machine]++;
             result.perMachine[q.machine].joinPhases++;
@@ -294,6 +328,10 @@ ClusterSimulator::run(const QueryTrace& trace, RoutingPolicy& policy) const
             const double forward = cfg.network.oneWaySeconds(
                 static_cast<double>(in.size) *
                 cfg.network.requestBytesPerSample);
+            if (obs_)
+                obs_->onQueryDispatch(nextArrival, in.arrivalSeconds,
+                                      in.size, plan.size(), forward,
+                                      q.measured);
 
             size_t leaders = 0;
             for (const ShardTarget& target : plan) {
@@ -313,7 +351,7 @@ ClusterSimulator::run(const QueryTrace& trace, RoutingPolicy& policy) const
                 result.partMachinesOfQuery[nextArrival].push_back(m);
 
                 const uint64_t part_idx = parts.size();
-                parts.push_back({nextArrival, m, target.embFraction,
+                parts.push_back({nextArrival, m, target.embFraction, 0.0,
                                  target.leader,
                                  plan.size() == 1
                                      ? PartRec::Kind::Whole
@@ -348,7 +386,7 @@ ClusterSimulator::run(const QueryTrace& trace, RoutingPolicy& policy) const
             scheduled.clear();
             if (machines[ev.machine].cpuRequestDone(ev.slot, ev.partIdx,
                                                     ev.time, scheduled))
-                finish_part(ev.partIdx, ev.time);
+                finish_part(ev.partIdx, ev.time, false);
             events.pushAll(scheduled, ev.machine);
             break;
 
@@ -356,7 +394,7 @@ ClusterSimulator::run(const QueryTrace& trace, RoutingPolicy& policy) const
             scheduled.clear();
             machines[ev.machine].gpuQueryDone(ev.slot, ev.partIdx,
                                               ev.time, scheduled);
-            finish_part(ev.partIdx, ev.time);
+            finish_part(ev.partIdx, ev.time, true);
             events.pushAll(scheduled, ev.machine);
             break;
 

@@ -235,6 +235,14 @@ class ClusterSimulator
     ClusterResult run(const QueryTrace& trace,
                       const RoutingSpec& spec) const;
 
+    /**
+     * Attach an observability recorder for subsequent runs (nullptr
+     * detaches). Borrowed — the observer must outlive the run; it is
+     * also attached to the routing policy for per-table load. The
+     * disabled path costs one pointer test per hook site.
+     */
+    void setObserver(obs::RunObserver* observer) { obs_ = observer; }
+
     const ClusterConfig& config() const { return cfg; }
 
     /** Number of machines behind the router. */
@@ -242,6 +250,7 @@ class ClusterSimulator
 
   private:
     ClusterConfig cfg;
+    obs::RunObserver* obs_ = nullptr;
 };
 
 } // namespace deeprecsys

@@ -100,7 +100,17 @@ FleetSimulator::run() const
             machine.slowdown = slowdown[m];
 
             ServingSimulator sim(machine);
+            // Fresh attribution-only observer per machine run: window
+            // traces overlap in time across machines, so only the
+            // stage aggregate is meaningful at the fleet tier.
+            obs::ObsConfig obs_cfg;
+            obs_cfg.attribution = true;
+            obs::RunObserver local(obs_cfg, 1);
+            if (cfg.attribution)
+                sim.setObserver(&local);
             const SimResult r = sim.run(slices[m]);
+            if (cfg.attribution)
+                result.stageSplit.merge(local.stageSplit());
             result.perMachine[m].addAll(r.queryLatencySeconds.raw());
             result.fleetLatency.addAll(r.queryLatencySeconds.raw());
             util_sum += r.cpuUtilization;

@@ -34,6 +34,7 @@
 #include "cluster/routing_policy.hh"
 #include "loadgen/distributions.hh"
 #include "loadgen/query_stream.hh"
+#include "obs/observer.hh"
 #include "sim/serving_sim.hh"
 
 namespace deeprecsys {
@@ -81,6 +82,16 @@ struct FleetConfig
      * stream.
      */
     RoutingKind routing = RoutingKind::RoundRobin;
+
+    /**
+     * Collect the fleet-wide latency stage split
+     * (FleetResult::stageSplit) via a per-machine-run observer. Off
+     * by default: the aggregation costs a few percent of run time.
+     * Window traces overlap in time across machines, so the fleet
+     * tier aggregates attribution only — span traces belong to the
+     * live drivers.
+     */
+    bool attribution = false;
 };
 
 /** Latency outcome of one fleet run. */
@@ -89,6 +100,10 @@ struct FleetResult
     SampleStats fleetLatency;               ///< all machines pooled
     std::vector<SampleStats> perMachine;    ///< per-machine samples
     double meanCpuUtilization = 0.0;
+
+    /** Pooled latency attribution over every measured query of every
+     *  machine run (only when FleetConfig::attribution is set). */
+    obs::StageSplit stageSplit;
 
     /** Pooled latency of a machine subset (for Figure 7). */
     SampleStats subsample(const std::vector<size_t>& machines) const;

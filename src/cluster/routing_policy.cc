@@ -2,6 +2,7 @@
 
 #include "base/logging.hh"
 #include "base/random.hh"
+#include "obs/observer.hh"
 
 namespace deeprecsys {
 
@@ -279,6 +280,8 @@ class ShardAwarePolicy final : public RoutingPolicy
                    "placement machine count mismatch");
         const std::vector<uint32_t> tables =
             tablesOfQuery(query.id, sharding.tableSet, popularity);
+        if (obs_)
+            obs_->onTablesTouched(tables);
 
         // Single-hop when some accepting machine holds every table
         // the query touches (always true under full replication).
@@ -340,10 +343,17 @@ class ShardAwarePolicy final : public RoutingPolicy
 
     RoutingKind kind() const override { return RoutingKind::ShardAware; }
 
+    void
+    attachObserver(obs::RunObserver* observer) override
+    {
+        obs_ = observer;
+    }
+
   private:
     const ShardingConfig& sharding;
     std::vector<double> popularity;    ///< cached Zipf weights
     std::vector<size_t> candidates;    ///< scratch, reused per call
+    obs::RunObserver* obs_ = nullptr;  ///< per-table load reporting
 };
 
 /** View for open-loop splitting: dispatch counts, no live queues. */

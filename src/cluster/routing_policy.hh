@@ -40,6 +40,8 @@
 
 namespace deeprecsys {
 
+namespace obs { class RunObserver; }
+
 /** The routing policies the cluster router can be configured with. */
 enum class RoutingKind
 {
@@ -154,6 +156,16 @@ class RoutingPolicy
 
     /** Printable policy name. */
     const char* name() const { return routingKindName(kind()); }
+
+    /**
+     * Attach an observability recorder (nullptr detaches). Policies
+     * with per-decision insight worth recording — today the
+     * shard-aware policy's per-table load — report through it; the
+     * default ignores the observer. Borrowed: the observer must
+     * outlive the policy's routing calls. Drivers attach their own
+     * observer at run start.
+     */
+    virtual void attachObserver(obs::RunObserver*) {}
 };
 
 /** Configuration from which a concrete policy is built. */

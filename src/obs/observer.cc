@@ -1,0 +1,272 @@
+#include "observer.hh"
+
+#include <algorithm>
+#include <fstream>
+#include <functional>
+
+#include "base/logging.hh"
+
+namespace deeprecsys::obs {
+
+namespace {
+
+/** splitmix64 finalizer — the usual statistically-strong mix. */
+uint64_t
+mix64(uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+}
+
+} // namespace
+
+bool
+sampledIndex(uint64_t idx, double rate, uint64_t seed)
+{
+    if (rate >= 1.0)
+        return true;
+    if (rate <= 0.0)
+        return false;
+    // Compare the top 53 hash bits against the rate scaled to 2^53 —
+    // the full double-precision significand, exact for any rate.
+    const uint64_t h = mix64(idx ^ seed) >> 11;
+    return static_cast<double>(h) < rate * 9007199254740992.0;
+}
+
+RunObserver::RunObserver(ObsConfig config, size_t num_machines)
+    : cfg_(config), numMachines_(num_machines)
+{
+    if (cfg_.traceSpans) {
+        writer_.processName(0, "router");
+        for (size_t m = 0; m < numMachines_; m++)
+            writer_.processName(1 + static_cast<uint32_t>(m),
+                                "machine " + std::to_string(m));
+    }
+}
+
+void
+RunObserver::onRunStart(double t0, size_t num_queries)
+{
+    writer_.setOrigin(t0);
+    book_.assign(num_queries, QueryRec{});
+}
+
+void
+RunObserver::onQueryDispatch(uint64_t idx, double arrival, uint32_t size,
+                             size_t fanout, double forward_s,
+                             bool measured)
+{
+    if (idx >= book_.size())
+        book_.resize(idx + 1);
+    QueryRec& rec = book_[idx];
+    rec.arrival = arrival;
+    rec.forward = forward_s;
+    rec.size = size;
+    rec.fanout = static_cast<uint32_t>(fanout);
+    rec.sampled = sampledQuery(idx);
+    rec.measured = measured;
+
+    if (cfg_.metrics) {
+        if (!querySize_)
+            querySize_ = &registry_.histogram("query_size", 0, 512, 32);
+        registry_.counter("queries_dispatched").add();
+        querySize_->add(size);
+    }
+}
+
+void
+RunObserver::onPartDone(uint64_t idx, uint32_t machine, PartStage stage,
+                        bool leader, bool gpu, double start_s,
+                        double first_service_s, double end_s)
+{
+    drs_assert(idx < book_.size(), "part for unknown query");
+    QueryRec& rec = book_[idx];
+    // A part admitted to an idle machine serves immediately; guard the
+    // bookkeeping default for robustness.
+    first_service_s = std::clamp(first_service_s, start_s, end_s);
+
+    if (leader) {
+        if (stage == PartStage::FanDense) {
+            rec.joinStart = start_s;
+            rec.joinFirst = first_service_s;
+            rec.joinEnd = end_s;
+        } else {
+            rec.leaderStart = start_s;
+            rec.leaderFirst = first_service_s;
+            rec.leaderEnd = end_s;
+        }
+    }
+
+    if (cfg_.metrics) {
+        if (!queueWaitMs_) {
+            queueWaitMs_ =
+                &registry_.histogram("queue_wait_ms", 0, 50, 25);
+            serviceMs_ = &registry_.histogram("service_ms", 0, 50, 25);
+        }
+        registry_.counter("parts_completed").add();
+        queueWaitMs_->add((first_service_s - start_s) * 1e3);
+        serviceMs_->add((end_s - first_service_s) * 1e3);
+    }
+
+    if (rec.sampled) {
+        const uint32_t pid = 1 + machine;
+        if (first_service_s > start_s)
+            writer_.complete("queue", "machine", pid, idx, start_s,
+                             first_service_s);
+        writer_.complete(gpu ? "gpu_service" : "service", "machine",
+                         pid, idx, first_service_s, end_s);
+    }
+}
+
+void
+RunObserver::onQueryComplete(uint64_t idx, double completion_s,
+                             double back_s)
+{
+    drs_assert(idx < book_.size(), "completion for unknown query");
+    const QueryRec& rec = book_[idx];
+    const bool fan = rec.fanout > 1;
+    const bool twoStage = rec.joinStart >= 0;
+
+    // Leader critical-path stage split (see observer.hh for the
+    // bucket semantics).
+    double queue = 0, service = 0;
+    if (rec.leaderStart >= 0) {
+        queue += rec.leaderFirst - rec.leaderStart;
+        service += rec.leaderEnd - rec.leaderFirst;
+    }
+    if (twoStage) {
+        queue += rec.joinFirst - rec.joinStart;
+        service += rec.joinEnd - rec.joinFirst;
+    }
+    double joinWait = 0;
+    if (fan) {
+        if (twoStage)
+            joinWait = std::max(0.0, rec.joinStart - rec.leaderEnd);
+        else
+            joinWait = std::max(
+                0.0, completion_s - (rec.leaderEnd + back_s));
+    }
+    const double total = completion_s - rec.arrival;
+    const double network =
+        std::max(0.0, total - queue - service - joinWait);
+
+    if (cfg_.attribution && rec.measured) {
+        split_.queueSeconds += queue;
+        split_.serviceSeconds += service;
+        split_.networkSeconds += network;
+        split_.joinWaitSeconds += joinWait;
+        split_.totalSeconds += total;
+        split_.queries++;
+    }
+
+    if (cfg_.metrics)
+        registry_.counter("queries_completed").add();
+
+    if (rec.sampled) {
+        writer_.complete("query", "router", 0, idx, rec.arrival,
+                         completion_s,
+                         "\"size\": " + std::to_string(rec.size) +
+                             ", \"fanout\": " +
+                             std::to_string(rec.fanout));
+        if (rec.forward > 0)
+            writer_.complete("net_fwd", "network", 0, idx, rec.arrival,
+                             rec.arrival + rec.forward);
+        if (back_s > 0)
+            writer_.complete("net_ret", "network", 0, idx,
+                             completion_s - back_s, completion_s);
+        if (fan && joinWait > 0) {
+            const double js = twoStage ? rec.leaderEnd
+                                       : rec.leaderEnd + back_s;
+            writer_.complete("join_wait", "router", 0, idx, js,
+                             js + joinWait);
+        }
+    }
+}
+
+void
+RunObserver::onTablesTouched(const std::vector<uint32_t>& tables)
+{
+    if (!cfg_.metrics)
+        return;
+    for (uint32_t t : tables) {
+        if (t >= tableLoad_.size())
+            tableLoad_.resize(t + 1, nullptr);
+        if (!tableLoad_[t])
+            tableLoad_[t] = &registry_.counter(
+                "table_load_" + std::to_string(t));
+        tableLoad_[t]->add();
+    }
+}
+
+void
+RunObserver::onScaleEvent(double t_s, size_t serving_before,
+                          size_t target, size_t granted)
+{
+    if (cfg_.metrics)
+        registry_.counter("scale_events").add();
+    if (cfg_.traceSpans) {
+        writer_.instant(
+            granted >= serving_before ? "scale_up" : "scale_down",
+            "autoscaler", 0, t_s,
+            "\"serving\": " + std::to_string(serving_before) +
+                ", \"target\": " + std::to_string(target) +
+                ", \"granted\": " + std::to_string(granted));
+    }
+}
+
+void
+RunObserver::snapshot(double t_s)
+{
+    if (!cfg_.metrics)
+        return;
+    registry_.snapshot(t_s);
+    if (!cfg_.traceSpans)
+        return;
+    // Mirror the headline gauges as Perfetto counter tracks so the
+    // timeline renders next to the spans.
+    for (const char* name : {"machines", "utilization", "window_p99_ms"}) {
+        const auto points = registry_.gaugePoints(name);
+        if (!points.empty())
+            writer_.counter(name, 0, t_s, points.back());
+    }
+}
+
+namespace {
+
+bool
+writeTextFile(const std::string& path, const char* what,
+              const std::function<void(std::ostream&)>& body)
+{
+    std::ofstream os(path);
+    if (!os) {
+        drs_warn("cannot open ", path, " for ", what, " output");
+        return false;
+    }
+    body(os);
+    os.flush();
+    if (!os.good()) {
+        drs_warn("short write of ", what, " to ", path);
+        return false;
+    }
+    return true;
+}
+
+} // namespace
+
+bool
+RunObserver::writeTraceFile(const std::string& path) const
+{
+    return writeTextFile(path, "trace",
+                         [this](std::ostream& os) { writeTrace(os); });
+}
+
+bool
+RunObserver::writeMetricsFile(const std::string& path) const
+{
+    return writeTextFile(
+        path, "metrics", [this](std::ostream& os) { writeMetrics(os); });
+}
+
+} // namespace deeprecsys::obs

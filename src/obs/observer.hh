@@ -1,0 +1,278 @@
+/**
+ * @file
+ * The in-run observability layer: query span tracing, windowed
+ * metrics, and latency attribution for the simulation drivers.
+ *
+ * A RunObserver is attached to one driver run (ServingSimulator,
+ * ClusterSimulator, Autoscaler, or a FleetSimulator machine run) and
+ * receives a narrow stream of hooks as queries move through the
+ * system: router dispatch -> per-machine queue wait -> service ->
+ * fan-out network hops -> join wait -> completion. From that stream
+ * it builds three products:
+ *
+ *  1. **Query span traces** — Chrome trace-event JSON (trace_json.hh)
+ *     of a deterministic hash-sampled subset of queries, viewable in
+ *     Perfetto or chrome://tracing. Sampling is a pure function of
+ *     (query index, seed), so the set of traced queries — and the
+ *     emitted bytes — are identical at any DRS_THREADS value.
+ *  2. **Windowed time-series metrics** — a MetricRegistry
+ *     (metrics.hh) the driver updates in event order and snapshots on
+ *     its control-tick cadence.
+ *  3. **Latency attribution** — every measured query's latency split
+ *     into queue / service / network / join-wait along its leader
+ *     critical path, aggregated into a cluster-level StageSplit (the
+ *     paper's Figure-6-style where-did-the-time-go decomposition).
+ *
+ * Attribution semantics: *queue* is admission-to-first-service of the
+ * leader part plus the join phase; *service* is first-service-to-done
+ * of the same; *network* is the forward and return router hops;
+ * *join wait* is the time the leader critical path spent waiting on
+ * remote fan-out parts (their queue/service/embedding-hop time is
+ * inside it — it is the price of fan-out as seen by the query).
+ * Remote parts' own queue/service times additionally feed the
+ * `queue_wait_ms` / `service_ms` histograms.
+ *
+ * Zero-cost when disabled: drivers keep a null observer pointer and
+ * guard every hook behind one pointer test; bench/perf_engine gates
+ * the disabled path at <1% overhead against its recorded baseline.
+ *
+ * Ownership: the observer owns all recorded state; drivers only call
+ * hooks. One observer per run — attach a fresh one to reproduce a
+ * run. Not thread-safe (a single simulation run is single-threaded;
+ * parallel sweeps use one observer per observed run).
+ */
+
+#ifndef DRS_OBS_OBSERVER_HH
+#define DRS_OBS_OBSERVER_HH
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hh"
+#include "obs/trace_json.hh"
+
+namespace deeprecsys::obs {
+
+/** What a RunObserver records (any subset may be enabled). */
+struct ObsConfig
+{
+    /** Emit Chrome-trace spans for sampled queries. */
+    bool traceSpans = false;
+
+    /**
+     * Fraction of queries span-traced, in [0, 1]. Sampling is by
+     * deterministic hash of the query index: the same queries are
+     * traced in every run of the same trace at any thread count.
+     */
+    double spanSampleRate = 1.0;
+
+    /** Seed of the span-sampling hash. */
+    uint64_t spanSeed = 0x9e3779b97f4a7c15ULL;
+
+    /** Collect windowed metrics (driver snapshots on its ticks). */
+    bool metrics = false;
+
+    /** Aggregate the per-query latency stage split. */
+    bool attribution = false;
+
+    /** Everything on — the bench/tooling convenience. */
+    static ObsConfig
+    full(double sample_rate = 1.0)
+    {
+        ObsConfig cfg;
+        cfg.traceSpans = true;
+        cfg.spanSampleRate = sample_rate;
+        cfg.metrics = true;
+        cfg.attribution = true;
+        return cfg;
+    }
+};
+
+/** Which engine phase a finished part ran (mirrors the drivers). */
+enum class PartStage : uint8_t
+{
+    Whole,     ///< single-part dispatch, full model
+    FanEmb,    ///< fan-out embedding phase
+    FanDense,  ///< TwoStage second phase: leader dense stacks
+};
+
+/**
+ * Cluster-level latency attribution: summed stage seconds over
+ * measured queries (see the file comment for bucket semantics).
+ */
+struct StageSplit
+{
+    double queueSeconds = 0;
+    double serviceSeconds = 0;
+    double networkSeconds = 0;
+    double joinWaitSeconds = 0;
+    double totalSeconds = 0;
+    uint64_t queries = 0;
+
+    /** Fold another split in (fleet-level aggregation). */
+    void
+    merge(const StageSplit& other)
+    {
+        queueSeconds += other.queueSeconds;
+        serviceSeconds += other.serviceSeconds;
+        networkSeconds += other.networkSeconds;
+        joinWaitSeconds += other.joinWaitSeconds;
+        totalSeconds += other.totalSeconds;
+        queries += other.queries;
+    }
+
+    /** Share of total latency spent in @p stage_seconds, in [0, 1]. */
+    double
+    fraction(double stage_seconds) const
+    {
+        return totalSeconds > 0.0 ? stage_seconds / totalSeconds : 0.0;
+    }
+
+    /** Mean per-query milliseconds of @p stage_seconds. */
+    double
+    meanMs(double stage_seconds) const
+    {
+        return queries > 0
+            ? stage_seconds * 1e3 / static_cast<double>(queries)
+            : 0.0;
+    }
+};
+
+/**
+ * Deterministic hash-based sampling decision: true when @p idx is in
+ * the sampled fraction @p rate under @p seed (pure function).
+ */
+bool sampledIndex(uint64_t idx, double rate, uint64_t seed);
+
+/** Per-run observability recorder; see the file comment. */
+class RunObserver
+{
+  public:
+    /**
+     * @param config what to record
+     * @param num_machines machines of the observed tier (names the
+     *        trace processes; 1 for a single-machine run)
+     */
+    RunObserver(ObsConfig config, size_t num_machines);
+
+    const ObsConfig& config() const { return cfg_; }
+
+    bool tracing() const { return cfg_.traceSpans; }
+    bool metricsOn() const { return cfg_.metrics; }
+    bool attributionOn() const { return cfg_.attribution; }
+
+    /** True when query @p idx is span-traced this run. */
+    bool
+    sampledQuery(uint64_t idx) const
+    {
+        return cfg_.traceSpans &&
+            sampledIndex(idx, cfg_.spanSampleRate, cfg_.spanSeed);
+    }
+
+    // ------------------------------------------------- driver hooks
+    /**
+     * The run begins: @p t0 is the trace origin (subtracted from all
+     * trace timestamps), @p num_queries sizes the span book.
+     */
+    void onRunStart(double t0, size_t num_queries);
+
+    /**
+     * The router dispatched query @p idx at @p arrival: @p fanout
+     * parts, @p forward_s one-way forward-hop seconds, @p measured
+     * per the warmup rule.
+     */
+    void onQueryDispatch(uint64_t idx, double arrival, uint32_t size,
+                         size_t fanout, double forward_s, bool measured);
+
+    /**
+     * A part of query @p idx finished on @p machine: admitted at
+     * @p start_s, first served at @p first_service_s, done at
+     * @p end_s. @p leader / @p stage mirror the driver's part record;
+     * @p gpu marks accelerator service.
+     */
+    void onPartDone(uint64_t idx, uint32_t machine, PartStage stage,
+                    bool leader, bool gpu, double start_s,
+                    double first_service_s, double end_s);
+
+    /**
+     * Query @p idx completed at @p completion_s; @p back_s is the
+     * one-way return-hop seconds its final part paid.
+     */
+    void onQueryComplete(uint64_t idx, double completion_s,
+                         double back_s);
+
+    /** Shard-aware routing touched these tables (per-table load). */
+    void onTablesTouched(const std::vector<uint32_t>& tables);
+
+    /** The elastic tier applied a scale decision (instant event). */
+    void onScaleEvent(double t_s, size_t serving_before, size_t target,
+                      size_t granted);
+
+    // --------------------------------------------------- collectors
+    /** The metric registry (drivers cache references off-tick). */
+    MetricRegistry& metrics() { return registry_; }
+    const MetricRegistry& metrics() const { return registry_; }
+
+    /**
+     * Take a metrics snapshot at @p t_s and, when tracing, extend the
+     * router-pid counter tracks (`machines`, `utilization`,
+     * `window_p99_ms`) from the same-named gauges if present.
+     */
+    void snapshot(double t_s);
+
+    /** The aggregated latency attribution over measured queries. */
+    const StageSplit& stageSplit() const { return split_; }
+
+    /** Trace events recorded so far (sampled spans and counters). */
+    size_t numTraceEvents() const { return writer_.numEvents(); }
+
+    // ------------------------------------------------------- output
+    /** Serialize the Chrome trace JSON. */
+    void writeTrace(std::ostream& os) const { writer_.write(os); }
+
+    /** Serialize the metrics time-series JSON. */
+    void writeMetrics(std::ostream& os) const { registry_.writeJson(os); }
+
+    /** Write the trace to @p path (false + warning on I/O failure). */
+    bool writeTraceFile(const std::string& path) const;
+
+    /** Write the metrics to @p path (false + warning on failure). */
+    bool writeMetricsFile(const std::string& path) const;
+
+  private:
+    /** In-flight span state of one query (indexed by query idx). */
+    struct QueryRec
+    {
+        double arrival = 0;
+        double forward = 0;
+        double leaderStart = -1;
+        double leaderFirst = -1;
+        double leaderEnd = -1;
+        double joinStart = -1;
+        double joinFirst = -1;
+        double joinEnd = -1;
+        uint32_t size = 0;
+        uint32_t fanout = 1;
+        bool sampled = false;
+        bool measured = true;
+    };
+
+    ObsConfig cfg_;
+    size_t numMachines_;
+    TraceEventWriter writer_;
+    MetricRegistry registry_;
+    StageSplit split_;
+    std::vector<QueryRec> book_;
+
+    // Cached hot-path metric handles (built on first use).
+    WindowHistogram* queueWaitMs_ = nullptr;
+    WindowHistogram* serviceMs_ = nullptr;
+    WindowHistogram* querySize_ = nullptr;
+    std::vector<Counter*> tableLoad_;
+};
+
+} // namespace deeprecsys::obs
+
+#endif // DRS_OBS_OBSERVER_HH

@@ -1,0 +1,98 @@
+#include "trace_json.hh"
+
+#include <cstdio>
+
+#include "base/logging.hh"
+#include "base/table.hh"
+
+namespace deeprecsys::obs {
+
+namespace {
+
+/** Microsecond timestamps at fixed sub-ns precision (byte-stable). */
+std::string
+fmtUs(double us)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.3f", us);
+    return buf;
+}
+
+std::string
+fmtValue(double v)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.9g", v);
+    return buf;
+}
+
+} // namespace
+
+void
+TraceEventWriter::complete(const char* name, const char* cat,
+                           uint32_t pid, uint64_t tid, double start_s,
+                           double end_s, std::string args)
+{
+    drs_assert(end_s >= start_s, "span must not end before it starts");
+    events_.push_back({name, cat, 'X', (start_s - origin_) * 1e6,
+                       (end_s - start_s) * 1e6, pid, tid,
+                       std::move(args)});
+}
+
+void
+TraceEventWriter::instant(const char* name, const char* cat,
+                          uint32_t pid, double t_s, std::string args)
+{
+    events_.push_back({name, cat, 'i', (t_s - origin_) * 1e6, 0.0, pid,
+                       0, std::move(args)});
+}
+
+void
+TraceEventWriter::counter(const char* name, uint32_t pid, double t_s,
+                          double value)
+{
+    events_.push_back({name, "metric", 'C', (t_s - origin_) * 1e6, 0.0,
+                       pid, 0,
+                       std::string("\"") + name +
+                           "\": " + fmtValue(value)});
+}
+
+void
+TraceEventWriter::processName(uint32_t pid, const std::string& name)
+{
+    processNames_.emplace_back(pid, name);
+}
+
+void
+TraceEventWriter::write(std::ostream& os) const
+{
+    os << "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [\n";
+    bool first = true;
+    auto sep = [&]() {
+        os << (first ? "" : ",\n");
+        first = false;
+    };
+    for (const auto& [pid, name] : processNames_) {
+        sep();
+        os << "{\"name\": \"process_name\", \"ph\": \"M\", \"pid\": "
+           << pid << ", \"tid\": 0, \"args\": {\"name\": \""
+           << jsonEscaped(name) << "\"}}";
+    }
+    for (const TraceEvent& ev : events_) {
+        sep();
+        os << "{\"name\": \"" << ev.name << "\", \"cat\": \"" << ev.cat
+           << "\", \"ph\": \"" << ev.ph << "\", \"ts\": "
+           << fmtUs(ev.tsUs);
+        if (ev.ph == 'X')
+            os << ", \"dur\": " << fmtUs(ev.durUs);
+        if (ev.ph == 'i')
+            os << ", \"s\": \"p\"";
+        os << ", \"pid\": " << ev.pid << ", \"tid\": " << ev.tid;
+        if (!ev.args.empty())
+            os << ", \"args\": {" << ev.args << "}";
+        os << "}";
+    }
+    os << "\n]}\n";
+}
+
+} // namespace deeprecsys::obs

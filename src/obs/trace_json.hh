@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Chrome trace-event JSON emission (the Perfetto / chrome://tracing
+ * "Trace Event Format").
+ *
+ * A TraceEventWriter accumulates events while a simulation runs and
+ * serializes them as `{"traceEvents": [...]}` — the JSON object form
+ * of the trace-event format, loadable directly in Perfetto's UI or
+ * chrome://tracing. The observability layer maps the simulated
+ * cluster onto it as: pid 0 is the router (whole-query spans, join
+ * waits, counter tracks), pid 1+m is serving machine m (queue and
+ * service spans), and tid is the query index so each sampled query
+ * renders as its own row.
+ *
+ * Event kinds used: complete spans (`ph: "X"`, with explicit
+ * duration), instants (`ph: "i"`), counter tracks (`ph: "C"`), and
+ * process-name metadata (`ph: "M"`). Timestamps are **microseconds**
+ * relative to the run origin, printed with fixed precision so output
+ * is byte-stable across runs and DRS_THREADS values.
+ *
+ * Ownership: the writer owns copies of everything it needs; `name`
+ * and `cat` are expected to be string literals (stored as pointers).
+ * Not thread-safe — one writer per observed run.
+ */
+
+#ifndef DRS_OBS_TRACE_JSON_HH
+#define DRS_OBS_TRACE_JSON_HH
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace deeprecsys::obs {
+
+/** One recorded trace event (see file comment for the mapping). */
+struct TraceEvent
+{
+    const char* name = "";   ///< event name (string literal)
+    const char* cat = "";    ///< category (string literal)
+    char ph = 'X';           ///< trace-event phase
+    double tsUs = 0;         ///< start, microseconds from run origin
+    double durUs = 0;        ///< duration in microseconds (X only)
+    uint32_t pid = 0;        ///< 0 = router, 1+m = machine m
+    uint64_t tid = 0;        ///< query index (rows per query)
+
+    /**
+     * Preformatted JSON *body* of the args object, without the outer
+     * braces (e.g. `"size": 128, "fanout": 3`); empty = no args.
+     */
+    std::string args;
+};
+
+/** Accumulates trace events and serializes Chrome trace JSON. */
+class TraceEventWriter
+{
+  public:
+    /**
+     * Record a complete span (`ph: "X"`). Times are **seconds** on
+     * the run clock; the writer converts to microseconds relative to
+     * the origin set at construction/reset. @p end_s must be >=
+     * @p start_s.
+     */
+    void complete(const char* name, const char* cat, uint32_t pid,
+                  uint64_t tid, double start_s, double end_s,
+                  std::string args = "");
+
+    /** Record an instant event (`ph: "i"`, process scope). */
+    void instant(const char* name, const char* cat, uint32_t pid,
+                 double t_s, std::string args = "");
+
+    /**
+     * Record one sample of the counter track @p name on @p pid
+     * (`ph: "C"`); Perfetto renders the series as a filled timeline.
+     */
+    void counter(const char* name, uint32_t pid, double t_s,
+                 double value);
+
+    /** Name the process @p pid in the viewer (metadata event). */
+    void processName(uint32_t pid, const std::string& name);
+
+    /** Time origin subtracted from every timestamp (seconds). */
+    void setOrigin(double t0_s) { origin_ = t0_s; }
+
+    /** Recorded events (metadata excluded). */
+    size_t numEvents() const { return events_.size(); }
+
+    /**
+     * Serialize as `{"displayTimeUnit": "ms", "traceEvents": [...]}`
+     * — metadata first, then events in recording order. Deterministic
+     * byte-for-byte for equal recorded sequences.
+     */
+    void write(std::ostream& os) const;
+
+  private:
+    double origin_ = 0.0;
+    std::vector<TraceEvent> events_;
+
+    /** pid -> display name, emitted as metadata before the events. */
+    std::vector<std::pair<uint32_t, std::string>> processNames_;
+};
+
+} // namespace deeprecsys::obs
+
+#endif // DRS_OBS_TRACE_JSON_HH

@@ -71,7 +71,9 @@ MachineEngine::dispatchCpu(double now, std::vector<EngineEvent>& out)
         const PendingRequest req = cpuQueue.front();
         cpuQueue.pop_front();
         busyCores_++;
-        const PartBook& book = slab[req.slot];
+        PartBook& book = slab[req.slot];
+        if (book.firstStart < 0)
+            book.firstStart = now;
         // Whole queries take the historical full-model path; shard
         // parts are charged their local share of the embedding work
         // (plus the dense stacks when they lead). The contention term
@@ -97,7 +99,9 @@ MachineEngine::startGpu(double now, std::vector<EngineEvent>& out)
     const uint32_t slot = gpuQueue.front();
     gpuQueue.pop_front();
     gpuBusy = true;
-    const PartBook& book = slab[slot];
+    PartBook& book = slab[slot];
+    if (book.firstStart < 0)
+        book.firstStart = now;
     const double service =
         cfg->gpu->querySeconds(book.samples) * cfg->slowdown;
     out.push_back({now + service, EngineEvent::Kind::GpuQuery,
@@ -115,6 +119,7 @@ MachineEngine::admit(const PartSpec& part, double now,
     book.samples = part.samples;
     book.requestsLeft = 0;
     book.embFraction = part.embFraction;
+    book.firstStart = -1.0;   // slots are recycled; reset the stamp
     book.leader = part.leader;
     book.whole = part.whole;
     book.active = true;
@@ -151,8 +156,10 @@ MachineEngine::cpuRequestDone(uint32_t slot, uint64_t part_idx, double now,
     PartBook& book = bookAt(slot, part_idx);
     drs_assert(book.requestsLeft > 0, "part with no pending requests");
     const bool finished = --book.requestsLeft == 0;
-    if (finished)
+    if (finished) {
+        lastFinishedFirstStart_ = book.firstStart;
         freeSlot(slot);
+    }
     dispatchCpu(now, out);
     return finished;
 }
@@ -163,7 +170,8 @@ MachineEngine::gpuQueryDone(uint32_t slot, uint64_t part_idx, double now,
 {
     drs_assert(gpuBusy, "GPU completion while idle");
     gpuBusy = false;
-    bookAt(slot, part_idx);   // validates the slot is live and unrecycled
+    // bookAt validates the slot is live and unrecycled.
+    lastFinishedFirstStart_ = bookAt(slot, part_idx).firstStart;
     freeSlot(slot);
     startGpu(now, out);
 }

@@ -215,6 +215,18 @@ class MachineEngine
     /** Samples offloaded to the accelerator. */
     double gpuSamples() const { return gpuSamples_; }
 
+    /**
+     * First service-dispatch time of the part most recently reported
+     * finished (by cpuRequestDone returning true or gpuQueryDone) —
+     * the queue-wait boundary the observability layer attributes
+     * against. Drivers read it immediately after the completion call;
+     * it is overwritten by the next finished part.
+     */
+    double lastFinishedFirstServiceStart() const
+    {
+        return lastFinishedFirstStart_;
+    }
+
     const SimConfig& config() const { return *cfg; }
 
   private:
@@ -231,6 +243,7 @@ class MachineEngine
         uint32_t samples = 0;
         uint32_t requestsLeft = 0;
         double embFraction = 1.0;
+        double firstStart = -1.0;  ///< first service dispatch (< 0: none)
         bool leader = true;
         bool whole = true;
         bool active = false;       ///< slot occupied (free-list guard)
@@ -272,6 +285,7 @@ class MachineEngine
     uint64_t requestsDispatched_ = 0;
     double totalSamples_ = 0;
     double gpuSamples_ = 0;
+    double lastFinishedFirstStart_ = -1.0;
 };
 
 /**

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "base/logging.hh"
+#include "obs/observer.hh"
 
 namespace deeprecsys {
 
@@ -46,12 +47,25 @@ ServingSimulator::run(const QueryTrace& trace)
     MeasuredSpan span;
     double lastEventTime = trace.front().arrivalSeconds;
 
+    if (obs_)
+        obs_->onRunStart(trace.front().arrivalSeconds, trace.size());
+
     auto complete_query = [&](uint64_t idx, double now) {
         const QueryState& q = queries[idx];
         if (q.measured) {
             result.queryLatencySeconds.add(now - q.arrival);
             span.onCompletion(now);
         }
+        if (obs_)
+            obs_->onQueryComplete(idx, now, 0.0);
+    };
+
+    // Single machine, single whole part: the part span and the query
+    // span coincide, with no network hops.
+    auto observe_part = [&](uint64_t idx, bool gpu, double now) {
+        obs_->onPartDone(idx, 0, obs::PartStage::Whole, true, gpu,
+                         queries[idx].arrival,
+                         engine.lastFinishedFirstServiceStart(), now);
     };
 
     size_t nextArrival = 0;
@@ -77,6 +91,9 @@ ServingSimulator::run(const QueryTrace& trace)
             q.measured = nextArrival >= warmup;
             if (q.measured)
                 span.onArrival(in.arrivalSeconds);
+            if (obs_)
+                obs_->onQueryDispatch(nextArrival, in.arrivalSeconds,
+                                      in.size, 1, 0.0, q.measured);
 
             scheduled.clear();
             engine.admit({nextArrival, in.size, 1.0, true, true},
@@ -92,10 +109,15 @@ ServingSimulator::run(const QueryTrace& trace)
         scheduled.clear();
         if (ev.kind == SimEvent::Kind::CpuRequest) {
             if (engine.cpuRequestDone(ev.slot, ev.partIdx, ev.time,
-                                      scheduled))
+                                      scheduled)) {
+                if (obs_)
+                    observe_part(ev.partIdx, false, ev.time);
                 complete_query(ev.partIdx, ev.time);
+            }
         } else {
             engine.gpuQueryDone(ev.slot, ev.partIdx, ev.time, scheduled);
+            if (obs_)
+                observe_part(ev.partIdx, true, ev.time);
             complete_query(ev.partIdx, ev.time);
         }
         events.pushAll(scheduled, 0);

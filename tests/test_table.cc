@@ -57,6 +57,37 @@ TEST(TextTable, RowCount)
     EXPECT_EQ(t.numRows(), 2u);
 }
 
+TEST(JsonEscaping, EscapesEveryJsonMetacharacter)
+{
+    EXPECT_EQ(jsonEscaped("plain"), "plain");
+    EXPECT_EQ(jsonEscaped("say \"hi\""), "say \\\"hi\\\"");
+    EXPECT_EQ(jsonEscaped("a\\b"), "a\\\\b");
+    EXPECT_EQ(jsonEscaped("line1\nline2"), "line1\\nline2");
+    EXPECT_EQ(jsonEscaped("tab\there"), "tab\\there");
+    EXPECT_EQ(jsonEscaped("\r\b\f"), "\\r\\b\\f");
+    // Other control characters take the \u form.
+    EXPECT_EQ(jsonEscaped(std::string("\x01")), "\\u0001");
+    EXPECT_EQ(jsonEscaped(std::string(1, '\x1f')), "\\u001f");
+}
+
+TEST(JsonEscaping, PrintJsonEmitsParseableStrings)
+{
+    TextTable t({"name \"quoted\"", "back\\slash"});
+    t.addRow({"he said \"q\"", "a\tb\nc"});
+    std::ostringstream oss;
+    t.printJson(oss);
+    const std::string out = oss.str();
+    // The raw metacharacters must not survive unescaped: every quote
+    // inside a string is preceded by a backslash, and no literal
+    // control characters appear.
+    EXPECT_NE(out.find("he said \\\"q\\\""), std::string::npos);
+    EXPECT_NE(out.find("a\\tb\\nc"), std::string::npos);
+    EXPECT_NE(out.find("back\\\\slash"), std::string::npos);
+    for (char c : out)
+        EXPECT_TRUE(c == '\n' || static_cast<unsigned char>(c) >= 0x20)
+            << "unescaped control character in JSON output";
+}
+
 TEST(Banner, ContainsTitle)
 {
     std::ostringstream oss;

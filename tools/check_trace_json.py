@@ -1,0 +1,146 @@
+#!/usr/bin/env python3
+"""Fail CI when an emitted observability JSON file is malformed.
+
+Validates a Chrome trace-event JSON file written by the obs layer
+(``src/obs/trace_json.cc``): the top-level shape Perfetto and
+chrome://tracing load, the per-event required keys per phase, and the
+invariants the RunObserver guarantees (non-negative complete-span
+durations, the expected span names, metadata-first ordering). With
+``--metrics FILE`` it additionally validates a windowed-metrics JSON
+file (``src/obs/metrics.cc``): a sorted snapshot axis and one point
+per metric per snapshot. Stdlib only.
+
+Usage: check_trace_json.py TRACE.json [--metrics METRICS.json]
+       [--require-spans name,name,...]
+"""
+
+import argparse
+import json
+import sys
+
+# Spans the RunObserver can emit; anything else is a schema break.
+KNOWN_SPAN_NAMES = {
+    "query", "queue", "service", "gpu_service",
+    "net_fwd", "net_ret", "join_wait",
+}
+KNOWN_INSTANT_NAMES = {"scale_up", "scale_down"}
+
+
+def fail(errors):
+    for err in errors:
+        print(f"error: {err}", file=sys.stderr)
+    sys.exit(1)
+
+
+def check_trace(path, require_spans):
+    errors = []
+    with open(path, encoding="utf-8") as fh:
+        doc = json.load(fh)
+
+    if not isinstance(doc, dict):
+        fail([f"{path}: top level is not an object"])
+    if doc.get("displayTimeUnit") not in ("ms", "ns"):
+        errors.append(f"{path}: missing/invalid displayTimeUnit")
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        fail([f"{path}: traceEvents is not an array"])
+
+    seen_names = set()
+    seen_non_meta = False
+    for i, ev in enumerate(events):
+        where = f"{path}: traceEvents[{i}]"
+        if not isinstance(ev, dict):
+            errors.append(f"{where}: not an object")
+            continue
+        ph = ev.get("ph")
+        if ph not in ("X", "i", "C", "M"):
+            errors.append(f"{where}: unknown phase {ph!r}")
+            continue
+        for key in ("name", "pid", "tid"):
+            if key not in ev:
+                errors.append(f"{where}: missing {key!r}")
+        if ph != "M" and not isinstance(ev.get("ts"), (int, float)):
+            errors.append(f"{where}: missing numeric ts")
+        if ph == "M":
+            # The writer serializes metadata first so viewers name
+            # processes before any span references them.
+            if seen_non_meta:
+                errors.append(f"{where}: metadata after span events")
+            if ev.get("name") != "process_name":
+                errors.append(f"{where}: unexpected metadata "
+                              f"{ev.get('name')!r}")
+        else:
+            seen_non_meta = True
+        if ph == "X":
+            dur = ev.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                errors.append(f"{where}: complete span needs dur >= 0")
+            if ev.get("name") not in KNOWN_SPAN_NAMES:
+                errors.append(f"{where}: unknown span name "
+                              f"{ev.get('name')!r}")
+            seen_names.add(ev.get("name"))
+        if ph == "i" and ev.get("name") not in KNOWN_INSTANT_NAMES:
+            errors.append(f"{where}: unknown instant {ev.get('name')!r}")
+
+    for name in require_spans:
+        if name not in seen_names:
+            errors.append(f"{path}: required span {name!r} never emitted")
+    return errors, len(events)
+
+
+def check_metrics(path):
+    errors = []
+    with open(path, encoding="utf-8") as fh:
+        doc = json.load(fh)
+
+    snaps = doc.get("snapshots_s")
+    metrics = doc.get("metrics")
+    if not isinstance(snaps, list) or not isinstance(metrics, list):
+        fail([f"{path}: needs snapshots_s and metrics arrays"])
+    if snaps != sorted(snaps):
+        errors.append(f"{path}: snapshots_s is not sorted")
+    for m in metrics:
+        name = m.get("name", "<unnamed>")
+        if m.get("type") not in ("counter", "gauge", "histogram"):
+            errors.append(f"{path}: {name}: unknown type {m.get('type')!r}")
+            continue
+        points = m.get("points")
+        if not isinstance(points, list) or len(points) != len(snaps):
+            errors.append(f"{path}: {name}: points out of step with "
+                          "the snapshot axis")
+            continue
+        if m["type"] == "counter":
+            if any(b < a for a, b in zip(points, points[1:])):
+                errors.append(f"{path}: {name}: counter not monotone")
+        if m["type"] == "histogram":
+            bins = m.get("bins")
+            if not all(isinstance(p, list) and len(p) == bins
+                       for p in points):
+                errors.append(f"{path}: {name}: bin arrays do not match "
+                              "the declared bin count")
+    return errors, len(snaps), len(metrics)
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("trace", help="Chrome trace-event JSON file")
+    parser.add_argument("--metrics", help="windowed metrics JSON file")
+    parser.add_argument("--require-spans", default="",
+                        help="comma-separated span names that must appear")
+    args = parser.parse_args()
+
+    require = [s for s in args.require_spans.split(",") if s]
+    errors, num_events = check_trace(args.trace, require)
+    summary = f"{args.trace}: {num_events} events ok"
+    if args.metrics:
+        merrors, num_snaps, num_metrics = check_metrics(args.metrics)
+        errors += merrors
+        summary += (f"; {args.metrics}: {num_metrics} metrics x "
+                    f"{num_snaps} snapshots ok")
+    if errors:
+        fail(errors)
+    print(summary)
+
+
+if __name__ == "__main__":
+    main()
