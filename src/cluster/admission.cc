@@ -1,0 +1,255 @@
+#include "admission.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "base/logging.hh"
+#include "cluster/routing_policy.hh"
+
+namespace deeprecsys {
+
+const char*
+admissionKindName(AdmissionKind kind)
+{
+    switch (kind) {
+      case AdmissionKind::None:
+        return "none";
+      case AdmissionKind::QueueDepth:
+        return "queue-depth";
+      case AdmissionKind::Deadline:
+        return "deadline";
+    }
+    drs_panic("unknown admission kind");
+}
+
+const std::vector<AdmissionKind>&
+allAdmissionKinds()
+{
+    static const std::vector<AdmissionKind> kinds = {
+        AdmissionKind::None,
+        AdmissionKind::QueueDepth,
+        AdmissionKind::Deadline,
+    };
+    return kinds;
+}
+
+AdmissionController::AdmissionController(
+    const OverloadConfig& config, const std::vector<SimConfig>& machines,
+    double embeddingShare)
+    : cfg(config), embShare(embeddingShare)
+{
+    drs_assert(!machines.empty(), "admission needs at least one machine");
+    drs_assert(embShare > 0.0 && embShare <= 1.0,
+               "embedding share must be in (0, 1]");
+    if (cfg.admission == AdmissionKind::QueueDepth)
+        drs_assert(cfg.queueDepthCap >= 1, "queue-depth cap must be >= 1");
+    // The deadline is the pressure scale of both the deadline policy
+    // and the degrade shrink, so either one requires it.
+    if (cfg.admission == AdmissionKind::Deadline || cfg.degrade)
+        drs_assert(cfg.deadlineSeconds > 0.0,
+                   "deadline admission/degrade needs deadlineSeconds > 0");
+    if (cfg.degrade) {
+        drs_assert(cfg.degradeStartPressure >= 0.0 &&
+                       cfg.degradeStartPressure < 1.0,
+                   "degradeStartPressure must be in [0, 1)");
+        drs_assert(cfg.minSizeFraction > 0.0 && cfg.minSizeFraction <= 1.0,
+                   "minSizeFraction must be in (0, 1]");
+        drs_assert(cfg.minSize >= 1, "minSize must be >= 1");
+        drs_assert(cfg.qualityExponent > 0.0,
+                   "qualityExponent must be positive");
+    }
+
+    cpu.reserve(machines.size());
+    slowdown.reserve(machines.size());
+    cores.reserve(machines.size());
+    batch.reserve(machines.size());
+    for (const SimConfig& m : machines) {
+        // Keep each machine's own cost model: the efficiency curves
+        // are saturating (per-sample cost falls with batch), so no
+        // linear fit prices a mid-size request honestly. Estimates
+        // are priced under full core contention — the steady state an
+        // overloaded machine actually runs in, which is when the
+        // estimate matters.
+        cpu.push_back(m.cpu);
+        slowdown.push_back(m.slowdown);
+        cores.push_back(static_cast<double>(m.cpu.platform().cores));
+        batch.push_back(static_cast<double>(
+            std::max<size_t>(1, m.policy.perRequestBatch)));
+    }
+}
+
+double
+AdmissionController::requestSecondsAt(size_t m, size_t req_batch) const
+{
+    // On a sharded tier a machine serves only its local slice of the
+    // embedding work (the leader also runs the dense stacks, the
+    // longest per-machine path) — price that, not the whole model.
+    const size_t c = cpu[m].platform().cores;
+    const double seconds =
+        embShare < 1.0
+            ? cpu[m].partialRequestSeconds(req_batch, c, embShare, true)
+            : cpu[m].requestSeconds(req_batch, c);
+    return seconds * slowdown[m];
+}
+
+double
+AdmissionController::backlogSeconds(size_t m, const ClusterView& view) const
+{
+    drs_assert(m < cpu.size(), "backlog of unknown machine");
+    // Live views expose the engine's own running queue-cost sum —
+    // each queued request priced through the machine's cost model
+    // with its true batch, shard fraction, and leader flag — which no
+    // outside-in estimate can reconstruct from counts alone (a
+    // sharded tier's queue mixes covering-set sizes and leader /
+    // follower parts). Drain it across the whole core pool: the wait
+    // a new arrival sees is total queued work over pool throughput.
+    const double exact = view.queuedCostSeconds(m);
+    if (exact >= 0.0)
+        return exact / cores[m];
+    // Fallback for views without engine state: price the queue at its
+    // own mean request batch (queued samples over queued requests).
+    // Views without sample-level state report queuedSamples ==
+    // queuedWork and price as single-sample requests, the
+    // conservative end of the efficiency curve.
+    const size_t requests = view.queuedWork(m);
+    if (requests == 0)
+        return 0.0;
+    const size_t samples = std::max(view.queuedSamples(m), requests);
+    const size_t meanBatch = samples / requests;
+    const double work =
+        static_cast<double>(requests) * requestSecondsAt(m, meanBatch);
+    return work / cores[m];
+}
+
+double
+AdmissionController::meanBacklogSeconds(const ClusterView& view) const
+{
+    double sum = 0.0;
+    size_t accepting = 0;
+    const size_t n = view.numMachines();
+    for (size_t m = 0; m < n; ++m) {
+        if (!view.accepting(m))
+            continue;
+        sum += backlogSeconds(m, view);
+        accepting++;
+    }
+    // At least one machine always accepts (ClusterView contract).
+    drs_assert(accepting > 0, "no accepting machine to estimate against");
+    return sum / static_cast<double>(accepting);
+}
+
+double
+AdmissionController::pressureBacklogSeconds(const ClusterView& view) const
+{
+    // Unsharded, load-balanced tier: the mean over accepting machines
+    // tracks where the router actually lands queries. Sharded tier:
+    // a query fans out to a covering set and completes when its
+    // *slowest* shard part returns, and placement skew routinely
+    // pins the hot tables to a few machines every covering set must
+    // visit — the fleet mean dilutes the binding queue away (a
+    // saturated shard hides behind seven idle ones), so the honest
+    // pressure is the worst accepting backlog.
+    if (embShare >= 1.0)
+        return meanBacklogSeconds(view);
+    double worst = 0.0;
+    const size_t n = view.numMachines();
+    for (size_t m = 0; m < n; ++m) {
+        if (view.accepting(m))
+            worst = std::max(worst, backlogSeconds(m, view));
+    }
+    return worst;
+}
+
+double
+AdmissionController::serviceSeconds(size_t m, uint32_t size) const
+{
+    drs_assert(m < cpu.size(), "service on unknown machine");
+    // The query splits into ceil(size / batch) requests that run on
+    // up to `cores` cores at once: critical path is total work over
+    // the achievable parallelism. Single-request queries (the common
+    // case) are priced exactly.
+    const double requests = std::ceil(static_cast<double>(size) / batch[m]);
+    const double parallelism = std::min(cores[m], requests);
+    const size_t req_batch = std::min<size_t>(
+        size, static_cast<size_t>(batch[m]));
+    const double work =
+        requests * requestSecondsAt(m, std::max<size_t>(1, req_batch));
+    return work / parallelism;
+}
+
+AdmissionDecision
+AdmissionController::decide(const Query& query,
+                            const ClusterView& view) const
+{
+    AdmissionDecision d;
+    d.servedSize = query.size;
+
+    // Backlog is shared by both mechanisms; compute it once. See
+    // pressureBacklogSeconds for the mean-vs-max choice.
+    const bool needBacklog =
+        cfg.degrade || cfg.admission == AdmissionKind::Deadline;
+    const double backlog =
+        needBacklog ? pressureBacklogSeconds(view) : 0.0;
+
+    // Degrade first: shrinking may turn a would-be drop into an
+    // admissible (smaller) query, which is the whole point — a
+    // degraded answer beats no answer.
+    if (cfg.degrade) {
+        const double pressure = backlog / cfg.deadlineSeconds;
+        if (pressure > cfg.degradeStartPressure) {
+            const double t =
+                std::min(1.0, (pressure - cfg.degradeStartPressure) /
+                                  (1.0 - cfg.degradeStartPressure));
+            const double frac =
+                1.0 - (1.0 - cfg.minSizeFraction) * t;
+            const uint32_t floorSize = std::min(query.size, cfg.minSize);
+            const auto shrunk = static_cast<uint32_t>(
+                frac * static_cast<double>(query.size));
+            d.servedSize = std::max(floorSize, shrunk);
+            if (d.servedSize < query.size)
+                d.quality = std::pow(
+                    static_cast<double>(d.servedSize) /
+                        static_cast<double>(query.size),
+                    cfg.qualityExponent);
+        }
+    }
+
+    switch (cfg.admission) {
+      case AdmissionKind::None:
+        break;
+      case AdmissionKind::QueueDepth: {
+        size_t best = std::numeric_limits<size_t>::max();
+        const size_t n = view.numMachines();
+        for (size_t m = 0; m < n; ++m) {
+            if (view.accepting(m))
+                best = std::min(best, view.queuedWork(m));
+        }
+        d.admit = best <= cfg.queueDepthCap;
+        break;
+      }
+      case AdmissionKind::Deadline: {
+        // Admit iff a typically-loaded machine could still finish the
+        // (possibly degraded) query within the deadline: mean backlog
+        // plus the cheapest accepting machine's service time. Queries
+        // estimated dead on arrival are shed at the door.
+        double service = std::numeric_limits<double>::infinity();
+        const size_t n = view.numMachines();
+        for (size_t m = 0; m < n; ++m) {
+            if (view.accepting(m))
+                service = std::min(service,
+                                   serviceSeconds(m, d.servedSize));
+        }
+        d.admit = backlog + service <= cfg.deadlineSeconds;
+        break;
+      }
+    }
+
+    if (!d.admit) {
+        d.servedSize = 0;
+        d.quality = 0.0;
+    }
+    return d;
+}
+
+} // namespace deeprecsys

@@ -1,0 +1,307 @@
+/**
+ * @file
+ * Overload control at the cluster router: deadline-aware admission,
+ * load shedding, and degraded (fewer-candidates) serving.
+ *
+ * Past saturation an open-loop tier queues unboundedly, so every
+ * overload question answers "infinite p99". Real serving stacks
+ * instead bound the damage at the front door: an **admission policy**
+ * refuses queries the tier cannot serve in time (load shedding), and
+ * a **degrade policy** runs the paper's per-query size knob in
+ * reverse — under pressure it scores *fewer* candidate items per
+ * query, shrinking the query before dispatch so the reduced
+ * embedding/dense cost is charged through the ordinary MachineEngine
+ * cost model, instead of dropping the query outright.
+ *
+ * Both policies are evaluated by the router at each arrival against
+ * the live ClusterView. The decision is a pure function of (config,
+ * query, observed view), with no random draws, so drop and degrade
+ * decisions are bitwise deterministic at any DRS_THREADS value and
+ * across repeated runs.
+ *
+ * The quality currency is **goodput**: completions within the
+ * deadline per second, each weighted by a quality factor in (0, 1] —
+ * full-size answers weigh 1, degraded answers weigh
+ * (servedSize / originalSize)^qualityExponent, dropped or late
+ * answers weigh 0. Goodput can never exceed the raw completion rate,
+ * and shedding trades a lower ceiling for a *finite* tail where the
+ * open-loop tier melts down.
+ *
+ * Backlog estimation: live views expose each machine's running
+ * queue-cost sum (MachineEngine::queuedCostSeconds via
+ * ClusterView::queuedCostSeconds) — every queued request priced
+ * through the machine's own cost model at enqueue — which the
+ * controller divides by the core pool for a drain-time estimate.
+ * Views without engine state fall back to the controller pricing
+ * queued samples itself at their mean request batch. Either way it is
+ * a first-order estimate — no network terms, no in-service residuals
+ * — deliberately cheap enough for every arrival and accurate enough
+ * to locate the knee.
+ *
+ * Units: seconds throughout; sizes in candidate samples. Ownership:
+ * the controller copies its config and calibration and borrows
+ * nothing; decisions read only the view passed in. Determinism: see
+ * above — decide() is pure.
+ */
+
+#ifndef DRS_CLUSTER_ADMISSION_HH
+#define DRS_CLUSTER_ADMISSION_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "loadgen/query.hh"
+#include "sim/machine_engine.hh"
+
+namespace deeprecsys {
+
+class ClusterView;
+
+/** The admission policies the router can be configured with. */
+enum class AdmissionKind
+{
+    /** Admit everything — the historical open-loop router. */
+    None,
+
+    /** Drop when every accepting machine's queue is deeper than the
+     *  cap (classic bounded-queue shedding; deadline-blind). */
+    QueueDepth,
+
+    /**
+     * Drop when the estimated completion time of the query on the
+     * *least backlogged* accepting machine already exceeds the
+     * deadline: if even the best machine cannot answer in time, the
+     * query is dead on arrival and serving it only delays others.
+     */
+    Deadline,
+};
+
+/** Name for printing. */
+const char* admissionKindName(AdmissionKind kind);
+
+/** Every admission kind, in declaration order (for sweeps). */
+const std::vector<AdmissionKind>& allAdmissionKinds();
+
+/**
+ * Overload-control configuration of one cluster tier. The default is
+ * fully disabled — admission None, degrade off — and the drivers are
+ * bitwise identical to their historical behavior in that state
+ * (tests/test_engine_diff.cc holds them to it).
+ */
+struct OverloadConfig
+{
+    AdmissionKind admission = AdmissionKind::None;
+
+    /** QueueDepth: drop when the least-loaded accepting machine holds
+     *  more than this many queued work items. */
+    size_t queueDepthCap = 64;
+
+    /**
+     * The per-query completion budget in seconds. Deadline admission
+     * drops queries estimated to miss it; goodput counts completions
+     * within it. When 0, no goodput/deadline accounting happens at
+     * all (the historical result fields are unchanged either way).
+     */
+    double deadlineSeconds = 0.0;
+
+    // ----------------------------------------------------- degrade
+    /** Score fewer candidates under pressure instead of dropping. */
+    bool degrade = false;
+
+    /**
+     * Backlog pressure (estimated drain seconds of the least-loaded
+     * machine over the deadline) at which shrinking starts; at
+     * pressure 1.0 the size reaches the floor. In [0, 1).
+     */
+    double degradeStartPressure = 0.35;
+
+    /** Floor of the shrink as a fraction of the original size. */
+    double minSizeFraction = 0.25;
+
+    /** Never shrink below this many candidates (ranking needs a
+     *  minimum slate to be useful at all). */
+    uint32_t minSize = 8;
+
+    /**
+     * Quality weight of a degraded answer:
+     * (servedSize / originalSize)^qualityExponent. 1.0 (linear) is
+     * the conservative default; recommendation quality typically
+     * falls off slower than linearly in the slate size, so operators
+     * may configure < 1.
+     */
+    double qualityExponent = 1.0;
+
+    /** True when any overload mechanism is active. */
+    bool
+    enabled() const
+    {
+        return admission != AdmissionKind::None || degrade;
+    }
+};
+
+/** The router's verdict on one arriving query. */
+struct AdmissionDecision
+{
+    bool admit = true;
+
+    /** Size actually dispatched (== query size unless degraded). */
+    uint32_t servedSize = 0;
+
+    /** Quality factor of the answer, in (0, 1]; 1 when undegraded. */
+    double quality = 1.0;
+};
+
+/** One degraded admission (trace index plus the size it shrank to). */
+struct DegradeRecord
+{
+    uint64_t queryIdx = 0;
+    uint32_t originalSize = 0;
+    uint32_t servedSize = 0;
+
+    bool
+    operator==(const DegradeRecord& other) const
+    {
+        return queryIdx == other.queryIdx &&
+               originalSize == other.originalSize &&
+               servedSize == other.servedSize;
+    }
+};
+
+/**
+ * Drop/degrade/goodput accounting of one run. Count fields cover the
+ * whole trace (conservation: offered == admitted + dropped, and
+ * admitted == completed once the run drains); the goodput fields
+ * cover measured (post-warmup) queries and are only populated when
+ * OverloadConfig::deadlineSeconds > 0.
+ */
+struct OverloadStats
+{
+    uint64_t offered = 0;    ///< queries presented to the router
+    uint64_t admitted = 0;   ///< dispatched (possibly degraded)
+    uint64_t dropped = 0;    ///< refused at the router
+    uint64_t degraded = 0;   ///< admitted with a reduced size
+
+    /** Measured completions (deadline accounting enabled only). */
+    uint64_t measuredCompleted = 0;
+
+    /** Measured completions within the deadline. */
+    uint64_t completedWithinDeadline = 0;
+
+    /** Sum of quality factors of within-deadline completions. */
+    double qualityWeight = 0;
+
+    /** Quality-weighted within-deadline completions per measured
+     *  second — the headline goodput number. */
+    double goodputQps = 0;
+
+    /** Trace indices of dropped queries (empty when disabled). */
+    std::vector<uint64_t> droppedQueries;
+
+    /** Degraded admissions in arrival order (empty when disabled). */
+    std::vector<DegradeRecord> degradedQueries;
+
+    /** Dropped fraction of offered queries, in [0, 1]. */
+    double
+    shedRate() const
+    {
+        return offered > 0
+            ? static_cast<double>(dropped) / static_cast<double>(offered)
+            : 0.0;
+    }
+
+    /** Degraded fraction of admitted queries, in [0, 1]. */
+    double
+    degradeRate() const
+    {
+        return admitted > 0
+            ? static_cast<double>(degraded) /
+                  static_cast<double>(admitted)
+            : 0.0;
+    }
+};
+
+/**
+ * The router-side overload controller: calibrated once per tier, then
+ * consulted at every arrival. See the file comment for the estimation
+ * and decision rules.
+ */
+class AdmissionController
+{
+  public:
+    /**
+     * @param config the overload policy (copied; asserted valid)
+     * @param machines the tier's machine configs, for calibration
+     * @param embeddingShare the fraction of a query's embedding work
+     *        a single machine serves — 1.0 for whole-query tiers; a
+     *        sharded tier passes its per-machine share so heavy
+     *        queries are not priced as if served unsharded
+     */
+    AdmissionController(const OverloadConfig& config,
+                        const std::vector<SimConfig>& machines,
+                        double embeddingShare = 1.0);
+
+    /**
+     * Decide @p query's fate against the live @p view: admit as-is,
+     * admit degraded, or drop. Pure — equal (query, view state) pairs
+     * produce equal decisions.
+     */
+    AdmissionDecision decide(const Query& query,
+                             const ClusterView& view) const;
+
+    /**
+     * Estimated seconds for machine @p m to drain its queue (0 when
+     * idle): queued requests priced at their mean batch through the
+     * machine's own cost model, drained across the core pool.
+     */
+    double backlogSeconds(size_t m, const ClusterView& view) const;
+
+    /** Mean backlogSeconds over accepting machines — the backlog a
+     *  load-balanced router actually lands on. */
+    double meanBacklogSeconds(const ClusterView& view) const;
+
+    /**
+     * The pressure signal of both admission and degrade: mean
+     * backlog over accepting machines on an unsharded tier (routing
+     * balances load, so the mean is where queries land), worst
+     * accepting backlog on a sharded tier (a fanned-out query joins
+     * on its slowest shard, and placement skew means the fleet mean
+     * hides the one saturated machine every covering set visits).
+     */
+    double pressureBacklogSeconds(const ClusterView& view) const;
+
+    /**
+     * Estimated service seconds of a @p size-sample query on machine
+     * @p m once it reaches the front of the queue (batch-split across
+     * the core pool).
+     */
+    double serviceSeconds(size_t m, uint32_t size) const;
+
+    const OverloadConfig& config() const { return cfg; }
+
+  private:
+    OverloadConfig cfg;
+
+    /** Per-request seconds for a @p req_batch-sample request on
+     *  machine @p m under full core contention, slowdown applied. */
+    double requestSecondsAt(size_t m, size_t req_batch) const;
+
+    /** Each machine's own CPU cost model — the efficiency curves are
+     *  too nonlinear in batch for scalar calibration. */
+    std::vector<CpuCostModel> cpu;
+
+    /** Per-machine slowdown factor (SimConfig::slowdown). */
+    std::vector<double> slowdown;
+
+    /** Leader-side share of a query's embedding work, in (0, 1]. */
+    double embShare = 1.0;
+
+    /** Core count per machine (backlog drains across the pool). */
+    std::vector<double> cores;
+
+    /** Configured per-request batch per machine (latency estimate). */
+    std::vector<double> batch;
+};
+
+} // namespace deeprecsys
+
+#endif // DRS_CLUSTER_ADMISSION_HH

@@ -101,16 +101,25 @@ class ReactivePolicy final : public ScalingPolicy
         const size_t serving =
             signals.acceptingMachines + signals.warmingMachines;
         const double util = signals.windowUtilization;
-        const bool hot_tail = signals.windowTailMs >= 0.0 &&
-            signals.windowTailMs > spec_.slaHeadroomFraction * slaMs;
+        // Shed queries are an emergency on par with a hot tail: the
+        // router is refusing work right now, so jump proportionally
+        // instead of stepping. Zero whenever overload control is off,
+        // so the historical policy is untouched.
+        const bool shedding = signals.windowDrops > 0;
+        const bool hot_tail = shedding ||
+            (signals.windowTailMs >= 0.0 &&
+             signals.windowTailMs > spec_.slaHeadroomFraction * slaMs);
 
-        const bool calm_tail = signals.windowTailMs < 0.0 ||
-            signals.windowTailMs <
-                spec_.downLatencyFraction * slaMs;
+        const bool calm_tail = !shedding &&
+            (signals.windowTailMs < 0.0 ||
+             signals.windowTailMs <
+                 spec_.downLatencyFraction * slaMs);
 
         // Ratchet the measured capacity high-water mark: the highest
         // per-accepting-machine rate served with a comfortable tail.
-        if (signals.acceptingMachines > 0 &&
+        // A shedding window never ratchets — its arrival rate was not
+        // actually served, only offered.
+        if (!shedding && signals.acceptingMachines > 0 &&
             signals.windowTailMs >= 0.0 &&
             signals.windowTailMs < 0.5 * slaMs) {
             highWaterQps = std::max(
@@ -270,6 +279,7 @@ struct QueryState
     uint32_t machine = 0;
     double joinTime = 0;
     double leaderReady = 0;
+    double quality = 1.0;     ///< answer quality (< 1 when degraded)
     bool measured = true;
 };
 
@@ -302,6 +312,18 @@ class ElasticView final : public ClusterView
     queuedWork(size_t m) const override
     {
         return engines[m].queuedWork();
+    }
+
+    size_t
+    queuedSamples(size_t m) const override
+    {
+        return engines[m].queuedSamples();
+    }
+
+    double
+    queuedCostSeconds(size_t m) const override
+    {
+        return engines[m].queuedCostSeconds();
     }
 
     bool
@@ -466,6 +488,18 @@ Autoscaler::run(const QueryTrace& trace, ScalingPolicy& policy) const
 
     ElasticView view(cfg.machines, machines, inFlight, state,
                      acceptingCount);
+    // Overload control: only constructed when enabled, so the disabled
+    // path is the historical driver plus one boolean test per arrival.
+    std::optional<AdmissionController> admission;
+    if (cfg.overload.enabled()) {
+        // A sharded tier serves roughly 1/N of a query's embedding
+        // work per machine; tell the estimator so heavy queries are
+        // not priced as if one machine ran the whole model.
+        const double share = cfg.sharding
+            ? 1.0 / static_cast<double>(cfg.machines.size())
+            : 1.0;
+        admission.emplace(cfg.overload, cfg.machines, share);
+    }
     MeasuredSpan span;
     double lastEventTime = t0;
 
@@ -477,6 +511,7 @@ Autoscaler::run(const QueryTrace& trace, ScalingPolicy& policy) const
     // --------------------------------------- window signal tracking
     SampleStats windowLat;
     uint64_t windowArrivals = 0;
+    uint64_t windowDrops = 0;
     double windowStart = t0;
     std::vector<double> windowBusyStart(n, 0.0);
 
@@ -645,6 +680,13 @@ Autoscaler::run(const QueryTrace& trace, ScalingPolicy& policy) const
             result.fleetLatencySeconds.add(latency);
             result.perMachine[q.machine].latencySeconds.add(latency);
             span.onCompletion(q.joinTime);
+            if (cfg.overload.deadlineSeconds > 0.0) {
+                result.overload.measuredCompleted++;
+                if (latency <= cfg.overload.deadlineSeconds) {
+                    result.overload.completedWithinDeadline++;
+                    result.overload.qualityWeight += q.quality;
+                }
+            }
         }
         lastEventTime = std::max(lastEventTime, q.joinTime);
         if (obs_) {
@@ -743,6 +785,7 @@ Autoscaler::run(const QueryTrace& trace, ScalingPolicy& policy) const
         sig.arrivalQps = sig.windowSeconds > 0.0
             ? static_cast<double>(windowArrivals) / sig.windowSeconds
             : 0.0;
+        sig.windowDrops = windowDrops;
         drs_assert(count_state(MState::Accepting) == acceptingCount,
                    "accepting counter drifted from machine states");
         sig.acceptingMachines = acceptingCount;
@@ -786,6 +829,7 @@ Autoscaler::run(const QueryTrace& trace, ScalingPolicy& policy) const
         row.arrivalQps = sig.arrivalQps;
         row.servingMachines = serving_now;
         row.poweredMachines = serving_now + count_state(MState::Draining);
+        row.drops = windowDrops;
         row.slaViolation = violation;
         result.timeline.push_back(row);
 
@@ -804,6 +848,8 @@ Autoscaler::run(const QueryTrace& trace, ScalingPolicy& policy) const
             reg.gauge("utilization").set(row.utilization);
             reg.gauge("window_p99_ms").set(row.tailMs);
             reg.gauge("arrival_qps").set(row.arrivalQps);
+            reg.gauge("window_drops").set(
+                static_cast<double>(windowDrops));
             size_t queued_total = 0;
             size_t queued_max = 0;
             for (size_t m = 0; m < n; m++) {
@@ -825,6 +871,7 @@ Autoscaler::run(const QueryTrace& trace, ScalingPolicy& policy) const
 
         windowLat = SampleStats{};
         windowArrivals = 0;
+        windowDrops = 0;
         windowStart = now;
     };
 
@@ -844,30 +891,70 @@ Autoscaler::run(const QueryTrace& trace, ScalingPolicy& policy) const
                            in.arrivalSeconds >=
                                trace[nextArrival - 1].arrivalSeconds,
                        "trace must be sorted by arrival");
+            result.overload.offered++;
+            windowArrivals++;
+
+            // The router's overload verdict: drop, degrade (shrink
+            // the size dispatched downstream), or pass through.
+            Query served = in;
+            double quality = 1.0;
+            if (admission) {
+                const AdmissionDecision verdict =
+                    admission->decide(in, view);
+                if (!verdict.admit) {
+                    // Shed at the router: nothing reaches a machine.
+                    // Measured drops still open the span so goodput
+                    // is charged against real offered time.
+                    lastEventTime =
+                        std::max(lastEventTime, in.arrivalSeconds);
+                    if (nextArrival >= warmup)
+                        span.onArrival(in.arrivalSeconds);
+                    result.overload.dropped++;
+                    result.overload.droppedQueries.push_back(nextArrival);
+                    windowDrops++;
+                    if (obs_)
+                        obs_->onQueryDrop(nextArrival, in.arrivalSeconds,
+                                          in.size);
+                    nextArrival++;
+                    continue;
+                }
+                if (verdict.servedSize < in.size) {
+                    served.size = verdict.servedSize;
+                    result.overload.degraded++;
+                    result.overload.degradedQueries.push_back(
+                        {nextArrival, in.size, verdict.servedSize});
+                    if (obs_)
+                        obs_->onQueryDegrade(nextArrival,
+                                             in.arrivalSeconds, in.size,
+                                             verdict.servedSize);
+                }
+                quality = verdict.quality;
+            }
+            result.overload.admitted++;
 
             const std::vector<ShardTarget> plan =
-                router->routeParts(in, view);
+                router->routeParts(served, view);
             drs_assert(!plan.empty(), "policy returned no targets");
             lastEventTime = std::max(lastEventTime, in.arrivalSeconds);
-            windowArrivals++;
 
             QueryState& q = queries[nextArrival];
             q.arrival = in.arrivalSeconds;
-            q.size = in.size;
+            q.size = served.size;
             q.partsLeft = static_cast<uint32_t>(plan.size());
             q.joinTime = in.arrivalSeconds;
             q.leaderReady = in.arrivalSeconds;
+            q.quality = quality;
             q.measured = nextArrival >= warmup;
             if (q.measured)
                 span.onArrival(in.arrivalSeconds);
 
             result.numDispatched++;
             const double forward = cfg.network.oneWaySeconds(
-                static_cast<double>(in.size) *
+                static_cast<double>(served.size) *
                 cfg.network.requestBytesPerSample);
             if (obs_)
                 obs_->onQueryDispatch(nextArrival, in.arrivalSeconds,
-                                      in.size, plan.size(), forward,
+                                      served.size, plan.size(), forward,
                                       q.measured);
 
             size_t leaders = 0;
@@ -967,6 +1054,9 @@ Autoscaler::run(const QueryTrace& trace, ScalingPolicy& policy) const
     result.numQueries = result.fleetLatencySeconds.count();
     result.offeredQps = traceOfferedQps(trace);
     result.spanSeconds = lastEventTime - t0;
+    if (cfg.overload.deadlineSeconds > 0.0 && span.seconds() > 0.0)
+        result.overload.goodputQps =
+            result.overload.qualityWeight / span.seconds();
     result.staticMachineSeconds =
         static_cast<double>(n) * result.spanSeconds;
     for (size_t m = 0; m < n; m++)

@@ -115,6 +115,15 @@ struct ScalingSignals
 
     double arrivalQps = 0;       ///< arrivals in window / window
 
+    /**
+     * Queries shed at the router during the window. Always 0 unless
+     * the tier runs with overload control enabled
+     * (ClusterConfig::overload); a nonzero value is the strongest
+     * possible scale-up signal — the tier is refusing work *now*,
+     * before the windowed tail can even show it.
+     */
+    uint64_t windowDrops = 0;
+
     size_t acceptingMachines = 0;
     size_t warmingMachines = 0;
     size_t drainingMachines = 0;
@@ -286,6 +295,7 @@ struct AutoscaleWindow
     double arrivalQps = 0;
     size_t servingMachines = 0;  ///< accepting + warming after the tick
     size_t poweredMachines = 0;  ///< + draining
+    uint64_t drops = 0;          ///< queries shed during the window
     bool slaViolation = false;
 };
 
@@ -302,6 +312,10 @@ struct AutoscaleResult
     uint64_t numDispatched = 0;    ///< all routed queries
     uint64_t numCompleted = 0;     ///< all completed (== dispatched)
     uint64_t numParts = 0;         ///< machine-parts dispatched
+
+    /** Drop/degrade/goodput accounting (cluster/admission.hh). Count
+     *  fields always reconcile: offered == dropped + numDispatched. */
+    OverloadStats overload;
 
     double offeredQps = 0;
     double spanSeconds = 0;        ///< first arrival .. last event

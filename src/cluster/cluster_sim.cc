@@ -67,6 +67,7 @@ struct QueryState
     uint32_t machine = 0;     ///< leader machine
     double joinTime = 0;      ///< latest part completion + return hop
     double leaderReady = 0;   ///< TwoStage: last pooled part at leader
+    double quality = 1.0;     ///< answer quality (< 1 when degraded)
     bool measured = true;
 };
 
@@ -93,6 +94,18 @@ class LiveView final : public ClusterView
     queuedWork(size_t m) const override
     {
         return engines[m].queuedWork();
+    }
+
+    size_t
+    queuedSamples(size_t m) const override
+    {
+        return engines[m].queuedSamples();
+    }
+
+    double
+    queuedCostSeconds(size_t m) const override
+    {
+        return engines[m].queuedCostSeconds();
     }
 
     bool
@@ -176,6 +189,18 @@ ClusterSimulator::run(const QueryTrace& trace, RoutingPolicy& policy) const
     scheduled.reserve(256);
 
     LiveView view(cfg.machines, machines, inFlight);
+    // Overload control: only constructed when enabled, so the disabled
+    // path is the historical driver plus one boolean test per arrival.
+    std::optional<AdmissionController> admission;
+    if (cfg.overload.enabled()) {
+        // A sharded tier serves roughly 1/N of a query's embedding
+        // work per machine; tell the estimator so heavy queries are
+        // not priced as if one machine ran the whole model.
+        const double share = cfg.sharding
+            ? 1.0 / static_cast<double>(cfg.machines.size())
+            : 1.0;
+        admission.emplace(cfg.overload, cfg.machines, share);
+    }
     result.machineOfQuery.resize(trace.size());
     result.partMachinesOfQuery.resize(trace.size());
 
@@ -234,6 +259,13 @@ ClusterSimulator::run(const QueryTrace& trace, RoutingPolicy& policy) const
             result.fleetLatencySeconds.add(latency);
             result.perMachine[q.machine].latencySeconds.add(latency);
             span.onCompletion(q.joinTime);
+            if (cfg.overload.deadlineSeconds > 0.0) {
+                result.overload.measuredCompleted++;
+                if (latency <= cfg.overload.deadlineSeconds) {
+                    result.overload.completedWithinDeadline++;
+                    result.overload.qualityWeight += q.quality;
+                }
+            }
         }
         lastEventTime = std::max(lastEventTime, q.joinTime);
         if (obs_) {
@@ -308,29 +340,70 @@ ClusterSimulator::run(const QueryTrace& trace, RoutingPolicy& policy) const
                            in.arrivalSeconds >=
                                trace[nextArrival - 1].arrivalSeconds,
                        "trace must be sorted by arrival");
+            result.overload.offered++;
+
+            // The router's overload verdict: drop, degrade (shrink
+            // the size dispatched downstream), or pass through.
+            Query served = in;
+            double quality = 1.0;
+            if (admission) {
+                const AdmissionDecision verdict =
+                    admission->decide(in, view);
+                if (!verdict.admit) {
+                    // Shed at the router: nothing reaches a machine.
+                    // Measured drops still open the span so goodput
+                    // is charged against real offered time.
+                    lastEventTime =
+                        std::max(lastEventTime, in.arrivalSeconds);
+                    if (nextArrival >= warmup)
+                        span.onArrival(in.arrivalSeconds);
+                    result.machineOfQuery[nextArrival] =
+                        ClusterResult::droppedMachine;
+                    result.overload.dropped++;
+                    result.overload.droppedQueries.push_back(nextArrival);
+                    if (obs_)
+                        obs_->onQueryDrop(nextArrival, in.arrivalSeconds,
+                                          in.size);
+                    nextArrival++;
+                    continue;
+                }
+                if (verdict.servedSize < in.size) {
+                    served.size = verdict.servedSize;
+                    result.overload.degraded++;
+                    result.overload.degradedQueries.push_back(
+                        {nextArrival, in.size, verdict.servedSize});
+                    if (obs_)
+                        obs_->onQueryDegrade(nextArrival,
+                                             in.arrivalSeconds, in.size,
+                                             verdict.servedSize);
+                }
+                quality = verdict.quality;
+            }
+            result.overload.admitted++;
 
             const std::vector<ShardTarget> plan =
-                policy.routeParts(in, view);
+                policy.routeParts(served, view);
             drs_assert(!plan.empty(), "policy returned no targets");
             lastEventTime = std::max(lastEventTime, in.arrivalSeconds);
 
             QueryState& q = queries[nextArrival];
             q.arrival = in.arrivalSeconds;
-            q.size = in.size;
+            q.size = served.size;
             q.partsLeft = static_cast<uint32_t>(plan.size());
             q.joinTime = in.arrivalSeconds;
             q.leaderReady = in.arrivalSeconds;
+            q.quality = quality;
             q.measured = nextArrival >= warmup;
             if (q.measured)
                 span.onArrival(in.arrivalSeconds);
 
             result.numDispatched++;
             const double forward = cfg.network.oneWaySeconds(
-                static_cast<double>(in.size) *
+                static_cast<double>(served.size) *
                 cfg.network.requestBytesPerSample);
             if (obs_)
                 obs_->onQueryDispatch(nextArrival, in.arrivalSeconds,
-                                      in.size, plan.size(), forward,
+                                      served.size, plan.size(), forward,
                                       q.measured);
 
             size_t leaders = 0;
@@ -412,6 +485,9 @@ ClusterSimulator::run(const QueryTrace& trace, RoutingPolicy& policy) const
     result.spanSeconds = span.seconds();
     result.offeredQps = traceOfferedQps(trace);
     result.achievedQps = span.achievedQps(result.numQueries);
+    if (cfg.overload.deadlineSeconds > 0.0 && result.spanSeconds > 0.0)
+        result.overload.goodputQps =
+            result.overload.qualityWeight / result.spanSeconds;
 
     const double full_span = lastEventTime - trace.front().arrivalSeconds;
     double util_sum = 0.0;

@@ -48,6 +48,7 @@
 #include <vector>
 
 #include "base/stats.hh"
+#include "cluster/admission.hh"
 #include "cluster/routing_policy.hh"
 #include "cluster/shard_placement.hh"
 #include "loadgen/query.hh"
@@ -141,6 +142,14 @@ struct ClusterConfig
      * requires it; other policies ignore it.
      */
     std::optional<ShardingConfig> sharding;
+
+    /**
+     * Overload control at the router (cluster/admission.hh): admission
+     * policy, load shedding, and degraded serving. Disabled by default,
+     * in which case the run is bitwise-identical to the historical
+     * driver (tests/test_engine_diff.cc holds it to that).
+     */
+    OverloadConfig overload;
 };
 
 /** Per-machine embedding-memory budgets (SimConfig::memoryBytes). */
@@ -169,8 +178,12 @@ struct ClusterResult
     SampleStats fleetLatencySeconds;   ///< measured queries, all machines
     std::vector<MachineStats> perMachine;
 
-    /** Leader machine per trace index (for conservation checks). */
+    /** Leader machine per trace index (for conservation checks);
+     *  queries shed at the router carry the droppedMachine sentinel. */
     std::vector<uint32_t> machineOfQuery;
+
+    /** machineOfQuery value of a query shed at the router. */
+    static constexpr uint32_t droppedMachine = UINT32_MAX;
 
     /**
      * Every machine that served a part of each query, leader first.
@@ -189,6 +202,10 @@ struct ClusterResult
     double achievedQps = 0;            ///< measured completions / span
     double spanSeconds = 0;            ///< measured arrival..completion
     double meanCpuUtilization = 0;     ///< average across machines
+
+    /** Drop/degrade/goodput accounting (cluster/admission.hh). Count
+     *  fields always reconcile: offered == dropped + numDispatched. */
+    OverloadStats overload;
 
     /** Fleet-wide p95 latency in milliseconds. */
     double

@@ -186,6 +186,34 @@ RunObserver::onQueryComplete(uint64_t idx, double completion_s,
 }
 
 void
+RunObserver::onQueryDrop(uint64_t idx, double t_s, uint32_t size)
+{
+    if (cfg_.metrics)
+        registry_.counter("queries_dropped").add();
+    if (sampledQuery(idx)) {
+        writer_.instant("drop", "router", 0, t_s,
+                        "\"query\": " + std::to_string(idx) +
+                            ", \"size\": " + std::to_string(size));
+    }
+}
+
+void
+RunObserver::onQueryDegrade(uint64_t idx, double t_s, uint32_t orig_size,
+                            uint32_t served_size)
+{
+    if (cfg_.metrics)
+        registry_.counter("queries_degraded").add();
+    if (sampledQuery(idx)) {
+        writer_.instant("degrade", "router", 0, t_s,
+                        "\"query\": " + std::to_string(idx) +
+                            ", \"orig_size\": " +
+                            std::to_string(orig_size) +
+                            ", \"served_size\": " +
+                            std::to_string(served_size));
+    }
+}
+
+void
 RunObserver::onTablesTouched(const std::vector<uint32_t>& tables)
 {
     if (!cfg_.metrics)

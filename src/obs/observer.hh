@@ -203,6 +203,22 @@ class RunObserver
     void onQueryComplete(uint64_t idx, double completion_s,
                          double back_s);
 
+    /**
+     * The router shed query @p idx (size @p size) at @p t_s — it
+     * never reached a machine. Counted under `queries_dropped`; when
+     * the query is span-sampled an instant event marks the drop.
+     */
+    void onQueryDrop(uint64_t idx, double t_s, uint32_t size);
+
+    /**
+     * The router admitted query @p idx degraded at @p t_s:
+     * @p served_size of the original @p orig_size candidates will be
+     * scored. Counted under `queries_degraded`; when span-sampled an
+     * instant event carries both sizes.
+     */
+    void onQueryDegrade(uint64_t idx, double t_s, uint32_t orig_size,
+                        uint32_t served_size);
+
     /** Shard-aware routing touched these tables (per-table load). */
     void onTablesTouched(const std::vector<uint32_t>& tables);
 

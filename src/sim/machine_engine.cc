@@ -63,6 +63,28 @@ MachineEngine::freeSlot(uint32_t slot)
     freeSlots.push_back(slot);
 }
 
+double
+MachineEngine::queuedRequestCost(const PartBook& book, uint32_t batch) const
+{
+    // Priced at full contention — the steady state of a machine deep
+    // enough in backlog for this estimate to matter. The expression is
+    // evaluated once at enqueue and once at dequeue with identical
+    // inputs, so the running sum reverses to the same double.
+    const size_t cores = cfg->cpu.platform().cores;
+    return (book.whole
+                ? cfg->cpu.requestSeconds(batch, cores)
+                : cfg->cpu.partialRequestSeconds(batch, cores,
+                                                 book.embFraction,
+                                                 book.leader)) *
+           cfg->slowdown;
+}
+
+double
+MachineEngine::queuedGpuCost(const PartBook& book) const
+{
+    return cfg->gpu->querySeconds(book.samples) * cfg->slowdown;
+}
+
 void
 MachineEngine::dispatchCpu(double now, std::vector<EngineEvent>& out)
 {
@@ -70,8 +92,10 @@ MachineEngine::dispatchCpu(double now, std::vector<EngineEvent>& out)
     while (busyCores_ < cores && !cpuQueue.empty()) {
         const PendingRequest req = cpuQueue.front();
         cpuQueue.pop_front();
+        queuedSamples_ -= req.batch;
         busyCores_++;
         PartBook& book = slab[req.slot];
+        queuedCostSeconds_ -= queuedRequestCost(book, req.batch);
         if (book.firstStart < 0)
             book.firstStart = now;
         // Whole queries take the historical full-model path; shard
@@ -100,6 +124,8 @@ MachineEngine::startGpu(double now, std::vector<EngineEvent>& out)
     gpuQueue.pop_front();
     gpuBusy = true;
     PartBook& book = slab[slot];
+    queuedSamples_ -= book.samples;
+    queuedCostSeconds_ -= queuedGpuCost(book);
     if (book.firstStart < 0)
         book.firstStart = now;
     const double service =
@@ -132,6 +158,8 @@ MachineEngine::admit(const PartSpec& part, double now,
     if (offload) {
         gpuSamples_ += part.samples;
         gpuQueue.push_back(slot);
+        queuedSamples_ += part.samples;
+        queuedCostSeconds_ += queuedGpuCost(book);
         startGpu(now, out);
         return;
     }
@@ -141,6 +169,8 @@ MachineEngine::admit(const PartSpec& part, double now,
     while (remaining > 0) {
         const uint32_t take = std::min(remaining, batch);
         cpuQueue.push_back({slot, take});
+        queuedSamples_ += take;
+        queuedCostSeconds_ += queuedRequestCost(book, take);
         book.requestsLeft++;
         remaining -= take;
     }

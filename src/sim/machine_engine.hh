@@ -180,6 +180,29 @@ class MachineEngine
     /** Work items (requests/queries) waiting in the two queues. */
     size_t queuedWork() const { return cpuQueue.size() + gpuQueue.size(); }
 
+    /**
+     * Candidate samples waiting in the two queues (excludes requests
+     * already on a core or the accelerator). The admission controller
+     * (cluster/admission.hh) prices backlog in samples because
+     * service cost is per-sample to first order, while queuedWork
+     * counts a 1-sample and a 256-sample request equally.
+     */
+    size_t queuedSamples() const { return queuedSamples_; }
+
+    /**
+     * Estimated service seconds of everything waiting in the two
+     * queues, priced per request through this machine's own cost
+     * model at full core contention (the overload steady state). The
+     * exact cost composition of a mixed queue — whole vs shard parts,
+     * leaders vs followers, ragged batches — which no outside-in
+     * estimate can reconstruct from counts alone. Maintained
+     * push/pop-symmetrically; clamped against ulp-scale residue.
+     */
+    double queuedCostSeconds() const
+    {
+        return std::max(0.0, queuedCostSeconds_);
+    }
+
     /** Cores currently serving a request. */
     size_t busyCores() const { return busyCores_; }
 
@@ -259,6 +282,17 @@ class MachineEngine
     void dispatchCpu(double now, std::vector<EngineEvent>& out);
     void startGpu(double now, std::vector<EngineEvent>& out);
 
+    /**
+     * Estimated service seconds of a queued CPU request of @p batch
+     * samples of the part at @p book, priced at full core contention.
+     * Called with identical inputs at enqueue (+) and dequeue (−) so
+     * the running queuedCostSeconds_ sum reverses exactly.
+     */
+    double queuedRequestCost(const PartBook& book, uint32_t batch) const;
+
+    /** Same, for a queued accelerator query of the part at @p book. */
+    double queuedGpuCost(const PartBook& book) const;
+
     /** The live book at @p slot, validated against the event's part
      *  id (panics on a stale, recycled, or bad slot). */
     PartBook& bookAt(uint32_t slot, uint64_t part_idx);
@@ -276,6 +310,8 @@ class MachineEngine
     std::vector<uint32_t> freeSlots;         ///< LIFO free list
     size_t busyCores_ = 0;
     bool gpuBusy = false;
+    size_t queuedSamples_ = 0;
+    double queuedCostSeconds_ = 0;
 
     // Lazy utilization integrals: advanced whenever the driver says.
     double lastEventTime;

@@ -1,0 +1,443 @@
+/**
+ * @file
+ * Property tests for the overload-control layer (cluster/
+ * admission.hh): decision-rule unit tests against a hand-set cluster
+ * view, drop-path conservation through the live cluster simulator
+ * (per machine and fleet-wide), monotonicity of goodput and shed
+ * rate in offered load, flash-crowd conservation through the elastic
+ * tier, and bitwise determinism of drop decisions across thread
+ * counts.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <limits>
+#include <map>
+
+#include "base/thread_pool.hh"
+#include "bench/bench_common.hh"
+#include "cluster/autoscaler.hh"
+#include "cluster/cluster_qps_search.hh"
+#include "cluster/cluster_sim.hh"
+#include "loadgen/query_stream.hh"
+
+namespace deeprecsys {
+namespace {
+
+constexpr size_t kManyThreads = 8;
+
+SimConfig
+cpuMachine(size_t batch = 256, double slowdown = 1.0)
+{
+    const ModelProfile profile = ModelProfile::forModel(ModelId::DlrmRmc1);
+    SchedulerPolicy policy;
+    policy.perRequestBatch = batch;
+    return SimConfig{CpuCostModel(profile, CpuPlatform::skylake()),
+                     std::nullopt, policy, 0.05, slowdown};
+}
+
+ClusterConfig
+tier(size_t machines, OverloadConfig overload = {})
+{
+    ClusterConfig cfg;
+    for (size_t m = 0; m < machines; m++)
+        cfg.machines.push_back(cpuMachine());
+    cfg.overload = overload;
+    return cfg;
+}
+
+QueryTrace
+makeTrace(size_t count, double qps, uint64_t seed = 11)
+{
+    LoadSpec load;
+    load.qps = qps;
+    load.arrivalSeed = seed;
+    load.sizeSeed = seed + 1;
+    QueryStream stream(load);
+    return stream.generate(count);
+}
+
+/** Measured max QPS of the N-machine RMC1 tier, computed once. */
+double
+tierCapacity(size_t machines)
+{
+    static std::map<size_t, double> cache;
+    auto it = cache.find(machines);
+    if (it != cache.end())
+        return it->second;
+    ClusterQpsSpec spec;
+    spec.slaMs = 100.0;
+    spec.routing.kind = RoutingKind::PowerOfTwoChoices;
+    const double qps =
+        findClusterMaxQps(tier(machines), spec).maxQps;
+    cache[machines] = qps;
+    return qps;
+}
+
+OverloadConfig
+deadlinePolicy(bool degrade = false)
+{
+    OverloadConfig overload;
+    overload.admission = AdmissionKind::Deadline;
+    overload.deadlineSeconds = 0.1;
+    overload.degrade = degrade;
+    return overload;
+}
+
+/** A cluster view whose queue state is set by hand. */
+class FakeView : public ClusterView
+{
+  public:
+    explicit FakeView(size_t machines)
+        : work_(machines, 0), samples_(machines, 0),
+          accepting_(machines, true)
+    {
+    }
+
+    size_t numMachines() const override { return work_.size(); }
+    size_t inFlightQueries(size_t m) const override { return work_[m]; }
+    size_t queuedWork(size_t m) const override { return work_[m]; }
+    size_t queuedSamples(size_t m) const override { return samples_[m]; }
+    bool hasGpu(size_t) const override { return false; }
+    double speedFactor(size_t) const override { return 1.0; }
+    bool accepting(size_t m) const override { return accepting_[m]; }
+    bool
+    allAccepting() const override
+    {
+        return std::all_of(accepting_.begin(), accepting_.end(),
+                           [](bool a) { return a; });
+    }
+
+    void
+    setQueue(size_t m, size_t requests, size_t samples)
+    {
+        work_[m] = requests;
+        samples_[m] = samples;
+    }
+
+    void setAccepting(size_t m, bool on) { accepting_[m] = on; }
+
+  private:
+    std::vector<size_t> work_;
+    std::vector<size_t> samples_;
+    std::vector<bool> accepting_;
+};
+
+// ------------------------------------------------------ decision rules
+
+TEST(AdmissionUnit, IdleTierAdmitsEveryQueryAtFullSize)
+{
+    const ClusterConfig cfg = tier(3);
+    const AdmissionController ctl(deadlinePolicy(true), cfg.machines);
+    const FakeView view(3);
+    for (uint32_t size : {1u, 64u, 256u, 500u}) {
+        const AdmissionDecision d = ctl.decide(Query{0, 0.0, size}, view);
+        EXPECT_TRUE(d.admit);
+        EXPECT_EQ(d.servedSize, size);
+        EXPECT_DOUBLE_EQ(d.quality, 1.0);
+    }
+    EXPECT_DOUBLE_EQ(ctl.meanBacklogSeconds(view), 0.0);
+}
+
+TEST(AdmissionUnit, DeadlineDropsWhenEveryMachineIsHopeless)
+{
+    const ClusterConfig cfg = tier(2);
+    const AdmissionController ctl(deadlinePolicy(), cfg.machines);
+    FakeView view(2);
+    // Queues deep enough that draining them alone blows the deadline.
+    for (size_t m = 0; m < 2; m++)
+        view.setQueue(m, 100000, 100000 * 200);
+    const AdmissionDecision d = ctl.decide(Query{0, 0.0, 128}, view);
+    EXPECT_FALSE(d.admit);
+    EXPECT_EQ(d.servedSize, 0u);
+    EXPECT_DOUBLE_EQ(d.quality, 0.0);
+    EXPECT_GT(ctl.meanBacklogSeconds(view), 0.1);
+}
+
+TEST(AdmissionUnit, QueueDepthCapCountsOnlyAcceptingMachines)
+{
+    OverloadConfig overload;
+    overload.admission = AdmissionKind::QueueDepth;
+    overload.queueDepthCap = 8;
+    const ClusterConfig cfg = tier(2);
+    const AdmissionController ctl(overload, cfg.machines);
+    FakeView view(2);
+    view.setQueue(0, 50, 50 * 200);
+
+    // Machine 1 is idle: under the cap somewhere, admit.
+    EXPECT_TRUE(ctl.decide(Query{0, 0.0, 100}, view).admit);
+
+    // The idle machine leaves the accepting set: every remaining
+    // queue is over the cap, drop.
+    view.setAccepting(1, false);
+    EXPECT_FALSE(ctl.decide(Query{0, 0.0, 100}, view).admit);
+}
+
+TEST(AdmissionUnit, DegradeShrinksMonotonicallyWithPressure)
+{
+    const ClusterConfig cfg = tier(1);
+    const AdmissionController ctl(deadlinePolicy(true), cfg.machines);
+    const uint32_t size = 400;
+    uint32_t last = size;
+    FakeView view(1);
+    for (size_t depth = 0; depth <= 400; depth += 25) {
+        view.setQueue(0, depth, depth * 150);
+        const AdmissionDecision d = ctl.decide(Query{0, 0.0, size}, view);
+        if (!d.admit)
+            break; // pressure past the drop point: nothing to serve
+        EXPECT_LE(d.servedSize, size);
+        EXPECT_LE(d.servedSize, last) << "shrink must track pressure";
+        EXPECT_GE(d.servedSize, ctl.config().minSize);
+        EXPECT_GT(d.quality, 0.0);
+        EXPECT_LE(d.quality, 1.0);
+        last = d.servedSize;
+    }
+    // The sweep must have actually reached the degraded regime.
+    EXPECT_LT(last, size);
+}
+
+TEST(AdmissionUnit, DegradeRescuesAQueryTheDeadlineWouldDrop)
+{
+    const ClusterConfig cfg = tier(1);
+    const AdmissionController strict(deadlinePolicy(false), cfg.machines);
+    const AdmissionController lenient(deadlinePolicy(true), cfg.machines);
+
+    // Find a queue depth where the full-size query misses the
+    // deadline but a shrunken one fits. A single-request size (below
+    // the 256 batch) so shrinking actually cuts the service estimate.
+    const Query q{0, 0.0, 200};
+    bool rescued = false;
+    FakeView view(1);
+    for (size_t depth = 1; depth <= 2000 && !rescued; depth++) {
+        view.setQueue(0, depth, depth * 200);
+        const AdmissionDecision hard = strict.decide(q, view);
+        const AdmissionDecision soft = lenient.decide(q, view);
+        if (!hard.admit && soft.admit) {
+            EXPECT_LT(soft.servedSize, q.size);
+            rescued = true;
+        }
+    }
+    EXPECT_TRUE(rescued)
+        << "no depth where degrade saves a would-be drop";
+}
+
+TEST(AdmissionUnit, DecisionIsPure)
+{
+    const ClusterConfig cfg = tier(2);
+    const AdmissionController ctl(deadlinePolicy(true), cfg.machines);
+    FakeView view(2);
+    view.setQueue(0, 40, 40 * 180);
+    view.setQueue(1, 90, 90 * 180);
+    const Query q{7, 1.25, 310};
+    const AdmissionDecision first = ctl.decide(q, view);
+    for (int i = 0; i < 10; i++) {
+        const AdmissionDecision again = ctl.decide(q, view);
+        EXPECT_EQ(again.admit, first.admit);
+        EXPECT_EQ(again.servedSize, first.servedSize);
+        EXPECT_DOUBLE_EQ(again.quality, first.quality);
+    }
+}
+
+// ------------------------------------------- conservation with drops
+
+TEST(AdmissionCluster, ConservationWithDropsPerMachineAndFleetWide)
+{
+    const double capacity = tierCapacity(4);
+    const QueryTrace trace = makeTrace(4000, 2.5 * capacity);
+    for (const bool degrade : {false, true}) {
+        SCOPED_TRACE(degrade ? "deadline+degrade" : "deadline");
+        const ClusterConfig cfg = tier(4, deadlinePolicy(degrade));
+        const ClusterResult r = ClusterSimulator(cfg).run(
+            trace, RoutingSpec{RoutingKind::PowerOfTwoChoices});
+
+        // Fleet-wide: every offered query is dropped or dispatched,
+        // and every dispatched query completes.
+        EXPECT_EQ(r.overload.offered, trace.size());
+        EXPECT_EQ(r.overload.dropped + r.numDispatched, trace.size());
+        EXPECT_EQ(r.overload.admitted, r.numDispatched);
+        EXPECT_EQ(r.numCompleted, r.numDispatched);
+        EXPECT_GT(r.overload.dropped, 0u) << "2.5x load must shed";
+
+        // Per machine: completions reconcile with the routed
+        // assignment, drops with the sentinel.
+        ASSERT_EQ(r.machineOfQuery.size(), trace.size());
+        std::vector<uint64_t> routed(cfg.machines.size(), 0);
+        uint64_t sentinels = 0;
+        for (uint32_t m : r.machineOfQuery) {
+            if (m == ClusterResult::droppedMachine)
+                sentinels++;
+            else
+                routed[m]++;
+        }
+        EXPECT_EQ(sentinels, r.overload.dropped);
+        uint64_t completed = 0;
+        for (size_t m = 0; m < cfg.machines.size(); m++) {
+            EXPECT_EQ(routed[m], r.perMachine[m].queriesDispatched);
+            completed += r.perMachine[m].queriesCompleted;
+        }
+        EXPECT_EQ(completed, r.numCompleted);
+
+        // The drop log names exactly the sentinel positions.
+        ASSERT_EQ(r.overload.droppedQueries.size(), r.overload.dropped);
+        EXPECT_TRUE(std::is_sorted(r.overload.droppedQueries.begin(),
+                                   r.overload.droppedQueries.end()));
+        for (uint64_t idx : r.overload.droppedQueries)
+            EXPECT_EQ(r.machineOfQuery[idx],
+                      ClusterResult::droppedMachine);
+
+        // Degrade log: shrunken, never grown, and only when enabled.
+        ASSERT_EQ(r.overload.degradedQueries.size(), r.overload.degraded);
+        if (!degrade)
+            EXPECT_EQ(r.overload.degraded, 0u);
+        for (const DegradeRecord& rec : r.overload.degradedQueries) {
+            EXPECT_EQ(rec.originalSize, trace[rec.queryIdx].size);
+            EXPECT_LT(rec.servedSize, rec.originalSize);
+            EXPECT_GE(rec.servedSize, cfg.overload.minSize);
+        }
+    }
+}
+
+// ------------------------------------------------------- monotonicity
+
+TEST(AdmissionCluster, BaselineGoodputMonotoneNonIncreasingPastKnee)
+{
+    // Open-loop tier past its knee: more offered load only deepens
+    // the queues, so within-deadline goodput must not rise. The
+    // template re-times one drawn population so the comparison is
+    // rate-only.
+    const double capacity = tierCapacity(2);
+    OverloadConfig accounting;
+    accounting.deadlineSeconds = 0.1;
+    const ClusterConfig cfg = tier(2, accounting);
+    TraceTemplate tmpl{LoadSpec{}};
+    tmpl.ensure(3000);
+    double last = std::numeric_limits<double>::infinity();
+    for (double mult : {1.2, 1.6, 2.0, 2.6}) {
+        const QueryTrace trace = tmpl.materialize(mult * capacity, 3000);
+        const ClusterResult r = ClusterSimulator(cfg).run(
+            trace, RoutingSpec{RoutingKind::PowerOfTwoChoices});
+        EXPECT_EQ(r.overload.dropped, 0u) << "baseline never sheds";
+        EXPECT_LE(r.overload.goodputQps, last * 1.02)
+            << "goodput rose past the knee at " << mult << "x";
+        last = r.overload.goodputQps;
+    }
+    EXPECT_LT(last, 0.5 * capacity)
+        << "goodput failed to collapse at 2.6x load";
+}
+
+TEST(AdmissionCluster, ShedRateMonotoneNonDecreasingInOfferedLoad)
+{
+    const double capacity = tierCapacity(2);
+    const ClusterConfig cfg = tier(2, deadlinePolicy());
+    TraceTemplate tmpl{LoadSpec{}};
+    tmpl.ensure(3000);
+    double last = 0.0;
+    for (double mult : {0.5, 1.2, 1.6, 2.0, 2.6}) {
+        const QueryTrace trace = tmpl.materialize(mult * capacity, 3000);
+        const ClusterResult r = ClusterSimulator(cfg).run(
+            trace, RoutingSpec{RoutingKind::PowerOfTwoChoices});
+        EXPECT_GE(r.overload.shedRate(), last)
+            << "shed rate fell as offered load rose at " << mult << "x";
+        last = r.overload.shedRate();
+    }
+    EXPECT_GT(last, 0.0) << "2.6x load must shed";
+}
+
+// ---------------------------------------------- elastic-tier coverage
+
+TEST(AdmissionAutoscale, FlashCrowdConservesAndKeepsGoodput)
+{
+    // A cold elastic tier hit by a rate step sheds through the
+    // warm-up gap; drops must reconcile exactly even while machines
+    // join mid-run.
+    AutoscaleSpec spec;
+    spec.cluster = tier(6, deadlinePolicy(true));
+    spec.routing.kind = RoutingKind::PowerOfTwoChoices;
+    spec.slaMs = 100.0;
+    spec.controlIntervalSeconds = 0.25;
+    spec.warmupDelaySeconds = 0.5;
+    spec.initialMachines = 2;
+
+    ScalingPolicySpec policy;
+    policy.kind = ScalingPolicyKind::Reactive;
+    policy.minMachines = 2;
+
+    // The drawn population arrives calmly, then the tail is
+    // compressed to a 4x rate step.
+    const double base = 0.3 * tierCapacity(2);
+    QueryTrace trace = makeTrace(6000, base);
+    const size_t step = trace.size() / 3;
+    const double t0 = trace[step].arrivalSeconds;
+    for (size_t i = step; i < trace.size(); i++)
+        trace[i].arrivalSeconds = t0 + (trace[i].arrivalSeconds - t0) / 4.0;
+
+    const AutoscaleResult r = Autoscaler(spec).run(trace, policy);
+    EXPECT_EQ(r.overload.offered, trace.size());
+    EXPECT_EQ(r.overload.dropped + r.numDispatched, trace.size());
+    EXPECT_EQ(r.numCompleted, r.numDispatched);
+    EXPECT_GT(r.overload.dropped, 0u) << "the cold gap must shed";
+    EXPECT_GT(r.overload.goodputQps, 0.0);
+    EXPECT_GT(r.maxServingMachines, spec.initialMachines)
+        << "drops must drive scale-up";
+
+    // Windowed drop counters never exceed the ground-truth total.
+    uint64_t windowed = 0;
+    for (const AutoscaleWindow& w : r.timeline)
+        windowed += w.drops;
+    EXPECT_LE(windowed, r.overload.dropped);
+    EXPECT_GT(windowed, 0u);
+}
+
+// -------------------------------------------------------- determinism
+
+TEST(AdmissionDiff, DropDecisionsBitwiseAcrossThreadCounts)
+{
+    // Admission decisions feed routing, so one flipped drop would
+    // cascade; the whole decision trace must be bit-identical at
+    // DRS_THREADS=1 and many threads.
+    const double capacity = tierCapacity(2);
+    const ClusterConfig degrade_cfg = tier(2, deadlinePolicy(true));
+    const ClusterConfig drop_cfg = tier(2, deadlinePolicy(false));
+
+    auto runAll = [&]() {
+        std::vector<double> cells = {0.8 * capacity, 1.7 * capacity,
+                                     2.4 * capacity};
+        return bench::sweepMap(cells, [&](double qps) {
+            const QueryTrace trace = makeTrace(2500, qps);
+            std::vector<ClusterResult> out;
+            for (const ClusterConfig& cfg : {degrade_cfg, drop_cfg})
+                out.push_back(ClusterSimulator(cfg).run(
+                    trace, RoutingSpec{RoutingKind::PowerOfTwoChoices}));
+            return out;
+        });
+    };
+
+    ThreadPool::setSharedThreads(1);
+    const auto serial = runAll();
+    ThreadPool::setSharedThreads(kManyThreads);
+    const auto parallel = runAll();
+    ThreadPool::setSharedThreads(1);
+
+    ASSERT_EQ(serial.size(), parallel.size());
+    for (size_t c = 0; c < serial.size(); c++) {
+        ASSERT_EQ(serial[c].size(), parallel[c].size());
+        for (size_t i = 0; i < serial[c].size(); i++) {
+            const ClusterResult& a = serial[c][i];
+            const ClusterResult& b = parallel[c][i];
+            EXPECT_EQ(a.overload.dropped, b.overload.dropped);
+            EXPECT_EQ(a.overload.droppedQueries, b.overload.droppedQueries);
+            EXPECT_EQ(a.overload.degradedQueries,
+                      b.overload.degradedQueries);
+            EXPECT_EQ(a.machineOfQuery, b.machineOfQuery);
+            ASSERT_EQ(a.fleetLatencySeconds.count(), b.fleetLatencySeconds.count());
+            EXPECT_DOUBLE_EQ(a.fleetLatencySeconds.sum(),
+                             b.fleetLatencySeconds.sum());
+            EXPECT_DOUBLE_EQ(a.overload.goodputQps,
+                             b.overload.goodputQps);
+        }
+    }
+}
+
+} // namespace
+} // namespace deeprecsys

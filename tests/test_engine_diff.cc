@@ -16,6 +16,7 @@
 #include <gtest/gtest.h>
 
 #include "base/random.hh"
+#include "cluster/autoscaler.hh"
 #include "cluster/cluster_sim.hh"
 #include "loadgen/query_stream.hh"
 #include "sim/serving_sim.hh"
@@ -247,6 +248,131 @@ TEST(EngineDiff, NonZeroNetworkAddsExactlyOneRoundTrip)
         100.0 * cluster.network.responseBytesPerSample);
     EXPECT_NEAR(c.fleetLatencySeconds.mean(),
                 s.queryLatencySeconds.mean() + forward + back, 1e-12);
+}
+
+// ------------------------------------------- disabled overload layer
+
+/** Every comparable cluster statistic, bit-for-bit. */
+void
+expectIdenticalClusterRuns(const ClusterResult& a, const ClusterResult& b)
+{
+    ASSERT_EQ(a.fleetLatencySeconds.count(), b.fleetLatencySeconds.count());
+    EXPECT_EQ(a.fleetLatencySeconds.raw(), b.fleetLatencySeconds.raw());
+    EXPECT_EQ(a.machineOfQuery, b.machineOfQuery);
+    EXPECT_EQ(a.numDispatched, b.numDispatched);
+    EXPECT_EQ(a.numCompleted, b.numCompleted);
+    EXPECT_EQ(a.numParts, b.numParts);
+    EXPECT_EQ(a.spanSeconds, b.spanSeconds);
+    EXPECT_EQ(a.achievedQps, b.achievedQps);
+    ASSERT_EQ(a.perMachine.size(), b.perMachine.size());
+    for (size_t m = 0; m < a.perMachine.size(); m++) {
+        EXPECT_EQ(a.perMachine[m].requestsDispatched,
+                  b.perMachine[m].requestsDispatched);
+        EXPECT_EQ(a.perMachine[m].busyCoreSeconds,
+                  b.perMachine[m].busyCoreSeconds);
+    }
+}
+
+TEST(EngineDiff, DisabledOverloadLayerIsBitwiseInvisible)
+{
+    // AdmissionKind::None with degrade off must leave the simulation
+    // untouched — same routing, same latencies, same integrals — even
+    // when goodput *accounting* (a bare deadline) is on. The overload
+    // layer only ever observes the disabled path; it must never
+    // perturb it.
+    const QueryTrace trace = poissonTrace(1500, 5200.0);
+    ClusterConfig plain;
+    for (size_t m = 0; m < 3; m++)
+        plain.machines.push_back(
+            machineConfig(ModelId::DlrmRmc1, 256, false, 1));
+
+    ClusterConfig accounting = plain;
+    accounting.overload.deadlineSeconds = 0.1; // still enabled() == false
+    ASSERT_FALSE(accounting.overload.enabled());
+
+    const RoutingSpec routing{RoutingKind::PowerOfTwoChoices};
+    const ClusterResult r_plain = ClusterSimulator(plain).run(
+        trace, routing);
+    const ClusterResult r_acct = ClusterSimulator(accounting).run(
+        trace, routing);
+
+    expectIdenticalClusterRuns(r_plain, r_acct);
+    EXPECT_EQ(r_acct.overload.dropped, 0u);
+    EXPECT_EQ(r_acct.overload.degraded, 0u);
+    EXPECT_EQ(r_acct.overload.admitted, r_acct.numDispatched);
+    // Accounting populates goodput on the side; the plain run leaves
+    // it zero. Both see every query.
+    EXPECT_GT(r_acct.overload.goodputQps, 0.0);
+    EXPECT_EQ(r_plain.overload.goodputQps, 0.0);
+    EXPECT_EQ(r_plain.overload.offered, trace.size());
+    EXPECT_EQ(r_acct.overload.offered, trace.size());
+}
+
+TEST(EngineDiff, SingleMachineMatchesClusterWithAccountingEnabled)
+{
+    // The serving-vs-cluster equivalence holds with the accounting
+    // variant of the overload config too: expectIdenticalRuns pins
+    // the raw latency vectors, so this extends the definition of a
+    // 1-machine cluster to the accounting path.
+    SimConfig machine = machineConfig(ModelId::DlrmRmc1, 128, false, 1);
+    const QueryTrace trace = poissonTrace(1200, 1800.0);
+
+    ServingSimulator serving(machine);
+    const SimResult s = serving.run(trace);
+
+    ClusterConfig cluster = oneMachineCluster(machine);
+    cluster.overload.deadlineSeconds = 0.25;
+    const ClusterResult c = ClusterSimulator(cluster).run(
+        trace, RoutingSpec{RoutingKind::RoundRobin});
+
+    ASSERT_EQ(s.queryLatencySeconds.count(), c.fleetLatencySeconds.count());
+    EXPECT_EQ(s.queryLatencySeconds.raw(), c.fleetLatencySeconds.raw());
+    EXPECT_EQ(s.achievedQps, c.achievedQps);
+    EXPECT_EQ(c.overload.dropped, 0u);
+}
+
+TEST(EngineDiff, AutoscalerIgnoresDisabledOverloadBitwise)
+{
+    // Same invisibility contract for the elastic driver: a bare
+    // deadline must not move a single completion, window, or scale
+    // decision.
+    const QueryTrace trace = poissonTrace(3000, 6000.0);
+    AutoscaleSpec spec;
+    for (size_t m = 0; m < 4; m++)
+        spec.cluster.machines.push_back(
+            machineConfig(ModelId::DlrmRmc1, 256, false, 1));
+    spec.routing.kind = RoutingKind::PowerOfTwoChoices;
+    spec.slaMs = 100.0;
+    spec.initialMachines = 2;
+    ScalingPolicySpec policy;
+    policy.kind = ScalingPolicyKind::Reactive;
+    policy.minMachines = 2;
+
+    AutoscaleSpec acct = spec;
+    acct.cluster.overload.deadlineSeconds = 0.1;
+    ASSERT_FALSE(acct.cluster.overload.enabled());
+
+    const AutoscaleResult a = Autoscaler(spec).run(trace, policy);
+    const AutoscaleResult b = Autoscaler(acct).run(trace, policy);
+
+    ASSERT_EQ(a.fleetLatencySeconds.count(), b.fleetLatencySeconds.count());
+    EXPECT_EQ(a.fleetLatencySeconds.raw(), b.fleetLatencySeconds.raw());
+    EXPECT_EQ(a.numDispatched, b.numDispatched);
+    EXPECT_EQ(a.machineSeconds, b.machineSeconds);
+    EXPECT_EQ(a.slaViolationSeconds, b.slaViolationSeconds);
+    ASSERT_EQ(a.scaleEvents.size(), b.scaleEvents.size());
+    ASSERT_EQ(a.timeline.size(), b.timeline.size());
+    for (size_t w = 0; w < a.timeline.size(); w++) {
+        EXPECT_EQ(a.timeline[w].endSeconds, b.timeline[w].endSeconds);
+        EXPECT_EQ(a.timeline[w].tailMs, b.timeline[w].tailMs);
+        EXPECT_EQ(a.timeline[w].servingMachines,
+                  b.timeline[w].servingMachines);
+        EXPECT_EQ(a.timeline[w].drops, b.timeline[w].drops);
+        EXPECT_EQ(b.timeline[w].drops, 0u);
+    }
+    EXPECT_EQ(b.overload.dropped, 0u);
+    EXPECT_GT(b.overload.goodputQps, 0.0);
+    EXPECT_EQ(a.overload.goodputQps, 0.0);
 }
 
 } // namespace

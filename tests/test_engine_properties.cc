@@ -11,6 +11,8 @@
 
 #include <set>
 
+#include "base/random.hh"
+
 #include "cluster/cluster_qps_search.hh"
 #include "cluster/cluster_sim.hh"
 #include "cluster/shard_placement.hh"
@@ -352,6 +354,83 @@ TEST(EngineProperties, TwoStageLeaderHopPricesPooledEmbeddings)
                   .fleetLatencySeconds.raw(),
               ClusterSimulator(opt_light).run(trace, spec)
                   .fleetLatencySeconds.raw());
+}
+
+// ------------------------------------------- randomized overload sweep
+
+TEST(EngineProperties, RandomizedOverloadConfigsHoldInvariants)
+{
+    // Random admission/degrade configurations against random tiers
+    // and rates: whatever the policy, degraded queries never exceed
+    // their original size, the deadline accounting reconciles, and
+    // quality-weighted goodput never exceeds the raw within-deadline
+    // completion rate (quality factors live in (0, 1]).
+    Rng rng(0x0eadULL);
+    for (int round = 0; round < 16; round++) {
+        OverloadConfig overload;
+        const int kind = static_cast<int>(rng.uniformInt(0, 2));
+        overload.admission = allAdmissionKinds()[static_cast<size_t>(kind)];
+        overload.queueDepthCap = static_cast<size_t>(
+            rng.uniformInt(4, 200));
+        overload.deadlineSeconds = rng.uniform(0.03, 0.3);
+        overload.degrade = rng.uniform() < 0.5;
+        overload.degradeStartPressure = rng.uniform(0.0, 0.9);
+        overload.minSizeFraction = rng.uniform(0.1, 1.0);
+        overload.minSize = static_cast<uint32_t>(rng.uniformInt(1, 64));
+        overload.qualityExponent = rng.uniform(0.5, 3.0);
+
+        const size_t machines = static_cast<size_t>(rng.uniformInt(1, 5));
+        const double qps =
+            rng.uniform(1000.0, 4000.0) * static_cast<double>(machines);
+        const size_t count = static_cast<size_t>(
+            rng.uniformInt(500, 2000));
+
+        SCOPED_TRACE("round " + std::to_string(round) + " admission " +
+                     admissionKindName(overload.admission) + " degrade " +
+                     std::to_string(overload.degrade) + " machines " +
+                     std::to_string(machines) + " qps " +
+                     std::to_string(qps));
+
+        ClusterConfig cfg;
+        for (size_t m = 0; m < machines; m++)
+            cfg.machines.push_back(cpuMachine());
+        cfg.overload = overload;
+        const QueryTrace trace = makeTrace(count, qps, rng());
+        const ClusterResult r = ClusterSimulator(cfg).run(
+            trace, RoutingSpec{RoutingKind::PowerOfTwoChoices});
+
+        // Conservation, whatever was shed.
+        EXPECT_EQ(r.overload.offered, trace.size());
+        EXPECT_EQ(r.overload.dropped + r.numDispatched, trace.size());
+        EXPECT_EQ(r.numCompleted, r.numDispatched);
+        if (overload.admission == AdmissionKind::None)
+            EXPECT_EQ(r.overload.dropped, 0u);
+        if (!overload.degrade)
+            EXPECT_EQ(r.overload.degraded, 0u);
+
+        // Degraded queries shrink, never grow, and respect the floor.
+        for (const DegradeRecord& rec : r.overload.degradedQueries) {
+            EXPECT_EQ(rec.originalSize, trace[rec.queryIdx].size);
+            EXPECT_LT(rec.servedSize, rec.originalSize);
+            EXPECT_GE(rec.servedSize,
+                      std::min(rec.originalSize, overload.minSize));
+        }
+
+        // Deadline accounting: within-deadline completions are a
+        // subset of measured completions, and the quality weight a
+        // discount on them — so quality-weighted goodput can never
+        // exceed the raw within-deadline (or overall) completion rate.
+        EXPECT_EQ(r.overload.measuredCompleted, r.numQueries);
+        EXPECT_LE(r.overload.completedWithinDeadline,
+                  r.overload.measuredCompleted);
+        EXPECT_LE(r.overload.qualityWeight,
+                  static_cast<double>(r.overload.completedWithinDeadline));
+        if (r.spanSeconds > 0.0) {
+            EXPECT_LE(r.overload.goodputQps, r.achievedQps + 1e-9);
+            EXPECT_DOUBLE_EQ(r.overload.goodputQps,
+                             r.overload.qualityWeight / r.spanSeconds);
+        }
+    }
 }
 
 } // namespace

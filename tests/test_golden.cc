@@ -38,20 +38,16 @@
 namespace deeprecsys {
 namespace {
 
-/** The percentile triple a golden scenario pins. */
-struct Percentiles
-{
-    double p50Ms = 0;
-    double p95Ms = 0;
-    double p99Ms = 0;
-};
+/** One scenario's pinned metrics, keyed by metric name. */
+using GoldenRow = std::map<std::string, double>;
 
-using GoldenMap = std::map<std::string, Percentiles>;
+using GoldenMap = std::map<std::string, GoldenRow>;
 
 // ------------------------------------------------- tiny flat JSON I/O
-// The golden files are a fixed two-level schema:
-//   {"scenario": {"p50_ms": 1.0, "p95_ms": 2.0, "p99_ms": 3.0}, ...}
-// Parsed here directly so the test needs no JSON dependency.
+// The golden files are a generic two-level schema:
+//   {"scenario": {"metric": 1.0, ...}, ...}
+// with both levels written in alphabetical (std::map) order. Parsed
+// here directly so the test needs no JSON dependency.
 
 void
 skipSpace(const std::string& s, size_t& i)
@@ -103,21 +99,13 @@ parseGolden(const std::string& text)
         const std::string name = parseString(text, i);
         expectChar(text, i, ':');
         expectChar(text, i, '{');
-        Percentiles p;
+        GoldenRow p;
         skipSpace(text, i);
         while (i < text.size() && text[i] != '}') {
             const std::string key = parseString(text, i);
             expectChar(text, i, ':');
             skipSpace(text, i);
-            const double value = parseNumber(text, i);
-            if (key == "p50_ms")
-                p.p50Ms = value;
-            else if (key == "p95_ms")
-                p.p95Ms = value;
-            else if (key == "p99_ms")
-                p.p99Ms = value;
-            else
-                ADD_FAILURE() << "unknown golden key " << key;
+            p[key] = parseNumber(text, i);
             skipSpace(text, i);
             if (text[i] == ',') {
                 i++;
@@ -143,13 +131,14 @@ writeGolden(const std::string& path, const GoldenMap& golden)
     ASSERT_TRUE(out.good()) << "cannot write " << path;
     out << "{\n";
     size_t n = 0;
-    for (const auto& [name, p] : golden) {
-        out << "  \"" << name << "\": {"
-            << std::setprecision(17)
-            << "\"p50_ms\": " << p.p50Ms << ", "
-            << "\"p95_ms\": " << p.p95Ms << ", "
-            << "\"p99_ms\": " << p.p99Ms << "}"
-            << (++n < golden.size() ? "," : "") << "\n";
+    for (const auto& [name, row] : golden) {
+        out << "  \"" << name << "\": {" << std::setprecision(17);
+        size_t k = 0;
+        for (const auto& [key, value] : row) {
+            out << "\"" << key << "\": " << value
+                << (++k < row.size() ? ", " : "");
+        }
+        out << "}" << (++n < golden.size() ? "," : "") << "\n";
     }
     out << "}\n";
 }
@@ -189,21 +178,26 @@ checkGolden(const std::string& file, const GoldenMap& measured)
         auto it = measured.find(name);
         ASSERT_NE(it, measured.end()) << "scenario " << name
                                       << " disappeared";
-        const Percentiles& got = it->second;
-        EXPECT_NEAR(got.p50Ms, want.p50Ms, 1e-9 * want.p50Ms + 1e-12)
-            << name << " p50 shifted";
-        EXPECT_NEAR(got.p95Ms, want.p95Ms, 1e-9 * want.p95Ms + 1e-12)
-            << name << " p95 shifted";
-        EXPECT_NEAR(got.p99Ms, want.p99Ms, 1e-9 * want.p99Ms + 1e-12)
-            << name << " p99 shifted";
+        const GoldenRow& got = it->second;
+        ASSERT_EQ(got.size(), want.size())
+            << name << " metric set changed";
+        for (const auto& [key, value] : want) {
+            auto metric = got.find(key);
+            ASSERT_NE(metric, got.end())
+                << name << " lost metric " << key;
+            EXPECT_NEAR(metric->second, value,
+                        1e-9 * std::abs(value) + 1e-12)
+                << name << " " << key << " shifted";
+        }
     }
 }
 
-Percentiles
+GoldenRow
 percentilesOf(const SampleStats& stats)
 {
-    return {stats.percentile(50) * 1e3, stats.percentile(95) * 1e3,
-            stats.percentile(99) * 1e3};
+    return {{"p50_ms", stats.percentile(50) * 1e3},
+            {"p95_ms", stats.percentile(95) * 1e3},
+            {"p99_ms", stats.percentile(99) * 1e3}};
 }
 
 QueryTrace
@@ -359,6 +353,67 @@ TEST(Golden, ShardedFanOutJoinPaths)
             percentilesOf(r.fleetLatencySeconds);
     }
     checkGolden("sharded_join.json", measured);
+}
+
+TEST(Golden, OverloadGoodputCurve)
+{
+    // The goodput-vs-offered-load curve of a sharded RMC2 tier under
+    // deadline admission with degraded serving — pins the whole drop
+    // path: backlog estimation, shrink schedule, drop decisions, and
+    // quality-weighted goodput accounting, from well under the knee
+    // to deep overload.
+    const ModelProfile profile = ModelProfile::forModel(ModelId::DlrmRmc2);
+    const std::vector<EmbeddingTableInfo> tables =
+        embeddingTables(modelConfig(ModelId::DlrmRmc2));
+
+    ClusterConfig cluster;
+    for (size_t m = 0; m < 8; m++) {
+        SchedulerPolicy policy;
+        policy.perRequestBatch = 256;
+        SimConfig machine{CpuCostModel(profile, CpuPlatform::skylake()),
+                          std::nullopt, policy, 0.05, 1.0};
+        machine.memoryBytes = 2'000'000'000ULL;
+        cluster.machines.push_back(machine);
+    }
+    cluster.network.hopSeconds = 150e-6;
+    cluster.network.gigabytesPerSecond = 12.5;
+    PlacementSpec placement_spec;
+    placement_spec.strategy = PlacementStrategy::GreedyBySize;
+    const ShardPlacement placement = ShardPlacement::build(
+        tables, machineMemoryBudgets(cluster.machines), placement_spec);
+    ASSERT_TRUE(placement.feasible());
+    TableSetSpec table_set;
+    table_set.numTables = static_cast<uint32_t>(
+        modelConfig(ModelId::DlrmRmc2).numTables);
+    table_set.tablesPerQuery = 8;
+    cluster.sharding = ShardingConfig{placement, table_set};
+    cluster.overload.admission = AdmissionKind::Deadline;
+    cluster.overload.deadlineSeconds = 0.1;
+    cluster.overload.degrade = true;
+
+    // One drawn population re-timed per offered rate, so the curve
+    // varies only in arrival pacing.
+    LoadSpec load;
+    load.arrivalSeed = 0x600d;
+    load.sizeSeed = 0x600e;
+    TraceTemplate tmpl(load);
+    tmpl.ensure(4000);
+
+    GoldenMap measured;
+    for (double qps : {1500.0, 2500.0, 3500.0, 5000.0}) {
+        const QueryTrace trace = tmpl.materialize(qps, 4000);
+        const ClusterResult r = ClusterSimulator(cluster).run(
+            trace, RoutingSpec{RoutingKind::ShardAware});
+        EXPECT_EQ(r.overload.dropped + r.numDispatched, trace.size());
+        GoldenRow row;
+        row["goodput_qps"] = r.overload.goodputQps;
+        row["shed_rate"] = r.overload.shedRate();
+        row["degrade_rate"] = r.overload.degradeRate();
+        row["p99_ms"] = r.p99Ms();
+        measured["offered_" + std::to_string(static_cast<int>(qps))] =
+            row;
+    }
+    checkGolden("overload_goodput.json", measured);
 }
 
 } // namespace
