@@ -36,8 +36,8 @@ allAdmissionKinds()
 
 AdmissionController::AdmissionController(
     const OverloadConfig& config, const std::vector<SimConfig>& machines,
-    double embeddingShare)
-    : cfg(config), embShare(embeddingShare)
+    double embeddingShare, const NetworkConfig& network, JoinModel join)
+    : cfg(config), embShare(embeddingShare), net(network), joinModel(join)
 {
     drs_assert(!machines.empty(), "admission needs at least one machine");
     drs_assert(embShare > 0.0 && embShare <= 1.0,
@@ -49,6 +49,27 @@ AdmissionController::AdmissionController(
     if (cfg.admission == AdmissionKind::Deadline || cfg.degrade)
         drs_assert(cfg.deadlineSeconds > 0.0,
                    "deadline admission/degrade needs deadlineSeconds > 0");
+    drs_assert(cfg.priorityClasses >= 1,
+               "at least one priority class is required");
+    if (cfg.priorityClasses > 1) {
+        drs_assert(cfg.priorityMargin >= 0.0,
+                   "priorityMargin cannot be negative");
+        drs_assert(cfg.priorityMargin *
+                           static_cast<double>(cfg.priorityClasses - 1) <
+                       1.0,
+                   "priorityMargin * (priorityClasses - 1) must stay"
+                   " below 1 or the lowest class can never admit");
+    }
+    if (cfg.maxRetries > 0) {
+        drs_assert(cfg.retryBackoffSeconds > 0.0,
+                   "retries need a positive base backoff");
+        drs_assert(cfg.retryBackoffFactor >= 1.0,
+                   "retry backoff factor must be >= 1");
+        drs_assert(cfg.retryJitterFraction >= 0.0,
+                   "retry jitter fraction cannot be negative");
+        drs_assert(cfg.retryStormPressure > 0.0,
+                   "retry-storm pressure must be positive");
+    }
     if (cfg.degrade) {
         drs_assert(cfg.degradeStartPressure >= 0.0 &&
                        cfg.degradeStartPressure < 1.0,
@@ -85,10 +106,19 @@ AdmissionController::requestSecondsAt(size_t m, size_t req_batch) const
     // On a sharded tier a machine serves only its local slice of the
     // embedding work (the leader also runs the dense stacks, the
     // longest per-machine path) — price that, not the whole model.
+    return requestSecondsAt(m, req_batch, embShare, true);
+}
+
+double
+AdmissionController::requestSecondsAt(size_t m, size_t req_batch,
+                                      double emb_fraction,
+                                      bool include_dense) const
+{
     const size_t c = cpu[m].platform().cores;
     const double seconds =
-        embShare < 1.0
-            ? cpu[m].partialRequestSeconds(req_batch, c, embShare, true)
+        emb_fraction < 1.0 || !include_dense
+            ? cpu[m].partialRequestSeconds(req_batch, c, emb_fraction,
+                                           include_dense)
             : cpu[m].requestSeconds(req_batch, c);
     return seconds * slowdown[m];
 }
@@ -105,16 +135,28 @@ AdmissionController::backlogSeconds(size_t m, const ClusterView& view) const
     // follower parts). Drain it across the whole core pool: the wait
     // a new arrival sees is total queued work over pool throughput.
     const double exact = view.queuedCostSeconds(m);
-    if (exact >= 0.0)
-        return exact / cores[m];
+    if (exact >= 0.0) {
+        // Second-order term: dense join phases this machine already
+        // owes for in-flight fan-outs it leads but has not queued yet
+        // — work a new arrival waits behind just the same.
+        return (exact + view.pendingJoinCostSeconds(m)) / cores[m];
+    }
     // Fallback for views without engine state: price the queue at its
     // own mean request batch (queued samples over queued requests).
     // Views without sample-level state report queuedSamples ==
     // queuedWork and price as single-sample requests, the
-    // conservative end of the efficiency curve.
+    // conservative end of the efficiency curve. The divergence from
+    // the engine-exact path is bounded (AdmissionFallback tests) but
+    // real — mixed whole/shard queues are mispriced — so surface the
+    // downgrade once per controller instead of silently estimating.
     const size_t requests = view.queuedWork(m);
     if (requests == 0)
-        return 0.0;
+        return 0.0;    // empty queue: the fallback is exact
+    if (!fallbackWarned) {
+        fallbackWarned = true;
+        drs_warn("admission estimator: view exposes no engine queue"
+                 " cost; falling back to mean-batch pricing");
+    }
     const size_t samples = std::max(view.queuedSamples(m), requests);
     const size_t meanBatch = samples / requests;
     const double work =
@@ -152,6 +194,12 @@ AdmissionController::pressureBacklogSeconds(const ClusterView& view) const
     // pressure is the worst accepting backlog.
     if (embShare >= 1.0)
         return meanBacklogSeconds(view);
+    return worstBacklogSeconds(view);
+}
+
+double
+AdmissionController::worstBacklogSeconds(const ClusterView& view) const
+{
     double worst = 0.0;
     const size_t n = view.numMachines();
     for (size_t m = 0; m < n; ++m) {
@@ -162,7 +210,34 @@ AdmissionController::pressureBacklogSeconds(const ClusterView& view) const
 }
 
 double
+AdmissionController::queueWaitSeconds(const ClusterView& view) const
+{
+    if (embShare >= 1.0)
+        return meanBacklogSeconds(view);
+    const double worst = worstBacklogSeconds(view);
+    // TwoStage: the query queues twice — the fan-out embedding parts
+    // now, and the leader's dense phase when the pooled embeddings
+    // join. The second visit is projected at the *current* worst
+    // backlog, not zero: where admission binds, admitted arrivals
+    // refill exactly what drains (the controller holds the queue at
+    // equilibrium), so the backlog the join phase meets is the one
+    // visible now. At light load both terms are ~0 and nothing is
+    // shed. Assuming an idle leader instead is the historical bug:
+    // the tier then settles where ONE wait fits the deadline and the
+    // measured two-visit latency lands near twice it.
+    return joinModel == JoinModel::TwoStage ? worst + worst : worst;
+}
+
+double
 AdmissionController::serviceSeconds(size_t m, uint32_t size) const
+{
+    return partServiceSeconds(m, size, embShare, true);
+}
+
+double
+AdmissionController::partServiceSeconds(size_t m, uint32_t size,
+                                        double emb_fraction,
+                                        bool include_dense) const
 {
     drs_assert(m < cpu.size(), "service on unknown machine");
     // The query splits into ceil(size / batch) requests that run on
@@ -173,9 +248,59 @@ AdmissionController::serviceSeconds(size_t m, uint32_t size) const
     const double parallelism = std::min(cores[m], requests);
     const size_t req_batch = std::min<size_t>(
         size, static_cast<size_t>(batch[m]));
-    const double work =
-        requests * requestSecondsAt(m, std::max<size_t>(1, req_batch));
+    const double work = requests *
+        requestSecondsAt(m, std::max<size_t>(1, req_batch), emb_fraction,
+                         include_dense);
     return work / parallelism;
+}
+
+double
+AdmissionController::bestServiceSeconds(const ClusterView& view,
+                                        uint32_t size, double emb_fraction,
+                                        bool include_dense) const
+{
+    double best = std::numeric_limits<double>::infinity();
+    const size_t n = view.numMachines();
+    for (size_t m = 0; m < n; ++m) {
+        if (view.accepting(m))
+            best = std::min(best, partServiceSeconds(m, size, emb_fraction,
+                                                     include_dense));
+    }
+    return best;
+}
+
+double
+AdmissionController::serviceAndHopSeconds(uint32_t size,
+                                          const ClusterView& view) const
+{
+    const double samples = static_cast<double>(size);
+    const double fwd =
+        net.oneWaySeconds(samples * net.requestBytesPerSample);
+    const double ret =
+        net.oneWaySeconds(samples * net.responseBytesPerSample);
+    if (embShare >= 1.0) {
+        // Unsharded: one round trip around one whole-query service.
+        return fwd + bestServiceSeconds(view, size, embShare, true) + ret;
+    }
+    if (joinModel == JoinModel::TwoStage) {
+        // Sharded two-stage: embedding-only parts, the pooled-
+        // embedding hop to the leader, then the dense phase (its
+        // queue wait is in queueWaitSeconds).
+        const double embHop =
+            net.oneWaySeconds(samples * net.embeddingBytesPerSample);
+        return fwd + bestServiceSeconds(view, size, embShare, false) +
+            embHop + bestServiceSeconds(view, size, 0.0, true) + ret;
+    }
+    // Optimistic join: the leader part (local embedding share plus
+    // dense, the longest per-machine path) bounds the join.
+    return fwd + bestServiceSeconds(view, size, embShare, true) + ret;
+}
+
+double
+AdmissionController::estimatedResponseSeconds(uint32_t size,
+                                              const ClusterView& view) const
+{
+    return queueWaitSeconds(view) + serviceAndHopSeconds(size, view);
 }
 
 AdmissionDecision
@@ -185,18 +310,29 @@ AdmissionController::decide(const Query& query,
     AdmissionDecision d;
     d.servedSize = query.size;
 
-    // Backlog is shared by both mechanisms; compute it once. See
-    // pressureBacklogSeconds for the mean-vs-max choice.
-    const bool needBacklog =
+    // Effective priority class and its severity offset: class 0 sees
+    // the configured budget; each step down both tightens the
+    // admission budget and raises the degrade pressure, so lower
+    // classes are always shed and degraded first (pointwise monotone
+    // — same query and view, lower class dropped implies higher class
+    // index dropped).
+    const uint32_t cls = cfg.priorityClasses > 1
+        ? std::min(query.priorityClass, cfg.priorityClasses - 1)
+        : 0;
+    const double margin = cfg.priorityMargin * static_cast<double>(cls);
+
+    // The projected queue wait of the critical path is shared by both
+    // mechanisms; compute it once. See queueWaitSeconds for the
+    // mean-vs-max choice and the two-stage second-visit term.
+    const bool needWait =
         cfg.degrade || cfg.admission == AdmissionKind::Deadline;
-    const double backlog =
-        needBacklog ? pressureBacklogSeconds(view) : 0.0;
+    const double wait = needWait ? queueWaitSeconds(view) : 0.0;
 
     // Degrade first: shrinking may turn a would-be drop into an
     // admissible (smaller) query, which is the whole point — a
     // degraded answer beats no answer.
     if (cfg.degrade) {
-        const double pressure = backlog / cfg.deadlineSeconds;
+        const double pressure = wait / cfg.deadlineSeconds + margin;
         if (pressure > cfg.degradeStartPressure) {
             const double t =
                 std::min(1.0, (pressure - cfg.degradeStartPressure) /
@@ -220,27 +356,45 @@ AdmissionController::decide(const Query& query,
         break;
       case AdmissionKind::QueueDepth: {
         size_t best = std::numeric_limits<size_t>::max();
+        size_t bestMachine = 0;
         const size_t n = view.numMachines();
         for (size_t m = 0; m < n; ++m) {
-            if (view.accepting(m))
-                best = std::min(best, view.queuedWork(m));
+            if (view.accepting(m) && view.queuedWork(m) < best) {
+                best = view.queuedWork(m);
+                bestMachine = m;
+            }
         }
         d.admit = best <= cfg.queueDepthCap;
+        if (!d.admit) {
+            // Depth over cap stands in for pressure (no deadline to
+            // scale by); the hint is the shallowest queue's projected
+            // drain back down to the cap.
+            const double depthPressure = static_cast<double>(best) /
+                static_cast<double>(cfg.queueDepthCap);
+            d.retryable = cfg.maxRetries > 0 &&
+                depthPressure < cfg.retryStormPressure;
+            d.retryAfterSeconds = backlogSeconds(bestMachine, view) *
+                (1.0 - 1.0 / depthPressure);
+        }
         break;
       }
       case AdmissionKind::Deadline: {
-        // Admit iff a typically-loaded machine could still finish the
-        // (possibly degraded) query within the deadline: mean backlog
-        // plus the cheapest accepting machine's service time. Queries
-        // estimated dead on arrival are shed at the door.
-        double service = std::numeric_limits<double>::infinity();
-        const size_t n = view.numMachines();
-        for (size_t m = 0; m < n; ++m) {
-            if (view.accepting(m))
-                service = std::min(service,
-                                   serviceSeconds(m, d.servedSize));
+        // Admit iff the estimated end-to-end response — projected
+        // queue wait(s) plus per-shape service and network terms —
+        // fits the class budget. Queries estimated dead on arrival
+        // are shed at the door.
+        const double est = wait + serviceAndHopSeconds(d.servedSize, view);
+        const double budget = cfg.deadlineSeconds * (1.0 - margin);
+        d.admit = est <= budget;
+        if (!d.admit) {
+            // Retry-After hint: the estimate's excess over the budget
+            // is exactly the queue drain needed before the verdict
+            // can flip for this query.
+            d.retryAfterSeconds = est - budget;
+            const double pressure = wait / cfg.deadlineSeconds;
+            d.retryable = cfg.maxRetries > 0 &&
+                pressure < cfg.retryStormPressure;
         }
-        d.admit = backlog + service <= cfg.deadlineSeconds;
         break;
       }
     }

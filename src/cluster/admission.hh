@@ -30,18 +30,38 @@
  * Backlog estimation: live views expose each machine's running
  * queue-cost sum (MachineEngine::queuedCostSeconds via
  * ClusterView::queuedCostSeconds) — every queued request priced
- * through the machine's own cost model at enqueue — which the
- * controller divides by the core pool for a drain-time estimate.
- * Views without engine state fall back to the controller pricing
- * queued samples itself at their mean request batch. Either way it is
- * a first-order estimate — no network terms, no in-service residuals
- * — deliberately cheap enough for every arrival and accurate enough
- * to locate the knee.
+ * through the machine's own cost model at enqueue — plus the
+ * committed-but-unqueued TwoStage join phases the machine already
+ * owes (ClusterView::pendingJoinCostSeconds), which the controller
+ * divides by the core pool for a drain-time estimate. Views without
+ * engine state fall back to the controller pricing queued samples
+ * itself at their mean request batch (warned once per controller
+ * through the LogSink hook, and divergence-bounded by
+ * AdmissionFallback tests).
+ *
+ * Deadline admission prices the **full critical path** of the query
+ * shape the tier actually serves. Unsharded: forward hop + mean
+ * accepting backlog + service + return hop. Sharded under the
+ * TwoStage join (the default), the query visits a queue *twice* —
+ * fan-out embedding parts first, then the leader's dense phase after
+ * the pooled embeddings join — so the estimate is forward hop +
+ * slowest-shard first-visit backlog + embedding-part service +
+ * embedding hop + the leader's projected second-visit wait + dense
+ * service + return hop. The second visit is projected at the current
+ * worst accepting backlog: in the overloaded regime where admission
+ * binds, admitted arrivals refill what the queue drains (the
+ * controller itself holds it at equilibrium), so the backlog the
+ * join phase meets is the backlog visible now — while at light load
+ * both terms vanish and nothing is spuriously shed. Pricing only the
+ * first visit is the historical bug this layer replaces: the tier
+ * then equilibrates where first wait + service ≈ deadline and
+ * *measured* sharded p99 settles near twice the deadline.
  *
  * Units: seconds throughout; sizes in candidate samples. Ownership:
  * the controller copies its config and calibration and borrows
  * nothing; decisions read only the view passed in. Determinism: see
- * above — decide() is pure.
+ * above — decide() is pure (the fallback warn-once flag gates a log
+ * line only, never a decision).
  */
 
 #ifndef DRS_CLUSTER_ADMISSION_HH
@@ -50,6 +70,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "cluster/network.hh"
 #include "loadgen/query.hh"
 #include "sim/machine_engine.hh"
 
@@ -131,6 +152,59 @@ struct OverloadConfig
      */
     double qualityExponent = 1.0;
 
+    // ---------------------------------------------------- priority
+    /**
+     * Number of priority classes; queries carry Query::priorityClass
+     * (0 = most important, clamped to the configured count). 1 (the
+     * historical default) is classless. With more, deadline admission
+     * tightens lower-class budgets and degrade shrinks lower classes
+     * earlier — so at any load, class c+1's shed and degrade rates
+     * are at least class c's, never the reverse.
+     */
+    uint32_t priorityClasses = 1;
+
+    /**
+     * Per-class-step severity: class c admits against a budget of
+     * deadline * (1 - priorityMargin * c) and sees its degrade
+     * pressure raised by priorityMargin * c. Must satisfy
+     * priorityMargin * (priorityClasses - 1) < 1.
+     */
+    double priorityMargin = 0.15;
+
+    // ---------------------------------------- retry / backpressure
+    /**
+     * Client retries after a shed: 0 (the historical default) makes
+     * every drop final; k lets a dropped query be re-presented up to
+     * k times, re-timed by the jittered exponential backoff below.
+     * Latency of a retried completion still counts from the original
+     * arrival, so retries buy availability, not goodput.
+     */
+    uint32_t maxRetries = 0;
+
+    /** Client backoff before the first retry, in seconds. */
+    double retryBackoffSeconds = 0.05;
+
+    /** Exponential backoff growth per attempt (>= 1). */
+    double retryBackoffFactor = 2.0;
+
+    /**
+     * Deterministic jitter: each delay stretches by a factor in
+     * [1, 1 + retryJitterFraction) drawn by hashing (query id,
+     * attempt) — no RNG state, so the retry schedule is pure and
+     * thread-count-invariant (loadgen retryDelaySeconds).
+     */
+    double retryJitterFraction = 0.5;
+
+    /**
+     * Retry-storm guard: when the router's pressure at drop time is
+     * at or above this multiple of the budget, the drop is final —
+     * re-presenting queries into a saturated tier only amplifies the
+     * overload it is shedding. Pressure is the queue-wait estimate
+     * over the deadline (deadline admission) or the shallowest
+     * accepting queue over the depth cap (queue-depth admission).
+     */
+    double retryStormPressure = 2.0;
+
     /** True when any overload mechanism is active. */
     bool
     enabled() const
@@ -149,6 +223,22 @@ struct AdmissionDecision
 
     /** Quality factor of the answer, in (0, 1]; 1 when undegraded. */
     double quality = 1.0;
+
+    /**
+     * On a drop: whether the client may retry (retries configured and
+     * the retry-storm guard did not fire). The driver still caps the
+     * query's attempts at OverloadConfig::maxRetries.
+     */
+    bool retryable = false;
+
+    /**
+     * On a drop: Retry-After-style hint — the projected seconds until
+     * the tier could admit this query, i.e. the excess of the
+     * response-time estimate over the class budget, which is exactly
+     * the queue drain the estimate must shed before the verdict
+     * flips. Clients wait at least this long before re-presenting.
+     */
+    double retryAfterSeconds = 0.0;
 };
 
 /** One degraded admission (trace index plus the size it shrank to). */
@@ -167,18 +257,50 @@ struct DegradeRecord
     }
 };
 
+/** Per-priority-class slice of OverloadStats (same field meanings). */
+struct ClassOverloadStats
+{
+    uint64_t offered = 0;
+    uint64_t admitted = 0;
+    uint64_t dropped = 0;
+    uint64_t droppedFinal = 0;
+    uint64_t retried = 0;
+    uint64_t degraded = 0;
+    uint64_t measuredCompleted = 0;
+    uint64_t completedWithinDeadline = 0;
+    double qualityWeight = 0;
+    double goodputQps = 0;
+
+    /** Finally-dropped fraction of offered queries, in [0, 1]. */
+    double
+    shedRate() const
+    {
+        return offered > 0
+            ? static_cast<double>(droppedFinal) /
+                  static_cast<double>(offered)
+            : 0.0;
+    }
+};
+
 /**
  * Drop/degrade/goodput accounting of one run. Count fields cover the
- * whole trace (conservation: offered == admitted + dropped, and
- * admitted == completed once the run drains); the goodput fields
- * cover measured (post-warmup) queries and are only populated when
- * OverloadConfig::deadlineSeconds > 0.
+ * whole trace. Conservation: every offered query either dispatches
+ * or is finally dropped (offered == admitted + droppedFinal), every
+ * refusal either schedules a retry or is final
+ * (dropped == retried + droppedFinal), and every presentation is a
+ * trace arrival or a retry (offered + retried == admitted + dropped);
+ * without retries, dropped == droppedFinal and the historical
+ * offered == admitted + dropped holds unchanged. The goodput and
+ * per-class fields cover measured (post-warmup) queries and are only
+ * populated when OverloadConfig::deadlineSeconds > 0.
  */
 struct OverloadStats
 {
     uint64_t offered = 0;    ///< queries presented to the router
     uint64_t admitted = 0;   ///< dispatched (possibly degraded)
-    uint64_t dropped = 0;    ///< refused at the router
+    uint64_t dropped = 0;    ///< refusals at the router (all attempts)
+    uint64_t droppedFinal = 0;  ///< refusals with no retry scheduled
+    uint64_t retried = 0;    ///< refusals a client re-presented
     uint64_t degraded = 0;   ///< admitted with a reduced size
 
     /** Measured completions (deadline accounting enabled only). */
@@ -194,18 +316,29 @@ struct OverloadStats
      *  second — the headline goodput number. */
     double goodputQps = 0;
 
-    /** Trace indices of dropped queries (empty when disabled). */
+    /**
+     * Per-priority-class accounting, indexed by effective class
+     * (sized OverloadConfig::priorityClasses when deadline accounting
+     * is on; empty otherwise). Every slice field sums to the matching
+     * total above; with one class, perClass[0] mirrors the totals.
+     */
+    std::vector<ClassOverloadStats> perClass;
+
+    /** Trace indices of *finally* dropped queries (empty when
+     *  disabled; in decision order — sorted only without retries). */
     std::vector<uint64_t> droppedQueries;
 
-    /** Degraded admissions in arrival order (empty when disabled). */
+    /** Degraded admissions in decision order (empty when disabled; a
+     *  retried query may appear once per degraded presentation). */
     std::vector<DegradeRecord> degradedQueries;
 
-    /** Dropped fraction of offered queries, in [0, 1]. */
+    /** Finally-dropped fraction of offered queries, in [0, 1]. */
     double
     shedRate() const
     {
         return offered > 0
-            ? static_cast<double>(dropped) / static_cast<double>(offered)
+            ? static_cast<double>(droppedFinal) /
+                  static_cast<double>(offered)
             : 0.0;
     }
 
@@ -235,10 +368,18 @@ class AdmissionController
      *        a single machine serves — 1.0 for whole-query tiers; a
      *        sharded tier passes its per-machine share so heavy
      *        queries are not priced as if served unsharded
+     * @param network the tier's hop model, so response-time estimates
+     *        price the forward/embedding/return hops a query pays
+     *        (default: the historical zero-cost router)
+     * @param join the tier's join model — under TwoStage (the
+     *        default) a sharded query's estimate prices the leader's
+     *        second queue visit for the dense phase
      */
     AdmissionController(const OverloadConfig& config,
                         const std::vector<SimConfig>& machines,
-                        double embeddingShare = 1.0);
+                        double embeddingShare = 1.0,
+                        const NetworkConfig& network = {},
+                        JoinModel join = JoinModel::TwoStage);
 
     /**
      * Decide @p query's fate against the live @p view: admit as-is,
@@ -272,9 +413,31 @@ class AdmissionController
     /**
      * Estimated service seconds of a @p size-sample query on machine
      * @p m once it reaches the front of the queue (batch-split across
-     * the core pool).
+     * the core pool). On a sharded tier this is the leader-part price
+     * (local embedding share plus dense stacks).
      */
     double serviceSeconds(size_t m, uint32_t size) const;
+
+    /**
+     * Total projected queue-wait seconds of the critical path: mean
+     * accepting backlog on an unsharded tier; the worst accepting
+     * backlog on a sharded tier — **twice** under the TwoStage join,
+     * since the query waits once for its fan-out parts and once more
+     * when the leader's dense phase re-enters the queue (projected at
+     * the current worst backlog — the steady-overload equilibrium the
+     * admission loop itself maintains). This over the deadline is the
+     * pressure signal of both admission and degrade.
+     */
+    double queueWaitSeconds(const ClusterView& view) const;
+
+    /**
+     * Estimated response seconds of a @p size-sample query admitted
+     * now: queueWaitSeconds plus the per-shape service and network
+     * terms (see the file comment for the three shapes). This against
+     * the class budget is the deadline admission test.
+     */
+    double estimatedResponseSeconds(uint32_t size,
+                                    const ClusterView& view) const;
 
     const OverloadConfig& config() const { return cfg; }
 
@@ -282,8 +445,36 @@ class AdmissionController
     OverloadConfig cfg;
 
     /** Per-request seconds for a @p req_batch-sample request on
-     *  machine @p m under full core contention, slowdown applied. */
+     *  machine @p m under full core contention, slowdown applied
+     *  (leader-part shape: embShare of the gathers plus dense). */
     double requestSecondsAt(size_t m, size_t req_batch) const;
+
+    /** Same, for an arbitrary part shape: @p emb_fraction of the
+     *  embedding gathers, dense stacks iff @p include_dense. */
+    double requestSecondsAt(size_t m, size_t req_batch,
+                            double emb_fraction, bool include_dense) const;
+
+    /**
+     * Estimated service seconds of a @p size-sample part of the given
+     * shape on machine @p m (batch-split across the core pool);
+     * serviceSeconds above is the (embShare, dense) instance.
+     */
+    double partServiceSeconds(size_t m, uint32_t size,
+                              double emb_fraction,
+                              bool include_dense) const;
+
+    /** Cheapest accepting machine's price for a part shape. */
+    double bestServiceSeconds(const ClusterView& view, uint32_t size,
+                              double emb_fraction,
+                              bool include_dense) const;
+
+    /** Worst accepting machine's backlogSeconds. */
+    double worstBacklogSeconds(const ClusterView& view) const;
+
+    /** The service and network terms of the response estimate — i.e.
+     *  estimatedResponseSeconds minus queueWaitSeconds. */
+    double serviceAndHopSeconds(uint32_t size,
+                                const ClusterView& view) const;
 
     /** Each machine's own CPU cost model — the efficiency curves are
      *  too nonlinear in batch for scalar calibration. */
@@ -295,11 +486,25 @@ class AdmissionController
     /** Leader-side share of a query's embedding work, in (0, 1]. */
     double embShare = 1.0;
 
+    /** Hop model of the tier (zero-cost by default). */
+    NetworkConfig net;
+
+    /** Join model of the tier (prices the second visit iff TwoStage). */
+    JoinModel joinModel = JoinModel::TwoStage;
+
     /** Core count per machine (backlog drains across the pool). */
     std::vector<double> cores;
 
     /** Configured per-request batch per machine (latency estimate). */
     std::vector<double> batch;
+
+    /**
+     * One warning per controller when a view without engine queue
+     * cost forces the mean-batch fallback estimate (satellite of the
+     * estimator-divergence fix; see AdmissionFallback tests). Gates a
+     * LogSink line only — never a decision, so decide() stays pure.
+     */
+    mutable bool fallbackWarned = false;
 };
 
 } // namespace deeprecsys

@@ -5,6 +5,7 @@
 
 #include "base/logging.hh"
 #include "cluster/routing_policy.hh"
+#include "loadgen/query_stream.hh"
 #include "obs/observer.hh"
 #include "sim/machine_engine.hh"
 
@@ -280,6 +281,8 @@ struct QueryState
     double joinTime = 0;
     double leaderReady = 0;
     double quality = 1.0;     ///< answer quality (< 1 when degraded)
+    uint32_t cls = 0;         ///< effective priority class
+    uint32_t attempt = 0;     ///< client retries so far
     bool measured = true;
 };
 
@@ -294,9 +297,11 @@ class ElasticView final : public ClusterView
                 const std::vector<MachineEngine>& engines,
                 const std::vector<uint64_t>& in_flight,
                 const std::vector<MState>& states,
-                const size_t& accepting_count)
+                const size_t& accepting_count,
+                const std::vector<double>& pending_join_cost)
         : cfgs(configs), engines(engines), inFlight(in_flight),
-          states(states), acceptingCount(accepting_count)
+          states(states), acceptingCount(accepting_count),
+          pendingJoinCost(pending_join_cost)
     {
     }
 
@@ -324,6 +329,12 @@ class ElasticView final : public ClusterView
     queuedCostSeconds(size_t m) const override
     {
         return engines[m].queuedCostSeconds();
+    }
+
+    double
+    pendingJoinCostSeconds(size_t m) const override
+    {
+        return pendingJoinCost[m];
     }
 
     bool
@@ -358,6 +369,9 @@ class ElasticView final : public ClusterView
 
     /** Driver-maintained count of Accepting machines (no O(n) scan). */
     const size_t& acceptingCount;
+
+    /** Committed-but-unqueued TwoStage join cost (driver-maintained). */
+    const std::vector<double>& pendingJoinCost;
 };
 
 } // namespace
@@ -463,6 +477,12 @@ Autoscaler::run(const QueryTrace& trace, ScalingPolicy& policy) const
     // phase — a draining leader must not power off across that gap.
     std::vector<uint32_t> pendingJoins(n, 0);
 
+    // The same committed joins in estimator currency: the seconds of
+    // dense-phase work fanned-out queries already owe each leader.
+    // Added at dispatch, released when the JoinPhase event queues the
+    // work for real (cluster/admission.hh "second visit" accounting).
+    std::vector<double> pendingJoinCost(n, 0.0);
+
     // ----------------------------------------------- elastic state
     std::vector<MState> state(n, MState::Off);
     std::vector<double> poweredSince(n, 0.0);
@@ -487,7 +507,7 @@ Autoscaler::run(const QueryTrace& trace, ScalingPolicy& policy) const
     scheduled.reserve(256);
 
     ElasticView view(cfg.machines, machines, inFlight, state,
-                     acceptingCount);
+                     acceptingCount, pendingJoinCost);
     // Overload control: only constructed when enabled, so the disabled
     // path is the historical driver plus one boolean test per arrival.
     std::optional<AdmissionController> admission;
@@ -498,8 +518,19 @@ Autoscaler::run(const QueryTrace& trace, ScalingPolicy& policy) const
         const double share = cfg.sharding
             ? 1.0 / static_cast<double>(cfg.machines.size())
             : 1.0;
-        admission.emplace(cfg.overload, cfg.machines, share);
+        admission.emplace(cfg.overload, cfg.machines, share,
+                          cfg.network, cfg.join);
     }
+    const bool trackJoinCost =
+        admission.has_value() && cfg.join == JoinModel::TwoStage;
+    // Per-class accounting rides with deadline/goodput accounting.
+    if (cfg.overload.enabled() && cfg.overload.deadlineSeconds > 0.0)
+        result.overload.perClass.resize(cfg.overload.priorityClasses);
+    auto class_stats = [&](uint32_t cls) -> ClassOverloadStats* {
+        return result.overload.perClass.empty()
+            ? nullptr
+            : &result.overload.perClass[cls];
+    };
     MeasuredSpan span;
     double lastEventTime = t0;
 
@@ -682,9 +713,16 @@ Autoscaler::run(const QueryTrace& trace, ScalingPolicy& policy) const
             span.onCompletion(q.joinTime);
             if (cfg.overload.deadlineSeconds > 0.0) {
                 result.overload.measuredCompleted++;
+                ClassOverloadStats* cs = class_stats(q.cls);
+                if (cs)
+                    cs->measuredCompleted++;
                 if (latency <= cfg.overload.deadlineSeconds) {
                     result.overload.completedWithinDeadline++;
                     result.overload.qualityWeight += q.quality;
+                    if (cs) {
+                        cs->completedWithinDeadline++;
+                        cs->qualityWeight += q.quality;
+                    }
                 }
             }
         }
@@ -878,6 +916,141 @@ Autoscaler::run(const QueryTrace& trace, ScalingPolicy& policy) const
     events.push(t0 + spec_.controlIntervalSeconds,
                 SimEvent::Kind::Control, 0, 0);
 
+    // Present query @p idx to the router at @p now — its trace
+    // arrival, or a client retry after a shed (see the cluster_sim
+    // driver for the semantics; every refusal counts into the scaling
+    // window's drop signal, retried or final).
+    auto present = [&](uint64_t idx, double now) {
+        const Query& in = trace[idx];
+        QueryState& q = queries[idx];
+        q.cls = cfg.overload.priorityClasses > 1
+            ? std::min(in.priorityClass, cfg.overload.priorityClasses - 1)
+            : 0;
+        ClassOverloadStats* cs = class_stats(q.cls);
+        if (cs && q.attempt == 0)
+            cs->offered++;
+
+        Query served = in;
+        double quality = 1.0;
+        if (admission) {
+            const AdmissionDecision verdict = admission->decide(in, view);
+            if (!verdict.admit) {
+                // Shed at the router: nothing reaches a machine.
+                // Measured drops still open the span so goodput is
+                // charged against real offered time.
+                lastEventTime = std::max(lastEventTime, now);
+                if (idx >= warmup)
+                    span.onArrival(in.arrivalSeconds);
+                result.overload.dropped++;
+                if (cs)
+                    cs->dropped++;
+                windowDrops++;
+                if (verdict.retryable &&
+                    q.attempt < cfg.overload.maxRetries) {
+                    const double delay = retryDelaySeconds(
+                        cfg.overload.retryBackoffSeconds,
+                        cfg.overload.retryBackoffFactor,
+                        cfg.overload.retryJitterFraction,
+                        verdict.retryAfterSeconds, in.id, q.attempt);
+                    q.attempt++;
+                    result.overload.retried++;
+                    if (cs)
+                        cs->retried++;
+                    events.push(now + delay, SimEvent::Kind::Retry, 0,
+                                idx);
+                    if (obs_)
+                        obs_->onQueryRetry(idx, now, q.attempt, delay);
+                } else {
+                    result.overload.droppedFinal++;
+                    if (cs)
+                        cs->droppedFinal++;
+                    result.overload.droppedQueries.push_back(idx);
+                    if (obs_)
+                        obs_->onQueryDrop(idx, now, in.size);
+                }
+                return;
+            }
+            if (verdict.servedSize < in.size) {
+                served.size = verdict.servedSize;
+                result.overload.degraded++;
+                if (cs)
+                    cs->degraded++;
+                result.overload.degradedQueries.push_back(
+                    {idx, in.size, verdict.servedSize});
+                if (obs_)
+                    obs_->onQueryDegrade(idx, now, in.size,
+                                         verdict.servedSize);
+            }
+            quality = verdict.quality;
+        }
+        result.overload.admitted++;
+        if (cs)
+            cs->admitted++;
+
+        const std::vector<ShardTarget> plan =
+            router->routeParts(served, view);
+        drs_assert(!plan.empty(), "policy returned no targets");
+        lastEventTime = std::max(lastEventTime, now);
+
+        q.arrival = in.arrivalSeconds;
+        q.size = served.size;
+        q.partsLeft = static_cast<uint32_t>(plan.size());
+        q.joinTime = now;
+        q.leaderReady = now;
+        q.quality = quality;
+        q.measured = idx >= warmup;
+        if (q.measured)
+            span.onArrival(in.arrivalSeconds);
+
+        result.numDispatched++;
+        const double forward = cfg.network.oneWaySeconds(
+            static_cast<double>(served.size) *
+            cfg.network.requestBytesPerSample);
+        if (obs_)
+            obs_->onQueryDispatch(idx, now, served.size, plan.size(),
+                                  forward, q.measured);
+
+        size_t leaders = 0;
+        for (const ShardTarget& target : plan) {
+            drs_assert(target.machine < machines.size(),
+                       "policy routed out of range");
+            const uint32_t m = target.machine;
+            drs_assert(state[m] == MState::Accepting,
+                       "policy routed to a non-accepting machine");
+            machines[m].advanceTo(now);
+            inFlight[m]++;
+            if (target.leader) {
+                leaders++;
+                q.machine = m;
+                result.perMachine[m].queriesDispatched++;
+            } else {
+                result.perMachine[m].remoteParts++;
+            }
+
+            const uint64_t part_idx = parts.size();
+            parts.push_back({idx, m, target.embFraction, 0.0,
+                             target.leader,
+                             plan.size() == 1
+                                 ? PartRec::Kind::Whole
+                                 : PartRec::Kind::FanEmb});
+            result.numParts++;
+            if (forward > 0.0) {
+                events.push(now + forward, SimEvent::Kind::PartArrival, m,
+                            part_idx);
+            } else {
+                start_part(part_idx, now);
+            }
+        }
+        drs_assert(leaders == 1, "plan needs exactly one leader");
+        if (plan.size() > 1 && cfg.join == JoinModel::TwoStage)
+            pendingJoins[q.machine]++;
+        // Commit the leader's future dense phase to the estimator's
+        // second-order backlog (released at the JoinPhase event).
+        if (trackJoinCost && plan.size() > 1)
+            pendingJoinCost[q.machine] +=
+                machines[q.machine].joinPhaseCostSeconds(served.size);
+    };
+
     size_t nextArrival = 0;
     while (nextArrival < trace.size() || !events.empty()) {
         const bool haveArrival = nextArrival < trace.size();
@@ -893,104 +1066,7 @@ Autoscaler::run(const QueryTrace& trace, ScalingPolicy& policy) const
                        "trace must be sorted by arrival");
             result.overload.offered++;
             windowArrivals++;
-
-            // The router's overload verdict: drop, degrade (shrink
-            // the size dispatched downstream), or pass through.
-            Query served = in;
-            double quality = 1.0;
-            if (admission) {
-                const AdmissionDecision verdict =
-                    admission->decide(in, view);
-                if (!verdict.admit) {
-                    // Shed at the router: nothing reaches a machine.
-                    // Measured drops still open the span so goodput
-                    // is charged against real offered time.
-                    lastEventTime =
-                        std::max(lastEventTime, in.arrivalSeconds);
-                    if (nextArrival >= warmup)
-                        span.onArrival(in.arrivalSeconds);
-                    result.overload.dropped++;
-                    result.overload.droppedQueries.push_back(nextArrival);
-                    windowDrops++;
-                    if (obs_)
-                        obs_->onQueryDrop(nextArrival, in.arrivalSeconds,
-                                          in.size);
-                    nextArrival++;
-                    continue;
-                }
-                if (verdict.servedSize < in.size) {
-                    served.size = verdict.servedSize;
-                    result.overload.degraded++;
-                    result.overload.degradedQueries.push_back(
-                        {nextArrival, in.size, verdict.servedSize});
-                    if (obs_)
-                        obs_->onQueryDegrade(nextArrival,
-                                             in.arrivalSeconds, in.size,
-                                             verdict.servedSize);
-                }
-                quality = verdict.quality;
-            }
-            result.overload.admitted++;
-
-            const std::vector<ShardTarget> plan =
-                router->routeParts(served, view);
-            drs_assert(!plan.empty(), "policy returned no targets");
-            lastEventTime = std::max(lastEventTime, in.arrivalSeconds);
-
-            QueryState& q = queries[nextArrival];
-            q.arrival = in.arrivalSeconds;
-            q.size = served.size;
-            q.partsLeft = static_cast<uint32_t>(plan.size());
-            q.joinTime = in.arrivalSeconds;
-            q.leaderReady = in.arrivalSeconds;
-            q.quality = quality;
-            q.measured = nextArrival >= warmup;
-            if (q.measured)
-                span.onArrival(in.arrivalSeconds);
-
-            result.numDispatched++;
-            const double forward = cfg.network.oneWaySeconds(
-                static_cast<double>(served.size) *
-                cfg.network.requestBytesPerSample);
-            if (obs_)
-                obs_->onQueryDispatch(nextArrival, in.arrivalSeconds,
-                                      served.size, plan.size(), forward,
-                                      q.measured);
-
-            size_t leaders = 0;
-            for (const ShardTarget& target : plan) {
-                drs_assert(target.machine < machines.size(),
-                           "policy routed out of range");
-                const uint32_t m = target.machine;
-                drs_assert(state[m] == MState::Accepting,
-                           "policy routed to a non-accepting machine");
-                machines[m].advanceTo(in.arrivalSeconds);
-                inFlight[m]++;
-                if (target.leader) {
-                    leaders++;
-                    q.machine = m;
-                    result.perMachine[m].queriesDispatched++;
-                } else {
-                    result.perMachine[m].remoteParts++;
-                }
-
-                const uint64_t part_idx = parts.size();
-                parts.push_back({nextArrival, m, target.embFraction, 0.0,
-                                 target.leader,
-                                 plan.size() == 1
-                                     ? PartRec::Kind::Whole
-                                     : PartRec::Kind::FanEmb});
-                result.numParts++;
-                if (forward > 0.0) {
-                    events.push(in.arrivalSeconds + forward,
-                                SimEvent::Kind::PartArrival, m, part_idx);
-                } else {
-                    start_part(part_idx, in.arrivalSeconds);
-                }
-            }
-            drs_assert(leaders == 1, "plan needs exactly one leader");
-            if (plan.size() > 1 && cfg.join == JoinModel::TwoStage)
-                pendingJoins[q.machine]++;
+            present(nextArrival, in.arrivalSeconds);
             nextArrival++;
             continue;
         }
@@ -1020,9 +1096,25 @@ Autoscaler::run(const QueryTrace& trace, ScalingPolicy& policy) const
             break;
 
           case SimEvent::Kind::PartArrival:
-          case SimEvent::Kind::JoinPhase:
             machines[ev.machine].advanceTo(ev.time);
             start_part(ev.partIdx, ev.time);
+            break;
+
+          case SimEvent::Kind::JoinPhase:
+            machines[ev.machine].advanceTo(ev.time);
+            // The committed phase becomes real queued work here; the
+            // subtraction mirrors the addition at fan-out dispatch
+            // exactly (identical joinPhaseCostSeconds inputs).
+            if (trackJoinCost)
+                pendingJoinCost[ev.machine] -=
+                    machines[ev.machine].joinPhaseCostSeconds(
+                        queries[parts[ev.partIdx].queryIdx].size);
+            start_part(ev.partIdx, ev.time);
+            break;
+
+          case SimEvent::Kind::Retry:
+            // A client re-presents a shed query after its backoff.
+            present(ev.partIdx, ev.time);
             break;
 
           case SimEvent::Kind::CpuRequest:
@@ -1054,9 +1146,12 @@ Autoscaler::run(const QueryTrace& trace, ScalingPolicy& policy) const
     result.numQueries = result.fleetLatencySeconds.count();
     result.offeredQps = traceOfferedQps(trace);
     result.spanSeconds = lastEventTime - t0;
-    if (cfg.overload.deadlineSeconds > 0.0 && span.seconds() > 0.0)
+    if (cfg.overload.deadlineSeconds > 0.0 && span.seconds() > 0.0) {
         result.overload.goodputQps =
             result.overload.qualityWeight / span.seconds();
+        for (ClassOverloadStats& cs : result.overload.perClass)
+            cs.goodputQps = cs.qualityWeight / span.seconds();
+    }
     result.staticMachineSeconds =
         static_cast<double>(n) * result.spanSeconds;
     for (size_t m = 0; m < n; m++)

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "base/logging.hh"
+#include "loadgen/query_stream.hh"
 #include "obs/observer.hh"
 
 namespace deeprecsys {
@@ -15,16 +16,6 @@ machineMemoryBudgets(const std::vector<SimConfig>& machines)
     for (const SimConfig& machine : machines)
         budgets.push_back(machine.memoryBytes);
     return budgets;
-}
-
-const char*
-joinModelName(JoinModel model)
-{
-    switch (model) {
-      case JoinModel::Optimistic: return "optimistic";
-      case JoinModel::TwoStage: return "two-stage";
-    }
-    return "?";
 }
 
 namespace {
@@ -68,6 +59,8 @@ struct QueryState
     double joinTime = 0;      ///< latest part completion + return hop
     double leaderReady = 0;   ///< TwoStage: last pooled part at leader
     double quality = 1.0;     ///< answer quality (< 1 when degraded)
+    uint32_t cls = 0;         ///< effective priority class
+    uint32_t attempt = 0;     ///< retries scheduled so far
     bool measured = true;
 };
 
@@ -77,8 +70,10 @@ class LiveView final : public ClusterView
   public:
     LiveView(const std::vector<SimConfig>& configs,
              const std::vector<MachineEngine>& engines,
-             const std::vector<uint64_t>& in_flight)
-        : cfgs(configs), engines(engines), inFlight(in_flight)
+             const std::vector<uint64_t>& in_flight,
+             const std::vector<double>& pending_join_cost)
+        : cfgs(configs), engines(engines), inFlight(in_flight),
+          pendingJoinCost(pending_join_cost)
     {
     }
 
@@ -108,6 +103,12 @@ class LiveView final : public ClusterView
         return engines[m].queuedCostSeconds();
     }
 
+    double
+    pendingJoinCostSeconds(size_t m) const override
+    {
+        return pendingJoinCost[m];
+    }
+
     bool
     hasGpu(size_t m) const override
     {
@@ -124,6 +125,9 @@ class LiveView final : public ClusterView
     const std::vector<SimConfig>& cfgs;
     const std::vector<MachineEngine>& engines;
     const std::vector<uint64_t>& inFlight;
+
+    /** Driver-maintained committed TwoStage join-phase cost. */
+    const std::vector<double>& pendingJoinCost;
 };
 
 } // namespace
@@ -188,7 +192,14 @@ ClusterSimulator::run(const QueryTrace& trace, RoutingPolicy& policy) const
     std::vector<EngineEvent> scheduled;
     scheduled.reserve(256);
 
-    LiveView view(cfg.machines, machines, inFlight);
+    // Committed-but-unqueued TwoStage join-phase cost per machine:
+    // engine-exact (MachineEngine::joinPhaseCostSeconds added at
+    // fan-out dispatch, the identical value subtracted when the phase
+    // is admitted), maintained only when the admission estimator
+    // consumes it so the disabled path stays the historical driver.
+    std::vector<double> pendingJoinCost(cfg.machines.size(), 0.0);
+
+    LiveView view(cfg.machines, machines, inFlight, pendingJoinCost);
     // Overload control: only constructed when enabled, so the disabled
     // path is the historical driver plus one boolean test per arrival.
     std::optional<AdmissionController> admission;
@@ -199,8 +210,19 @@ ClusterSimulator::run(const QueryTrace& trace, RoutingPolicy& policy) const
         const double share = cfg.sharding
             ? 1.0 / static_cast<double>(cfg.machines.size())
             : 1.0;
-        admission.emplace(cfg.overload, cfg.machines, share);
+        admission.emplace(cfg.overload, cfg.machines, share,
+                          cfg.network, cfg.join);
     }
+    const bool trackJoinCost =
+        admission.has_value() && cfg.join == JoinModel::TwoStage;
+    // Per-class accounting rides with deadline/goodput accounting.
+    if (cfg.overload.enabled() && cfg.overload.deadlineSeconds > 0.0)
+        result.overload.perClass.resize(cfg.overload.priorityClasses);
+    auto class_stats = [&](uint32_t cls) -> ClassOverloadStats* {
+        return result.overload.perClass.empty()
+            ? nullptr
+            : &result.overload.perClass[cls];
+    };
     result.machineOfQuery.resize(trace.size());
     result.partMachinesOfQuery.resize(trace.size());
 
@@ -261,9 +283,16 @@ ClusterSimulator::run(const QueryTrace& trace, RoutingPolicy& policy) const
             span.onCompletion(q.joinTime);
             if (cfg.overload.deadlineSeconds > 0.0) {
                 result.overload.measuredCompleted++;
+                ClassOverloadStats* cs = class_stats(q.cls);
+                if (cs)
+                    cs->measuredCompleted++;
                 if (latency <= cfg.overload.deadlineSeconds) {
                     result.overload.completedWithinDeadline++;
                     result.overload.qualityWeight += q.quality;
+                    if (cs) {
+                        cs->completedWithinDeadline++;
+                        cs->qualityWeight += q.quality;
+                    }
                 }
             }
         }
@@ -327,6 +356,143 @@ ClusterSimulator::run(const QueryTrace& trace, RoutingPolicy& policy) const
             complete_query(part.queryIdx);
     };
 
+    // Present query @p idx to the router at @p now — its trace
+    // arrival, or a client retry of an earlier shed. The router's
+    // overload verdict either drops it (final, or with a retry
+    // scheduled), degrades it (shrinks the size dispatched
+    // downstream), or passes it through. Latency always counts from
+    // the original trace arrival, so a retried completion pays its
+    // backoff — retries buy availability, not goodput.
+    auto present = [&](uint64_t idx, double now) {
+        const Query& in = trace[idx];
+        QueryState& q = queries[idx];
+        q.cls = cfg.overload.priorityClasses > 1
+            ? std::min(in.priorityClass, cfg.overload.priorityClasses - 1)
+            : 0;
+        ClassOverloadStats* cs = class_stats(q.cls);
+        if (cs && q.attempt == 0)
+            cs->offered++;
+
+        Query served = in;
+        double quality = 1.0;
+        if (admission) {
+            const AdmissionDecision verdict = admission->decide(in, view);
+            if (!verdict.admit) {
+                // Shed at the router: nothing reaches a machine.
+                // Measured drops still open the span so goodput is
+                // charged against real offered time.
+                lastEventTime = std::max(lastEventTime, now);
+                if (idx >= warmup)
+                    span.onArrival(in.arrivalSeconds);
+                result.overload.dropped++;
+                if (cs)
+                    cs->dropped++;
+                if (verdict.retryable &&
+                    q.attempt < cfg.overload.maxRetries) {
+                    const double delay = retryDelaySeconds(
+                        cfg.overload.retryBackoffSeconds,
+                        cfg.overload.retryBackoffFactor,
+                        cfg.overload.retryJitterFraction,
+                        verdict.retryAfterSeconds, in.id, q.attempt);
+                    q.attempt++;
+                    result.overload.retried++;
+                    if (cs)
+                        cs->retried++;
+                    events.push(now + delay, SimEvent::Kind::Retry, 0,
+                                idx);
+                    if (obs_)
+                        obs_->onQueryRetry(idx, now, q.attempt, delay);
+                } else {
+                    result.overload.droppedFinal++;
+                    if (cs)
+                        cs->droppedFinal++;
+                    result.machineOfQuery[idx] =
+                        ClusterResult::droppedMachine;
+                    result.overload.droppedQueries.push_back(idx);
+                    if (obs_)
+                        obs_->onQueryDrop(idx, now, in.size);
+                }
+                return;
+            }
+            if (verdict.servedSize < in.size) {
+                served.size = verdict.servedSize;
+                result.overload.degraded++;
+                if (cs)
+                    cs->degraded++;
+                result.overload.degradedQueries.push_back(
+                    {idx, in.size, verdict.servedSize});
+                if (obs_)
+                    obs_->onQueryDegrade(idx, now, in.size,
+                                         verdict.servedSize);
+            }
+            quality = verdict.quality;
+        }
+        result.overload.admitted++;
+        if (cs)
+            cs->admitted++;
+
+        const std::vector<ShardTarget> plan =
+            policy.routeParts(served, view);
+        drs_assert(!plan.empty(), "policy returned no targets");
+        lastEventTime = std::max(lastEventTime, now);
+
+        q.arrival = in.arrivalSeconds;
+        q.size = served.size;
+        q.partsLeft = static_cast<uint32_t>(plan.size());
+        q.joinTime = now;
+        q.leaderReady = now;
+        q.quality = quality;
+        q.measured = idx >= warmup;
+        if (q.measured)
+            span.onArrival(in.arrivalSeconds);
+
+        result.numDispatched++;
+        const double forward = cfg.network.oneWaySeconds(
+            static_cast<double>(served.size) *
+            cfg.network.requestBytesPerSample);
+        if (obs_)
+            obs_->onQueryDispatch(idx, now, served.size, plan.size(),
+                                  forward, q.measured);
+
+        size_t leaders = 0;
+        for (const ShardTarget& target : plan) {
+            drs_assert(target.machine < machines.size(),
+                       "policy routed out of range");
+            const uint32_t m = target.machine;
+            machines[m].advanceTo(now);
+            inFlight[m]++;
+            if (target.leader) {
+                leaders++;
+                q.machine = m;
+                result.machineOfQuery[idx] = m;
+                result.perMachine[m].queriesDispatched++;
+            } else {
+                result.perMachine[m].remoteParts++;
+            }
+            result.partMachinesOfQuery[idx].push_back(m);
+
+            const uint64_t part_idx = parts.size();
+            parts.push_back({idx, m, target.embFraction, 0.0,
+                             target.leader,
+                             plan.size() == 1
+                                 ? PartRec::Kind::Whole
+                                 : PartRec::Kind::FanEmb});
+            result.numParts++;
+            if (forward > 0.0) {
+                events.push(now + forward, SimEvent::Kind::PartArrival, m,
+                            part_idx);
+            } else {
+                start_part(part_idx, now);
+            }
+        }
+        drs_assert(leaders == 1, "plan needs exactly one leader");
+        // Commit the leader's future dense phase to the estimator's
+        // second-order backlog (released at the JoinPhase event).
+        if (trackJoinCost && plan.size() > 1)
+            pendingJoinCost[q.machine] +=
+                machines[q.machine].joinPhaseCostSeconds(served.size);
+    };
+
     size_t nextArrival = 0;
     while (nextArrival < trace.size() || !events.empty()) {
         const bool haveArrival = nextArrival < trace.size();
@@ -341,103 +507,7 @@ ClusterSimulator::run(const QueryTrace& trace, RoutingPolicy& policy) const
                                trace[nextArrival - 1].arrivalSeconds,
                        "trace must be sorted by arrival");
             result.overload.offered++;
-
-            // The router's overload verdict: drop, degrade (shrink
-            // the size dispatched downstream), or pass through.
-            Query served = in;
-            double quality = 1.0;
-            if (admission) {
-                const AdmissionDecision verdict =
-                    admission->decide(in, view);
-                if (!verdict.admit) {
-                    // Shed at the router: nothing reaches a machine.
-                    // Measured drops still open the span so goodput
-                    // is charged against real offered time.
-                    lastEventTime =
-                        std::max(lastEventTime, in.arrivalSeconds);
-                    if (nextArrival >= warmup)
-                        span.onArrival(in.arrivalSeconds);
-                    result.machineOfQuery[nextArrival] =
-                        ClusterResult::droppedMachine;
-                    result.overload.dropped++;
-                    result.overload.droppedQueries.push_back(nextArrival);
-                    if (obs_)
-                        obs_->onQueryDrop(nextArrival, in.arrivalSeconds,
-                                          in.size);
-                    nextArrival++;
-                    continue;
-                }
-                if (verdict.servedSize < in.size) {
-                    served.size = verdict.servedSize;
-                    result.overload.degraded++;
-                    result.overload.degradedQueries.push_back(
-                        {nextArrival, in.size, verdict.servedSize});
-                    if (obs_)
-                        obs_->onQueryDegrade(nextArrival,
-                                             in.arrivalSeconds, in.size,
-                                             verdict.servedSize);
-                }
-                quality = verdict.quality;
-            }
-            result.overload.admitted++;
-
-            const std::vector<ShardTarget> plan =
-                policy.routeParts(served, view);
-            drs_assert(!plan.empty(), "policy returned no targets");
-            lastEventTime = std::max(lastEventTime, in.arrivalSeconds);
-
-            QueryState& q = queries[nextArrival];
-            q.arrival = in.arrivalSeconds;
-            q.size = served.size;
-            q.partsLeft = static_cast<uint32_t>(plan.size());
-            q.joinTime = in.arrivalSeconds;
-            q.leaderReady = in.arrivalSeconds;
-            q.quality = quality;
-            q.measured = nextArrival >= warmup;
-            if (q.measured)
-                span.onArrival(in.arrivalSeconds);
-
-            result.numDispatched++;
-            const double forward = cfg.network.oneWaySeconds(
-                static_cast<double>(served.size) *
-                cfg.network.requestBytesPerSample);
-            if (obs_)
-                obs_->onQueryDispatch(nextArrival, in.arrivalSeconds,
-                                      served.size, plan.size(), forward,
-                                      q.measured);
-
-            size_t leaders = 0;
-            for (const ShardTarget& target : plan) {
-                drs_assert(target.machine < machines.size(),
-                           "policy routed out of range");
-                const uint32_t m = target.machine;
-                machines[m].advanceTo(in.arrivalSeconds);
-                inFlight[m]++;
-                if (target.leader) {
-                    leaders++;
-                    q.machine = m;
-                    result.machineOfQuery[nextArrival] = m;
-                    result.perMachine[m].queriesDispatched++;
-                } else {
-                    result.perMachine[m].remoteParts++;
-                }
-                result.partMachinesOfQuery[nextArrival].push_back(m);
-
-                const uint64_t part_idx = parts.size();
-                parts.push_back({nextArrival, m, target.embFraction, 0.0,
-                                 target.leader,
-                                 plan.size() == 1
-                                     ? PartRec::Kind::Whole
-                                     : PartRec::Kind::FanEmb});
-                result.numParts++;
-                if (forward > 0.0) {
-                    events.push(in.arrivalSeconds + forward,
-                                SimEvent::Kind::PartArrival, m, part_idx);
-                } else {
-                    start_part(part_idx, in.arrivalSeconds);
-                }
-            }
-            drs_assert(leaders == 1, "plan needs exactly one leader");
+            present(nextArrival, in.arrivalSeconds);
             nextArrival++;
             continue;
         }
@@ -452,6 +522,13 @@ ClusterSimulator::run(const QueryTrace& trace, RoutingPolicy& policy) const
             break;
 
           case SimEvent::Kind::JoinPhase:
+            // The committed phase becomes real queued work here; the
+            // subtraction mirrors the addition at fan-out dispatch
+            // exactly (identical joinPhaseCostSeconds inputs).
+            if (trackJoinCost)
+                pendingJoinCost[ev.machine] -=
+                    machines[ev.machine].joinPhaseCostSeconds(
+                        queries[parts[ev.partIdx].queryIdx].size);
             start_part(ev.partIdx, ev.time);
             break;
 
@@ -471,6 +548,11 @@ ClusterSimulator::run(const QueryTrace& trace, RoutingPolicy& policy) const
             events.pushAll(scheduled, ev.machine);
             break;
 
+          case SimEvent::Kind::Retry:
+            // A client re-presents a shed query after its backoff.
+            present(ev.partIdx, ev.time);
+            break;
+
           case SimEvent::Kind::Control:
           case SimEvent::Kind::MachineUp:
             drs_panic("scale events belong to the elastic driver");
@@ -485,9 +567,12 @@ ClusterSimulator::run(const QueryTrace& trace, RoutingPolicy& policy) const
     result.spanSeconds = span.seconds();
     result.offeredQps = traceOfferedQps(trace);
     result.achievedQps = span.achievedQps(result.numQueries);
-    if (cfg.overload.deadlineSeconds > 0.0 && result.spanSeconds > 0.0)
+    if (cfg.overload.deadlineSeconds > 0.0 && result.spanSeconds > 0.0) {
         result.overload.goodputQps =
             result.overload.qualityWeight / result.spanSeconds;
+        for (ClassOverloadStats& cs : result.overload.perClass)
+            cs.goodputQps = cs.qualityWeight / result.spanSeconds;
+    }
 
     const double full_span = lastEventTime - trace.front().arrivalSeconds;
     double util_sum = 0.0;

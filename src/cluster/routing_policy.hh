@@ -100,6 +100,19 @@ class ClusterView
      */
     virtual double queuedCostSeconds(size_t) const { return -1.0; }
 
+    /**
+     * Engine-exact committed second-visit work on machine @p m:
+     * service seconds of the TwoStage dense join phases this machine
+     * already owes for in-flight fanned-out queries it leads but has
+     * not admitted to its queue yet — the window between fan-out
+     * dispatch and the last pooled part landing, during which the
+     * queue-cost sum cannot see the phase. A new arrival queues
+     * behind this work too, so the admission controller adds it to
+     * its backlog estimate (the second-order term of the two-stage
+     * critical path). Views without driver state report 0.
+     */
+    virtual double pendingJoinCostSeconds(size_t) const { return 0.0; }
+
     /** True when machine @p m has an attached accelerator. */
     virtual bool hasGpu(size_t m) const = 0;
 

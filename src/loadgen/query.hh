@@ -21,6 +21,15 @@ struct Query
     uint64_t id = 0;            ///< monotonically increasing identifier
     double arrivalSeconds = 0;  ///< arrival time from stream start
     uint32_t size = 1;          ///< candidate items to score
+
+    /**
+     * Priority class, 0 = most important. Only the overload layer
+     * (cluster/admission.hh) reads it: under pressure, higher-valued
+     * classes are degraded and shed first. Traffic is classless
+     * (all 0) unless the trace assigns classes
+     * (assignPriorityClasses in loadgen/query_stream.hh).
+     */
+    uint32_t priorityClass = 0;
 };
 
 /** A generated query trace. */

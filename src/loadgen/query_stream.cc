@@ -126,4 +126,47 @@ TraceTemplate::materializeDiurnal(double mean_qps,
     return trace;
 }
 
+namespace {
+
+/** SplitMix64 finalizer: a statistically strong stateless mix. */
+uint64_t
+mix64(uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+}
+
+} // namespace
+
+void
+assignPriorityClasses(QueryTrace& trace, uint32_t classes, uint64_t seed)
+{
+    drs_assert(classes >= 1, "need at least one priority class");
+    for (Query& q : trace)
+        q.priorityClass =
+            static_cast<uint32_t>(mix64(q.id ^ seed) % classes);
+}
+
+double
+retryDelaySeconds(double base, double factor, double jitter_fraction,
+                  double retry_after_hint, uint64_t query_id,
+                  uint32_t attempt)
+{
+    drs_assert(base > 0.0 && factor >= 1.0 && jitter_fraction >= 0.0,
+               "retry backoff parameters out of range");
+    double backoff = base;
+    for (uint32_t a = 0; a < attempt; a++)
+        backoff *= factor;
+    const double delay = std::max(backoff, retry_after_hint);
+    // 53-bit mantissa draw from the hash, as Rng::uniform does from
+    // its state word: uniform in [0, 1).
+    const double u = static_cast<double>(
+                         mix64(query_id * 0x9e3779b97f4a7c15ULL + attempt) >>
+                         11) *
+        0x1.0p-53;
+    return delay * (1.0 + jitter_fraction * u);
+}
+
 } // namespace deeprecsys

@@ -108,6 +108,32 @@ class TraceTemplate
     std::vector<uint32_t> sizes;
 };
 
+/**
+ * Assign each query of @p trace a priority class in [0, classes) by
+ * hashing (query id, seed) — stateless and order-free, so the same
+ * trace re-timed at another rate keeps every query's class, and a
+ * re-presented (retried) query keeps its class by construction.
+ * Classes land near-uniformly; 0 is the most important
+ * (cluster/admission.hh sheds and degrades higher values first).
+ */
+void assignPriorityClasses(QueryTrace& trace, uint32_t classes,
+                           uint64_t seed);
+
+/**
+ * The client-side re-timer of a dropped query: how long a client
+ * waits before re-presenting attempt @p attempt (0-based count of
+ * drops so far). The delay is the larger of the router's Retry-After
+ * hint and the exponential backoff base * factor^attempt, stretched
+ * by a deterministic jitter factor in [1, 1 + jitter_fraction) drawn
+ * by hashing (query id, attempt) — no RNG state, so a retry schedule
+ * is a pure function of its inputs and bitwise thread-invariant,
+ * while still decorrelating the retry times of queries dropped in
+ * the same burst (the thundering-herd the jitter exists to break).
+ */
+double retryDelaySeconds(double base, double factor,
+                         double jitter_fraction, double retry_after_hint,
+                         uint64_t query_id, uint32_t attempt);
+
 } // namespace deeprecsys
 
 #endif // DRS_LOADGEN_QUERY_STREAM_HH

@@ -198,6 +198,20 @@ RunObserver::onQueryDrop(uint64_t idx, double t_s, uint32_t size)
 }
 
 void
+RunObserver::onQueryRetry(uint64_t idx, double t_s, uint32_t attempt,
+                          double delay_s)
+{
+    if (cfg_.metrics)
+        registry_.counter("queries_retried").add();
+    if (sampledQuery(idx)) {
+        writer_.instant("retry", "router", 0, t_s,
+                        "\"query\": " + std::to_string(idx) +
+                            ", \"attempt\": " + std::to_string(attempt) +
+                            ", \"delay_s\": " + std::to_string(delay_s));
+    }
+}
+
+void
 RunObserver::onQueryDegrade(uint64_t idx, double t_s, uint32_t orig_size,
                             uint32_t served_size)
 {

@@ -219,6 +219,17 @@ class RunObserver
     void onQueryDegrade(uint64_t idx, double t_s, uint32_t orig_size,
                         uint32_t served_size);
 
+    /**
+     * The router shed query @p idx at @p t_s but the client will
+     * re-present it (attempt @p attempt, 1-based) after @p delay_s of
+     * jittered backoff. Counted under `queries_retried`; when
+     * span-sampled an instant event carries the schedule. Final drops
+     * go through onQueryDrop instead, so the two counters partition
+     * refusals.
+     */
+    void onQueryRetry(uint64_t idx, double t_s, uint32_t attempt,
+                      double delay_s);
+
     /** Shard-aware routing touched these tables (per-table load). */
     void onTablesTouched(const std::vector<uint32_t>& tables);
 

@@ -85,6 +85,30 @@ MachineEngine::queuedGpuCost(const PartBook& book) const
     return cfg->gpu->querySeconds(book.samples) * cfg->slowdown;
 }
 
+double
+MachineEngine::joinPhaseCostSeconds(uint32_t samples) const
+{
+    drs_assert(samples >= 1, "join phase needs samples");
+    // Mirror the admit() batch split and queuedRequestCost pricing of
+    // a dense-only leader part, so the value a driver adds when a
+    // fan-out commits this phase equals, bit for bit, the value the
+    // phase later adds to queuedCostSeconds_ at admission.
+    PartBook book;
+    book.embFraction = 0.0;
+    book.leader = true;
+    book.whole = false;
+    const uint32_t batch = static_cast<uint32_t>(
+        std::min<size_t>(cfg->policy.perRequestBatch, samples));
+    double cost = 0.0;
+    uint32_t remaining = samples;
+    while (remaining > 0) {
+        const uint32_t take = std::min(remaining, batch);
+        cost += queuedRequestCost(book, take);
+        remaining -= take;
+    }
+    return cost;
+}
+
 void
 MachineEngine::dispatchCpu(double now, std::vector<EngineEvent>& out)
 {

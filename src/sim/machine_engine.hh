@@ -203,6 +203,19 @@ class MachineEngine
         return std::max(0.0, queuedCostSeconds_);
     }
 
+    /**
+     * Estimated service seconds of a dense-only TwoStage join phase
+     * of @p samples on this machine (embFraction 0, leader, not
+     * whole), batch-split exactly as admit() would and priced at full
+     * core contention — the same expression the phase will add to
+     * queuedCostSeconds when it is eventually admitted. Drivers call
+     * it with identical inputs when a fan-out commits a future join
+     * phase to this machine (+) and when that phase is admitted (−),
+     * so their running committed-second-visit sum
+     * (ClusterView::pendingJoinCostSeconds) reverses exactly.
+     */
+    double joinPhaseCostSeconds(uint32_t samples) const;
+
     /** Cores currently serving a request. */
     size_t busyCores() const { return busyCores_; }
 
@@ -330,11 +343,14 @@ class MachineEngine
  * the sequence so heap order never depends on container internals —
  * the determinism rule both simulators inherit.
  *
- * The last two kinds belong to the elastic cluster driver
+ * Control and MachineUp belong to the elastic cluster driver
  * (cluster/autoscaler.cc): Control is a periodic scaling-policy tick
  * and MachineUp is a warmed-up machine joining the accepting set.
- * They share the queue with service completions so scale events
- * interleave with traffic in one deterministic (time, seq) order.
+ * Retry is a client re-presenting a query the router shed earlier,
+ * after a jittered backoff (cluster overload control; partIdx is the
+ * trace index). They share the queue with service completions so
+ * scale and retry events interleave with traffic in one deterministic
+ * (time, seq) order.
  */
 struct SimEvent
 {
@@ -348,6 +364,7 @@ struct SimEvent
         JoinPhase,
         Control,
         MachineUp,
+        Retry,
     } kind = Kind::CpuRequest;
     uint32_t machine = 0;
     uint64_t partIdx = 0;

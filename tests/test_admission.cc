@@ -15,12 +15,14 @@
 #include <limits>
 #include <map>
 
+#include "base/logging.hh"
 #include "base/thread_pool.hh"
 #include "bench/bench_common.hh"
 #include "cluster/autoscaler.hh"
 #include "cluster/cluster_qps_search.hh"
 #include "cluster/cluster_sim.hh"
 #include "loadgen/query_stream.hh"
+#include "sim/machine_engine.hh"
 
 namespace deeprecsys {
 namespace {
@@ -91,7 +93,7 @@ class FakeView : public ClusterView
   public:
     explicit FakeView(size_t machines)
         : work_(machines, 0), samples_(machines, 0),
-          accepting_(machines, true)
+          costs_(machines, -1.0), accepting_(machines, true)
     {
     }
 
@@ -99,6 +101,7 @@ class FakeView : public ClusterView
     size_t inFlightQueries(size_t m) const override { return work_[m]; }
     size_t queuedWork(size_t m) const override { return work_[m]; }
     size_t queuedSamples(size_t m) const override { return samples_[m]; }
+    double queuedCostSeconds(size_t m) const override { return costs_[m]; }
     bool hasGpu(size_t) const override { return false; }
     double speedFactor(size_t) const override { return 1.0; }
     bool accepting(size_t m) const override { return accepting_[m]; }
@@ -118,9 +121,13 @@ class FakeView : public ClusterView
 
     void setAccepting(size_t m, bool on) { accepting_[m] = on; }
 
+    /** Expose an engine-exact queue cost (-1 = viewless fallback). */
+    void setQueuedCost(size_t m, double cost) { costs_[m] = cost; }
+
   private:
     std::vector<size_t> work_;
     std::vector<size_t> samples_;
+    std::vector<double> costs_;
     std::vector<bool> accepting_;
 };
 
@@ -239,6 +246,70 @@ TEST(AdmissionUnit, DecisionIsPure)
     }
 }
 
+// --------------------------------------------- estimator fallback
+
+/** LogSink is a bare function pointer, so capture through a global. */
+std::vector<std::string> g_capturedLogs;
+
+void
+captureLog(const std::string& line)
+{
+    g_capturedLogs.push_back(line);
+}
+
+TEST(AdmissionUnit, ViewlessFallbackBoundedAgainstEngineAndWarnsOnce)
+{
+    // Queue real heterogeneous work on one engine, then price the
+    // same queue twice: through the engine-exact queuedCostSeconds
+    // the live views expose, and through the viewless mean-batch
+    // fallback a bare view forces. The fallback may diverge — that is
+    // why live views exist — but it must stay within 2x of truth, and
+    // the controller must say it is guessing, exactly once.
+    const SimConfig machine = cpuMachine();
+    MachineEngine engine(&machine, 0.0);
+    std::vector<EngineEvent> scheduled;
+    for (uint64_t i = 0; i < 120; i++) {
+        PartSpec spec;
+        spec.partIdx = i;
+        spec.samples = static_cast<uint32_t>(40 + (i * 37) % 216);
+        engine.admit(spec, 0.0, scheduled);
+        scheduled.clear();
+    }
+    const double exact_cost = engine.queuedCostSeconds();
+    ASSERT_GT(exact_cost, 0.0) << "work must actually be queued";
+
+    const ClusterConfig cfg = tier(1, deadlinePolicy());
+    FakeView fallback_view(1);
+    fallback_view.setQueue(0, engine.queuedWork(),
+                           engine.queuedSamples());
+    FakeView exact_view(1);
+    exact_view.setQueue(0, engine.queuedWork(), engine.queuedSamples());
+    exact_view.setQueuedCost(0, exact_cost);
+
+    const LogSink prev = setLogSink(captureLog);
+    g_capturedLogs.clear();
+    const AdmissionController ctl(cfg.overload, cfg.machines);
+    const double exact = ctl.meanBacklogSeconds(exact_view);
+    EXPECT_TRUE(g_capturedLogs.empty())
+        << "the exact path must not warn";
+    const double approx = ctl.meanBacklogSeconds(fallback_view);
+    for (int i = 0; i < 5; i++) {
+        ctl.meanBacklogSeconds(fallback_view);
+        ctl.decide(Query{0, 0.0, 128}, fallback_view);
+    }
+    setLogSink(prev);
+
+    EXPECT_GT(exact, 0.0);
+    EXPECT_GE(approx, 0.5 * exact)
+        << "fallback underprices the queue more than 2x";
+    EXPECT_LE(approx, 2.0 * exact)
+        << "fallback overprices the queue more than 2x";
+
+    ASSERT_EQ(g_capturedLogs.size(), 1u)
+        << "fallback must warn exactly once per controller";
+    EXPECT_NE(g_capturedLogs[0].find("mean-batch"), std::string::npos);
+}
+
 // ------------------------------------------- conservation with drops
 
 TEST(AdmissionCluster, ConservationWithDropsPerMachineAndFleetWide)
@@ -294,6 +365,113 @@ TEST(AdmissionCluster, ConservationWithDropsPerMachineAndFleetWide)
             EXPECT_EQ(rec.originalSize, trace[rec.queryIdx].size);
             EXPECT_LT(rec.servedSize, rec.originalSize);
             EXPECT_GE(rec.servedSize, cfg.overload.minSize);
+        }
+    }
+}
+
+// -------------------------------------------- retries and priorities
+
+OverloadConfig
+retryPolicy(uint32_t max_retries, uint32_t classes = 1)
+{
+    OverloadConfig overload = deadlinePolicy(true);
+    overload.maxRetries = max_retries;
+    overload.priorityClasses = classes;
+    return overload;
+}
+
+TEST(AdmissionCluster, RetriesConserveOfferedLoad)
+{
+    // With client retries on, a shed query re-presents up to
+    // maxRetries times; the books must close under the extended
+    // algebra: every offered query ends admitted or finally dropped,
+    // every refusal is either retried or final, and the drop log
+    // names exactly the final drops.
+    const double capacity = tierCapacity(4);
+    const QueryTrace trace = makeTrace(4000, 2.2 * capacity);
+    // Hard drops (no degraded rescue), so the retry budget is really
+    // spent: a steadily overloaded tier refuses the re-presentation
+    // too and the query exhausts its attempts.
+    OverloadConfig overload = deadlinePolicy(false);
+    overload.maxRetries = 2;
+    const ClusterConfig cfg = tier(4, overload);
+    const ClusterResult r = ClusterSimulator(cfg).run(
+        trace, RoutingSpec{RoutingKind::PowerOfTwoChoices});
+
+    EXPECT_EQ(r.overload.offered, trace.size());
+    EXPECT_EQ(r.overload.admitted + r.overload.droppedFinal,
+              trace.size());
+    EXPECT_EQ(r.overload.dropped,
+              r.overload.retried + r.overload.droppedFinal);
+    EXPECT_EQ(r.overload.admitted, r.numDispatched);
+    EXPECT_EQ(r.numCompleted, r.numDispatched);
+    EXPECT_GT(r.overload.retried, 0u) << "2.2x load must trigger retries";
+    EXPECT_GT(r.overload.droppedFinal, 0u)
+        << "retry budget must eventually exhaust";
+    // Refusals exceed trace positions: retried queries re-present.
+    EXPECT_GT(r.overload.dropped, r.overload.droppedFinal);
+
+    ASSERT_EQ(r.overload.droppedQueries.size(), r.overload.droppedFinal);
+    uint64_t sentinels = 0;
+    for (uint32_t m : r.machineOfQuery)
+        sentinels += m == ClusterResult::droppedMachine ? 1 : 0;
+    EXPECT_EQ(sentinels, r.overload.droppedFinal);
+    for (uint64_t idx : r.overload.droppedQueries)
+        EXPECT_EQ(r.machineOfQuery[idx], ClusterResult::droppedMachine);
+}
+
+TEST(AdmissionCluster, PerClassStatsSumToTotalsAndShedOrdering)
+{
+    // Three priority classes assigned by stateless hash. At every
+    // offered load the per-class books must sum to the fleet totals,
+    // and the shed rate must be ordered: class 0 (most important)
+    // never sheds more than class 1, class 1 never more than class 2
+    // beyond statistical noise — the margin schedule sheds and
+    // degrades the least important work first.
+    const double capacity = tierCapacity(4);
+    TraceTemplate tmpl{LoadSpec{}};
+    tmpl.ensure(4000);
+    const ClusterConfig cfg = tier(4, retryPolicy(1, 3));
+    for (double mult : {1.4, 2.0, 2.8}) {
+        SCOPED_TRACE(mult);
+        QueryTrace trace = tmpl.materialize(mult * capacity, 4000);
+        assignPriorityClasses(trace, 3, 0xc1a55);
+        const ClusterResult r = ClusterSimulator(cfg).run(
+            trace, RoutingSpec{RoutingKind::PowerOfTwoChoices});
+        const OverloadStats& o = r.overload;
+        ASSERT_EQ(o.perClass.size(), 3u);
+
+        uint64_t offered = 0, admitted = 0, dropped = 0, final_ = 0;
+        uint64_t retried = 0, degraded = 0, measured = 0, within = 0;
+        double weight = 0.0, goodput = 0.0;
+        for (const ClassOverloadStats& cs : o.perClass) {
+            offered += cs.offered;
+            admitted += cs.admitted;
+            dropped += cs.dropped;
+            final_ += cs.droppedFinal;
+            retried += cs.retried;
+            degraded += cs.degraded;
+            measured += cs.measuredCompleted;
+            within += cs.completedWithinDeadline;
+            weight += cs.qualityWeight;
+            goodput += cs.goodputQps;
+        }
+        EXPECT_EQ(offered, o.offered);
+        EXPECT_EQ(admitted, o.admitted);
+        EXPECT_EQ(dropped, o.dropped);
+        EXPECT_EQ(final_, o.droppedFinal);
+        EXPECT_EQ(retried, o.retried);
+        EXPECT_EQ(degraded, o.degraded);
+        EXPECT_EQ(measured, o.measuredCompleted);
+        EXPECT_EQ(within, o.completedWithinDeadline);
+        EXPECT_NEAR(weight, o.qualityWeight,
+                    1e-9 * (1.0 + o.qualityWeight));
+        EXPECT_NEAR(goodput, o.goodputQps, 1e-9 * (1.0 + o.goodputQps));
+
+        for (size_t c = 0; c + 1 < o.perClass.size(); c++) {
+            EXPECT_LE(o.perClass[c].shedRate(),
+                      o.perClass[c + 1].shedRate() + 0.02)
+                << "class " << c << " shed more than class " << c + 1;
         }
     }
 }
@@ -435,6 +613,56 @@ TEST(AdmissionDiff, DropDecisionsBitwiseAcrossThreadCounts)
                              b.fleetLatencySeconds.sum());
             EXPECT_DOUBLE_EQ(a.overload.goodputQps,
                              b.overload.goodputQps);
+        }
+    }
+}
+
+TEST(AdmissionDiff, RetryAndPriorityDecisionsBitwiseAcrossThreadCounts)
+{
+    // The retry re-timer and the priority margins are pure functions
+    // of (query, attempt, class); the full decision trace — final
+    // drops, retries, degrades, per-class books — must be
+    // bit-identical at DRS_THREADS=1 and many threads.
+    const double capacity = tierCapacity(2);
+    const ClusterConfig cfg = tier(2, retryPolicy(2, 3));
+
+    auto runAll = [&]() {
+        std::vector<double> cells = {1.3 * capacity, 2.1 * capacity,
+                                     2.7 * capacity};
+        return bench::sweepMap(cells, [&](double qps) {
+            QueryTrace trace = makeTrace(2500, qps);
+            assignPriorityClasses(trace, 3, 0xc1a55);
+            return ClusterSimulator(cfg).run(
+                trace, RoutingSpec{RoutingKind::PowerOfTwoChoices});
+        });
+    };
+
+    ThreadPool::setSharedThreads(1);
+    const auto serial = runAll();
+    ThreadPool::setSharedThreads(kManyThreads);
+    const auto parallel = runAll();
+    ThreadPool::setSharedThreads(1);
+
+    ASSERT_EQ(serial.size(), parallel.size());
+    for (size_t c = 0; c < serial.size(); c++) {
+        const OverloadStats& a = serial[c].overload;
+        const OverloadStats& b = parallel[c].overload;
+        EXPECT_EQ(a.dropped, b.dropped);
+        EXPECT_EQ(a.droppedFinal, b.droppedFinal);
+        EXPECT_EQ(a.retried, b.retried);
+        EXPECT_EQ(a.droppedQueries, b.droppedQueries);
+        EXPECT_EQ(a.degradedQueries, b.degradedQueries);
+        EXPECT_EQ(serial[c].machineOfQuery, parallel[c].machineOfQuery);
+        EXPECT_DOUBLE_EQ(a.goodputQps, b.goodputQps);
+        ASSERT_EQ(a.perClass.size(), b.perClass.size());
+        for (size_t k = 0; k < a.perClass.size(); k++) {
+            EXPECT_EQ(a.perClass[k].offered, b.perClass[k].offered);
+            EXPECT_EQ(a.perClass[k].droppedFinal,
+                      b.perClass[k].droppedFinal);
+            EXPECT_EQ(a.perClass[k].retried, b.perClass[k].retried);
+            EXPECT_EQ(a.perClass[k].degraded, b.perClass[k].degraded);
+            EXPECT_DOUBLE_EQ(a.perClass[k].goodputQps,
+                             b.perClass[k].goodputQps);
         }
     }
 }
