@@ -111,6 +111,8 @@ main(int argc, char** argv)
     Autoscaler scaler(spec);
     scaler.setObserver(&observer);
     const AutoscaleResult r = scaler.run(trace, policy);
+    assertFaultConservation(r.overload, r.faults, r.numDispatched,
+                            r.numCompleted, trace.size());
     drs_assert(r.numDispatched == r.numCompleted &&
                    r.numDispatched == trace.size(),
                "elastic run lost queries");

@@ -31,8 +31,9 @@
  * reactive scaling needs several control ticks plus the warm-up delay
  * to field capacity, and until it does the only choices are unbounded
  * queueing (baseline) or shedding/degrading through the gap. Both
- * runs are asserted drop-conserving: offered == dispatched + dropped
- * and dispatched == completed, per run.
+ * runs are asserted conservation-exact per run under the three-way
+ * algebra offered == completed + droppedFinal + lost (with zero fault
+ * books here, so dispatched == completed still holds).
  *
  * Usage: overload_goodput [--smoke] [out.json]
  * --smoke shrinks the grid and trace (CI); the optional path also
@@ -120,25 +121,20 @@ flashCrowdTrace(const TraceTemplate& tmpl, double base_qps,
 }
 
 /**
- * The retry-extended conservation algebra: every offered query ends
- * admitted or finally dropped, every refusal is retried or final, and
- * admitted queries complete. Without retries droppedFinal == dropped
- * and the historical equations fall out unchanged.
+ * The three-way conservation algebra: every offered query ends
+ * completed, finally dropped, or lost to a failure
+ * (assertFaultConservation in cluster/fault_plan.hh). These runs
+ * carry no FaultPlan, so the fault books are all zero and the algebra
+ * degenerates to the historical retry-extended equations, including
+ * dispatched == completed.
  */
 void
-assertConservation(const OverloadStats& overload, uint64_t dispatched,
+assertConservation(const OverloadStats& overload,
+                   const FaultStats& faults, uint64_t dispatched,
                    uint64_t completed, size_t trace_size)
 {
-    drs_assert(overload.offered == trace_size,
-               "router did not see every query");
-    drs_assert(overload.offered == overload.droppedFinal + dispatched,
-               "offered != droppedFinal + dispatched");
-    drs_assert(overload.dropped ==
-                   overload.retried + overload.droppedFinal,
-               "refusals != retried + final drops");
-    drs_assert(overload.admitted == dispatched,
-               "admitted != dispatched");
-    drs_assert(dispatched == completed, "admitted queries were lost");
+    assertFaultConservation(overload, faults, dispatched, completed,
+                            trace_size);
     drs_assert(overload.droppedQueries.size() == overload.droppedFinal,
                "drop records disagree with the final-drop count");
     drs_assert(overload.degradedQueries.size() == overload.degraded,
@@ -220,7 +216,8 @@ main(int argc, char** argv)
         routing.kind = RoutingKind::PowerOfTwoChoices;
         const ClusterResult r = sim.run(trace, routing);
 
-        assertConservation(r.overload, r.numDispatched, r.numCompleted,
+        assertConservation(r.overload, r.faults, r.numDispatched,
+                           r.numCompleted,
                            trace.size());
         // The headline acceptance check: with deadline shedding on,
         // the tier keeps answering past its knee.
@@ -345,7 +342,7 @@ main(int argc, char** argv)
             const ClusterResult r =
                 ClusterSimulator(cfg).run(trace, routing);
 
-            assertConservation(r.overload, r.numDispatched,
+            assertConservation(r.overload, r.faults, r.numDispatched,
                                r.numCompleted, trace.size());
             // The tentpole tripwire: deadline admission must actually
             // deliver the deadline on the two-stage critical path.
@@ -411,7 +408,8 @@ main(int argc, char** argv)
         RoutingSpec routing;
         routing.kind = RoutingKind::ShardAware;
         const ClusterResult r = ClusterSimulator(cfg).run(trace, routing);
-        assertConservation(r.overload, r.numDispatched, r.numCompleted,
+        assertConservation(r.overload, r.faults, r.numDispatched,
+                           r.numCompleted,
                            trace.size());
 
         TextTable cls_table({"class", "offered", "shed %", "degraded %",
@@ -506,7 +504,8 @@ main(int argc, char** argv)
 
         const Autoscaler scaler(spec);
         const AutoscaleResult r = scaler.run(flash, policy);
-        assertConservation(r.overload, r.numDispatched, r.numCompleted,
+        assertConservation(r.overload, r.faults, r.numDispatched,
+                           r.numCompleted,
                            flash.size());
         if (shed)
             drs_assert(r.overload.goodputQps > 0.0,
@@ -538,8 +537,8 @@ main(int argc, char** argv)
            " its p99 and violation minutes, while the shedding run"
            " answers what it can answer in time, degrades what it can"
            " save, and drops the rest at the door. Offered =="
-           " dispatched + dropped and dispatched == completed hold in"
-           " every run (asserted).\n";
+           " completed + droppedFinal + lost holds exactly in every"
+           " run (asserted; the fault books are all zero here).\n";
 
     if (!json_path.empty()) {
         std::ofstream json(json_path);

@@ -257,6 +257,11 @@ struct PartRec
         FanEmb,
         FanDense,
     } kind = Kind::Whole;
+
+    /** Dispatch generation of the owning query when this part was
+     *  created; a mismatch marks the completion of a killed dispatch
+     *  (fault injection only — always 0 on the fault-free path). */
+    uint32_t gen = 0;
 };
 
 /** The observer-facing name of a part kind. */
@@ -284,6 +289,14 @@ struct QueryState
     uint32_t cls = 0;         ///< effective priority class
     uint32_t attempt = 0;     ///< client retries so far
     bool measured = true;
+
+    // Fault-injection state (identity values on the fault-free path).
+    uint32_t gen = 0;         ///< current dispatch generation
+    uint32_t failovers = 0;   ///< failure re-presents so far
+    uint32_t leaderEpoch = 0; ///< leader engine epoch at dispatch
+    bool dead = false;        ///< current dispatch was killed
+    bool joinCommitted = false;  ///< owes pendingJoinCost release
+    bool joinLeadership = false; ///< owes a pendingJoins release
 };
 
 /**
@@ -403,6 +416,17 @@ Autoscaler::Autoscaler(AutoscaleSpec spec) : spec_(std::move(spec))
                "warm-up delay cannot be negative");
     drs_assert(spec_.initialMachines <= cfg.machines.size(),
                "initial machines exceed the tier");
+    drs_assert(!cfg.hedge.enabled(),
+               "hedged requests are a static-tier feature; the elastic"
+               " driver does not hedge");
+    if (cfg.faults.enabled()) {
+        validateFaultPlan(cfg.faults);
+        if (cfg.sharding.has_value() && cfg.faults.faultTolerance > 0)
+            drs_assert(cfg.sharding->placement.replicatedFor(
+                           cfg.faults.faultTolerance),
+                       "placement replication below the declared fault"
+                       " tolerance");
+    }
     if (cfg.sharding.has_value()) {
         const ShardPlacement& placement = cfg.sharding->placement;
         drs_assert(placement.feasible(),
@@ -483,6 +507,30 @@ Autoscaler::run(const QueryTrace& trace, ScalingPolicy& policy) const
     // work for real (cluster/admission.hh "second visit" accounting).
     std::vector<double> pendingJoinCost(n, 0.0);
 
+    // Fault-injection state. When the plan is disabled every vector
+    // stays at its identity value and no new branch is taken, so the
+    // run is bitwise-identical to the fault-free driver.
+    const bool faultsOn = cfg.faults.enabled();
+    std::vector<uint8_t> crashed(n, 0);
+    std::vector<int> downDepth(n, 0);
+    std::vector<int> grayDepth(n, 0);
+    std::vector<int> netDepth(n, 0);
+    std::vector<double> netFactor(n, 1.0);
+    std::vector<uint32_t> engineEpoch(n, 0);
+    std::vector<uint64_t> lostBuf;
+    // Engines advanced by a crash may run ahead of lastEventTime; the
+    // final utilization advance must not move their clocks backwards.
+    double lastFaultAdvance = t0;
+    // Dispatched queries that ended without completing (killed, lost):
+    // the control loop's outstanding-work signal must not count them
+    // forever.
+    uint64_t endedDispatches = 0;
+    std::vector<FaultEvent> faultSchedule;
+    if (faultsOn)
+        faultSchedule = buildFaultSchedule(
+            cfg.faults, static_cast<uint32_t>(n), t0,
+            trace.back().arrivalSeconds);
+
     // ----------------------------------------------- elastic state
     std::vector<MState> state(n, MState::Off);
     std::vector<double> poweredSince(n, 0.0);
@@ -505,6 +553,9 @@ Autoscaler::run(const QueryTrace& trace, ScalingPolicy& policy) const
     events.reserve(std::min(trace.size(), total_cores + 256));
     std::vector<EngineEvent> scheduled;
     scheduled.reserve(256);
+    for (size_t i = 0; i < faultSchedule.size(); i++)
+        events.push(faultSchedule[i].time, SimEvent::Kind::Fault,
+                    faultSchedule[i].machine, i);
 
     ElasticView view(cfg.machines, machines, inFlight, state,
                      acceptingCount, pendingJoinCost);
@@ -623,7 +674,9 @@ Autoscaler::run(const QueryTrace& trace, ScalingPolicy& policy) const
                 }
             }
             for (size_t m = 0; m < n && need > 0; m++) {
-                if (state[m] != MState::Off)
+                // A crashed machine is Off but unavailable until its
+                // scheduled repair clears the flag.
+                if (state[m] != MState::Off || crashed[m])
                     continue;
                 poweredSince[m] = now;
                 need--;
@@ -672,7 +725,7 @@ Autoscaler::run(const QueryTrace& trace, ScalingPolicy& policy) const
         const uint32_t m = parts[part_idx].machine;
         scheduled.clear();
         machines[m].admit(spec, now, scheduled);
-        events.pushAll(scheduled, m);
+        events.pushAll(scheduled, m, engineEpoch[m]);
     };
 
     auto start_part = [&](uint64_t part_idx, double now) {
@@ -749,13 +802,25 @@ Autoscaler::run(const QueryTrace& trace, ScalingPolicy& policy) const
         inFlight[part.machine]--;
         QueryState& q = queries[part.queryIdx];
 
+        if (faultsOn && (part.gen != q.gen || q.dead)) {
+            // A completion of a killed dispatch is a ghost: the query
+            // already failed over (or was lost) and its books were
+            // settled at the kill.
+            try_power_off_drained(part.machine, now);
+            return;
+        }
+
         if (part.kind == PartRec::Kind::FanEmb &&
             cfg.join == JoinModel::TwoStage) {
+            // A degraded NIC on either end stretches the pooled-
+            // embedding hop to the leader.
             const double to_leader = part.leader
                 ? 0.0
                 : cfg.network.oneWaySeconds(
                       static_cast<double>(q.size) *
-                      cfg.network.embeddingBytesPerSample);
+                      cfg.network.embeddingBytesPerSample) *
+                      std::max(netFactor[part.machine],
+                               netFactor[q.machine]);
             q.leaderReady = std::max(q.leaderReady, now + to_leader);
             drs_assert(q.partsLeft > 0, "query with no pending parts");
             if (--q.partsLeft > 0) {
@@ -763,30 +828,132 @@ Autoscaler::run(const QueryTrace& trace, ScalingPolicy& policy) const
                 return;
             }
             q.partsLeft = 1;
+            // The push_back may reallocate `parts`; `part` dangles
+            // beyond it.
+            const uint64_t query_idx = part.queryIdx;
+            const uint32_t part_machine = part.machine;
             const uint64_t dense_idx = parts.size();
-            parts.push_back({part.queryIdx, q.machine, 0.0, 0.0, true,
+            parts.push_back({query_idx, q.machine, 0.0, 0.0, true,
                              PartRec::Kind::FanDense});
+            parts.back().gen = q.gen;
             // The leader may already be draining; its join phase is
             // in-flight work and still runs there.
             drs_assert(pendingJoins[q.machine] > 0,
                        "join phase with no pending leadership");
             pendingJoins[q.machine]--;
+            q.joinLeadership = false;
             inFlight[q.machine]++;
             result.perMachine[q.machine].joinPhases++;
             events.push(q.leaderReady, SimEvent::Kind::JoinPhase,
                         q.machine, dense_idx);
-            try_power_off_drained(part.machine, now);
+            try_power_off_drained(part_machine, now);
             return;
         }
 
         const double back = cfg.network.oneWaySeconds(
             static_cast<double>(q.size) *
-            cfg.network.responseBytesPerSample);
+            cfg.network.responseBytesPerSample) *
+            netFactor[part.machine];
         q.joinTime = std::max(q.joinTime, now + back);
         drs_assert(q.partsLeft > 0, "query with no pending parts");
         if (--q.partsLeft == 0)
             complete_query(part.queryIdx);
         try_power_off_drained(part.machine, now);
+    };
+
+    // A failure destroyed query @p idx's current dispatch. Release
+    // its committed join books, then either fail over (schedule a
+    // re-present with exponential client backoff) or record the final
+    // loss. Callers guarantee the query is live (not dead, current
+    // generation); @p dispatched says whether the dying presentation
+    // was routed (an unroutable presentation never was).
+    auto fail_query = [&](uint64_t idx, double now, bool dispatched) {
+        QueryState& q = queries[idx];
+        q.dead = true;
+        if (dispatched)
+            endedDispatches++;
+        if (q.joinCommitted) {
+            pendingJoinCost[q.machine] -=
+                machines[q.machine].joinPhaseCostSeconds(q.size);
+            q.joinCommitted = false;
+        }
+        if (q.joinLeadership) {
+            drs_assert(pendingJoins[q.machine] > 0,
+                       "join leadership with no pending join");
+            pendingJoins[q.machine]--;
+            q.joinLeadership = false;
+            try_power_off_drained(q.machine, now);
+        }
+        if (q.failovers < cfg.faults.maxFailovers) {
+            q.failovers++;
+            result.faults.failovers++;
+            const double delay = cfg.faults.failoverDelaySeconds *
+                static_cast<double>(
+                    1u << std::min<uint32_t>(q.failovers - 1, 16));
+            events.push(now + delay, SimEvent::Kind::Retry, 0, idx);
+            if (obs_)
+                obs_->onQueryFailover(idx, now, q.failovers, delay);
+        } else {
+            result.faults.lost++;
+            result.faults.lostQueries.push_back(idx);
+            if (idx >= warmup)
+                span.onArrival(trace[idx].arrivalSeconds);
+            if (obs_)
+                obs_->onQueryLost(idx, now);
+        }
+    };
+
+    // A live part was destroyed (its machine crashed, or its forwarded
+    // RPC landed on a dead or powered-off machine). Decide the owning
+    // query's fate.
+    auto lost_part_fate = [&](uint64_t part_idx, double now) {
+        const PartRec& part = parts[part_idx];
+        drs_assert(inFlight[part.machine] > 0,
+                   "lost part with nothing in flight");
+        inFlight[part.machine]--;
+        result.faults.partsLost++;
+        QueryState& q = queries[part.queryIdx];
+        if (part.gen != q.gen || q.dead)
+            return;    // that dispatch already died
+        fail_query(part.queryIdx, now, true);
+    };
+
+    // Fail-stop crash of machine @p m: a forced, instant power-off.
+    // Queued and in-flight work dies with the engine; the machine
+    // cannot be re-powered until its scheduled repair. Depth-counted
+    // so overlapping windows (random + correlated) stay idempotent.
+    auto on_crash = [&](uint32_t m, double now) {
+        if (downDepth[m]++ > 0)
+            return;
+        crashed[m] = 1;
+        result.faults.crashes++;
+        engineEpoch[m]++;
+        if (obs_)
+            obs_->onMachineDown(m, now);
+        if (state[m] == MState::Off)
+            return;    // nothing powered to kill
+        if (state[m] == MState::Accepting)
+            acceptingCount--;
+        if (state[m] != MState::Warming) {
+            lastFaultAdvance = std::max(lastFaultAdvance, now);
+            lostBuf.clear();
+            machines[m].crash(now, lostBuf);
+            for (uint64_t lost_part : lostBuf)
+                lost_part_fate(lost_part, now);
+        }
+        power_off(m, now);
+    };
+
+    auto on_recover = [&](uint32_t m, double now) {
+        drs_assert(downDepth[m] > 0, "recovery of a machine never down");
+        if (--downDepth[m] > 0)
+            return;
+        crashed[m] = 0;
+        result.faults.recoveries++;
+        if (obs_)
+            obs_->onMachineUp(m, now);
+        // The machine stays Off; the scaling policy re-powers it
+        // through the normal warm-up lifecycle when capacity is short.
     };
 
     // ------------------------------------------------- control loop
@@ -834,9 +1001,10 @@ Autoscaler::run(const QueryTrace& trace, ScalingPolicy& policy) const
         // A window is violating when its observed tail exceeds the
         // SLA — or when nothing completed at all while queries were
         // outstanding: a stalled tier must score as the worst window,
-        // not a perfect one.
+        // not a perfect one. Dispatches a failure killed are no longer
+        // outstanding — their fate is settled.
         const uint64_t outstanding =
-            result.numDispatched - result.numCompleted;
+            result.numDispatched - result.numCompleted - endedDispatches;
         const bool violation =
             (windowLat.count() > 0 && sig.windowTailMs > spec_.slaMs) ||
             (windowLat.count() == 0 && outstanding > 0);
@@ -927,7 +1095,7 @@ Autoscaler::run(const QueryTrace& trace, ScalingPolicy& policy) const
             ? std::min(in.priorityClass, cfg.overload.priorityClasses - 1)
             : 0;
         ClassOverloadStats* cs = class_stats(q.cls);
-        if (cs && q.attempt == 0)
+        if (cs && q.attempt == 0 && q.failovers == 0)
             cs->offered++;
 
         Query served = in;
@@ -970,26 +1138,39 @@ Autoscaler::run(const QueryTrace& trace, ScalingPolicy& policy) const
                 }
                 return;
             }
-            if (verdict.servedSize < in.size) {
+            if (verdict.servedSize < in.size)
                 served.size = verdict.servedSize;
-                result.overload.degraded++;
-                if (cs)
-                    cs->degraded++;
-                result.overload.degradedQueries.push_back(
-                    {idx, in.size, verdict.servedSize});
-                if (obs_)
-                    obs_->onQueryDegrade(idx, now, in.size,
-                                         verdict.servedSize);
-            }
             quality = verdict.quality;
+        }
+
+        // Route before committing the admission books: under fault
+        // injection the query may be unservable (no accepting replica
+        // set covers its tables), which is neither an admission nor a
+        // drop — admission never saw a servable query.
+        std::vector<ShardTarget> plan;
+        if (!faultsOn || acceptingCount > 0)
+            plan = router->routeParts(served, view);
+        if (plan.empty()) {
+            drs_assert(faultsOn, "policy returned no targets");
+            lastEventTime = std::max(lastEventTime, now);
+            if (idx >= warmup)
+                span.onArrival(in.arrivalSeconds);
+            result.faults.unroutable++;
+            fail_query(idx, now, false);
+            return;
+        }
+        if (admission && served.size < in.size) {
+            result.overload.degraded++;
+            if (cs)
+                cs->degraded++;
+            result.overload.degradedQueries.push_back(
+                {idx, in.size, served.size});
+            if (obs_)
+                obs_->onQueryDegrade(idx, now, in.size, served.size);
         }
         result.overload.admitted++;
         if (cs)
             cs->admitted++;
-
-        const std::vector<ShardTarget> plan =
-            router->routeParts(served, view);
-        drs_assert(!plan.empty(), "policy returned no targets");
         lastEventTime = std::max(lastEventTime, now);
 
         q.arrival = in.arrivalSeconds;
@@ -999,6 +1180,8 @@ Autoscaler::run(const QueryTrace& trace, ScalingPolicy& policy) const
         q.leaderReady = now;
         q.quality = quality;
         q.measured = idx >= warmup;
+        q.gen++;
+        q.dead = false;
         if (q.measured)
             span.onArrival(in.arrivalSeconds);
 
@@ -1022,6 +1205,7 @@ Autoscaler::run(const QueryTrace& trace, ScalingPolicy& policy) const
             if (target.leader) {
                 leaders++;
                 q.machine = m;
+                q.leaderEpoch = engineEpoch[m];
                 result.perMachine[m].queriesDispatched++;
             } else {
                 result.perMachine[m].remoteParts++;
@@ -1033,22 +1217,28 @@ Autoscaler::run(const QueryTrace& trace, ScalingPolicy& policy) const
                              plan.size() == 1
                                  ? PartRec::Kind::Whole
                                  : PartRec::Kind::FanEmb});
+            parts.back().gen = q.gen;
             result.numParts++;
             if (forward > 0.0) {
-                events.push(now + forward, SimEvent::Kind::PartArrival, m,
-                            part_idx);
+                events.push(now + forward * netFactor[m],
+                            SimEvent::Kind::PartArrival, m, part_idx);
             } else {
                 start_part(part_idx, now);
             }
         }
         drs_assert(leaders == 1, "plan needs exactly one leader");
-        if (plan.size() > 1 && cfg.join == JoinModel::TwoStage)
+        if (plan.size() > 1 && cfg.join == JoinModel::TwoStage) {
             pendingJoins[q.machine]++;
+            q.joinLeadership = true;
+        }
         // Commit the leader's future dense phase to the estimator's
-        // second-order backlog (released at the JoinPhase event).
-        if (trackJoinCost && plan.size() > 1)
+        // second-order backlog (released exactly once, at the
+        // JoinPhase event or when a failure kills the dispatch).
+        if (trackJoinCost && plan.size() > 1) {
             pendingJoinCost[q.machine] +=
                 machines[q.machine].joinPhaseCostSeconds(served.size);
+            q.joinCommitted = true;
+        }
     };
 
     size_t nextArrival = 0;
@@ -1072,6 +1262,51 @@ Autoscaler::run(const QueryTrace& trace, ScalingPolicy& policy) const
         }
 
         const SimEvent ev = events.pop();
+
+        // Fault transitions are environment, not traffic: they are
+        // handled before the generic time update so they never stretch
+        // the measured span or the utilization windows.
+        if (ev.kind == SimEvent::Kind::Fault) {
+            const FaultEvent& fe = faultSchedule[ev.partIdx];
+            switch (fe.kind) {
+              case FaultEvent::Kind::Crash:
+                on_crash(fe.machine, ev.time);
+                break;
+              case FaultEvent::Kind::Recover:
+                on_recover(fe.machine, ev.time);
+                break;
+              case FaultEvent::Kind::GrayStart:
+                // Depth-counted: overlapping windows extend, the first
+                // open sets the factor, the last close clears it.
+                if (grayDepth[fe.machine]++ == 0) {
+                    machines[fe.machine].setServiceFactor(fe.factor);
+                    result.faults.grayWindows++;
+                }
+                break;
+              case FaultEvent::Kind::GrayEnd:
+                if (--grayDepth[fe.machine] == 0)
+                    machines[fe.machine].setServiceFactor(1.0);
+                break;
+              case FaultEvent::Kind::NetDegradeStart:
+                if (netDepth[fe.machine]++ == 0) {
+                    netFactor[fe.machine] = fe.factor;
+                    result.faults.netDegradeWindows++;
+                }
+                break;
+              case FaultEvent::Kind::NetDegradeEnd:
+                if (--netDepth[fe.machine] == 0)
+                    netFactor[fe.machine] = 1.0;
+                break;
+            }
+            continue;
+        }
+        // A completion stamped by a dead engine incarnation is a
+        // ghost: the crash already accounted for its part.
+        if (faultsOn && ev.epoch != engineEpoch[ev.machine] &&
+            (ev.kind == SimEvent::Kind::CpuRequest ||
+             ev.kind == SimEvent::Kind::GpuQuery))
+            continue;
+
         lastEventTime = std::max(lastEventTime, ev.time);
 
         switch (ev.kind) {
@@ -1096,24 +1331,68 @@ Autoscaler::run(const QueryTrace& trace, ScalingPolicy& policy) const
             break;
 
           case SimEvent::Kind::PartArrival:
+            if (faultsOn) {
+                const PartRec& part = parts[ev.partIdx];
+                const QueryState& q = queries[part.queryIdx];
+                if (part.gen != q.gen || q.dead) {
+                    // The dispatch died while this RPC was in flight;
+                    // the client cancelled it.
+                    drs_assert(inFlight[ev.machine] > 0,
+                               "cancel with nothing in flight");
+                    inFlight[ev.machine]--;
+                    try_power_off_drained(ev.machine, ev.time);
+                    break;
+                }
+                if (state[ev.machine] != MState::Accepting &&
+                    state[ev.machine] != MState::Draining) {
+                    // Forwarded onto a machine that crashed (or was
+                    // force-powered-off) en route.
+                    lost_part_fate(ev.partIdx, ev.time);
+                    break;
+                }
+            }
             machines[ev.machine].advanceTo(ev.time);
             start_part(ev.partIdx, ev.time);
             break;
 
-          case SimEvent::Kind::JoinPhase:
-            machines[ev.machine].advanceTo(ev.time);
+          case SimEvent::Kind::JoinPhase: {
+            PartRec& part = parts[ev.partIdx];
+            QueryState& q = queries[part.queryIdx];
+            if (faultsOn && (part.gen != q.gen || q.dead)) {
+                // Stale join of a killed dispatch — its committed
+                // cost was already released at the kill.
+                drs_assert(inFlight[ev.machine] > 0,
+                           "cancel with nothing in flight");
+                inFlight[ev.machine]--;
+                try_power_off_drained(ev.machine, ev.time);
+                break;
+            }
             // The committed phase becomes real queued work here; the
             // subtraction mirrors the addition at fan-out dispatch
             // exactly (identical joinPhaseCostSeconds inputs).
-            if (trackJoinCost)
+            if (q.joinCommitted) {
                 pendingJoinCost[ev.machine] -=
-                    machines[ev.machine].joinPhaseCostSeconds(
-                        queries[parts[ev.partIdx].queryIdx].size);
+                    machines[ev.machine].joinPhaseCostSeconds(q.size);
+                q.joinCommitted = false;
+            }
+            if (faultsOn && engineEpoch[q.machine] != q.leaderEpoch) {
+                // The leader restarted since dispatch: the pooled
+                // embeddings of this query died with it.
+                drs_assert(inFlight[ev.machine] > 0,
+                           "cancel with nothing in flight");
+                inFlight[ev.machine]--;
+                fail_query(part.queryIdx, ev.time, true);
+                try_power_off_drained(ev.machine, ev.time);
+                break;
+            }
+            machines[ev.machine].advanceTo(ev.time);
             start_part(ev.partIdx, ev.time);
             break;
+          }
 
           case SimEvent::Kind::Retry:
-            // A client re-presents a shed query after its backoff.
+            // A client re-presents a shed or failed-over query after
+            // its backoff.
             present(ev.partIdx, ev.time);
             break;
 
@@ -1123,7 +1402,8 @@ Autoscaler::run(const QueryTrace& trace, ScalingPolicy& policy) const
             if (machines[ev.machine].cpuRequestDone(ev.slot, ev.partIdx,
                                                     ev.time, scheduled))
                 finish_part(ev.partIdx, ev.time, false);
-            events.pushAll(scheduled, ev.machine);
+            events.pushAll(scheduled, ev.machine,
+                           engineEpoch[ev.machine]);
             break;
 
           case SimEvent::Kind::GpuQuery:
@@ -1132,8 +1412,13 @@ Autoscaler::run(const QueryTrace& trace, ScalingPolicy& policy) const
             machines[ev.machine].gpuQueryDone(ev.slot, ev.partIdx,
                                               ev.time, scheduled);
             finish_part(ev.partIdx, ev.time, true);
-            events.pushAll(scheduled, ev.machine);
+            events.pushAll(scheduled, ev.machine,
+                           engineEpoch[ev.machine]);
             break;
+
+          case SimEvent::Kind::Fault:
+          case SimEvent::Kind::HedgeCheck:
+            drs_panic("fault events are handled before the switch");
         }
     }
 
@@ -1157,8 +1442,12 @@ Autoscaler::run(const QueryTrace& trace, ScalingPolicy& policy) const
     for (size_t m = 0; m < n; m++)
         result.machineSeconds += result.poweredSecondsPerMachine[m];
 
+    // A crash may have advanced an engine past the last traffic event;
+    // the final advance must never move a clock backwards. Busy time
+    // cannot accrue on an idle machine, so the integrals are unchanged.
+    const double finalAdvance = std::max(lastEventTime, lastFaultAdvance);
     for (size_t m = 0; m < n; m++) {
-        machines[m].advanceTo(lastEventTime);
+        machines[m].advanceTo(finalAdvance);
         MachineStats& stats = result.perMachine[m];
         stats.requestsDispatched = machines[m].requestsDispatched();
         stats.busyCoreSeconds = machines[m].busyCoreSeconds();
@@ -1170,6 +1459,12 @@ Autoscaler::run(const QueryTrace& trace, ScalingPolicy& policy) const
             stats.gpuUtilization = stats.gpuBusySeconds / powered;
         }
     }
+
+    // The three-way conservation algebra holds exactly on every run —
+    // chaos or not — at any thread count.
+    assertFaultConservation(result.overload, result.faults,
+                            result.numDispatched, result.numCompleted,
+                            trace.size());
     return result;
 }
 

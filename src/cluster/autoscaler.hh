@@ -30,6 +30,17 @@
  *    it holds no work; a scale-up may also cancel the drain and
  *    return it to Accepting instantly (it is still warm).
  *
+ * When the cluster carries a FaultPlan (cluster/fault_plan.hh), a
+ * crash is a forced, instant power-off: queued and in-flight work on
+ * the machine is lost (accounted in AutoscaleResult::faults), the
+ * machine leaves the accepting set immediately, and it cannot be
+ * powered back on until its scheduled repair completes — after which
+ * the scaling policy replaces the capacity through the normal
+ * Off → WarmingUp → Accepting lifecycle. Killed queries fail over
+ * (re-present to the router) up to FaultPlan::maxFailovers times.
+ * Hedged requests are a static-tier feature; the elastic driver
+ * refuses a HedgeConfig.
+ *
  * Scale decisions come from a pluggable ScalingPolicy evaluated at
  * every control tick against windowed signals (tail latency of the
  * window's completions vs the SLA, fleet utilization over powered
@@ -310,12 +321,19 @@ struct AutoscaleResult
 
     uint64_t numQueries = 0;       ///< measured completions
     uint64_t numDispatched = 0;    ///< all routed queries
-    uint64_t numCompleted = 0;     ///< all completed (== dispatched)
+    uint64_t numCompleted = 0;     ///< all completed queries
     uint64_t numParts = 0;         ///< machine-parts dispatched
 
     /** Drop/degrade/goodput accounting (cluster/admission.hh). Count
-     *  fields always reconcile: offered == dropped + numDispatched. */
+     *  fields always reconcile with the fault books under the
+     *  three-way algebra: offered == completed + droppedFinal + lost
+     *  (assertFaultConservation in cluster/fault_plan.hh). */
     OverloadStats overload;
+
+    /** Crash/failover accounting (cluster/fault_plan.hh); all zero
+     *  when the run carries no FaultPlan. The elastic tier never
+     *  hedges, so every hedge counter stays zero. */
+    FaultStats faults;
 
     double offeredQps = 0;
     double spanSeconds = 0;        ///< first arrival .. last event

@@ -35,6 +35,26 @@ struct PartRec
         FanEmb,    ///< fan-out embedding phase (local lookups only)
         FanDense,  ///< TwoStage second phase: leader dense stacks
     } kind = Kind::Whole;
+
+    // --- fault/hedge bookkeeping (untouched on the fault-free path) ---
+    /** partner value of an unhedged part. */
+    static constexpr uint64_t kNoPartner = UINT64_MAX;
+
+    /** The hedge twin racing for the same logical share, if any. */
+    uint64_t partner = kNoPartner;
+
+    /** Dispatch generation of the owning query this part belongs to;
+     *  a mismatch against QueryState::gen marks the part stale (its
+     *  dispatch was killed and the query re-presented). */
+    uint32_t gen = 0;
+
+    bool done = false;       ///< finished all local work
+    bool cancelled = false;  ///< destroyed by a crash or staleness
+    bool hedged = false;     ///< this part IS the hedge duplicate
+
+    /** Tables this part covers (shard-aware fan-out only); hedging
+     *  uses it to find another replica able to serve the share. */
+    std::vector<uint32_t> tables;
 };
 
 /** The observer-facing name of a part kind. */
@@ -62,6 +82,17 @@ struct QueryState
     uint32_t cls = 0;         ///< effective priority class
     uint32_t attempt = 0;     ///< retries scheduled so far
     bool measured = true;
+
+    // --- fault/hedge bookkeeping (untouched on the fault-free path) ---
+    uint32_t gen = 0;         ///< dispatch generation (bumped each present)
+    uint32_t failovers = 0;   ///< failure-driven re-presentations so far
+    uint32_t leaderEpoch = 0; ///< leader engine epoch at dispatch
+    uint64_t firstPart = 0;   ///< parts[] index of this dispatch's first part
+    uint32_t numParts = 0;    ///< fan-out width of this dispatch
+    bool dead = false;        ///< killed by a failure (awaiting failover)
+    /** The dispatch holds a committed TwoStage join-phase cost that
+     *  must be released exactly once (JoinPhase admission or kill). */
+    bool joinCommitted = false;
 };
 
 /** Live view the routing policy observes at each arrival. */
@@ -71,9 +102,12 @@ class LiveView final : public ClusterView
     LiveView(const std::vector<SimConfig>& configs,
              const std::vector<MachineEngine>& engines,
              const std::vector<uint64_t>& in_flight,
-             const std::vector<double>& pending_join_cost)
+             const std::vector<double>& pending_join_cost,
+             const std::vector<uint8_t>& down_mask,
+             const size_t& up_count)
         : cfgs(configs), engines(engines), inFlight(in_flight),
-          pendingJoinCost(pending_join_cost)
+          pendingJoinCost(pending_join_cost), down(down_mask),
+          upCount(up_count)
     {
     }
 
@@ -121,6 +155,14 @@ class LiveView final : public ClusterView
         return 1.0 / cfgs[m].slowdown;
     }
 
+    bool accepting(size_t m) const override { return !down[m]; }
+
+    bool
+    allAccepting() const override
+    {
+        return upCount == engines.size();
+    }
+
   private:
     const std::vector<SimConfig>& cfgs;
     const std::vector<MachineEngine>& engines;
@@ -128,6 +170,10 @@ class LiveView final : public ClusterView
 
     /** Driver-maintained committed TwoStage join-phase cost. */
     const std::vector<double>& pendingJoinCost;
+
+    /** Driver-maintained crash mask (all up on the fault-free path). */
+    const std::vector<uint8_t>& down;
+    const size_t& upCount;
 };
 
 } // namespace
@@ -153,6 +199,25 @@ ClusterSimulator::ClusterSimulator(ClusterConfig config)
                            placement.bytesOnMachine(m) <= budget,
                        "placement exceeds a machine memory budget");
         }
+    }
+    if (cfg.faults.enabled()) {
+        validateFaultPlan(cfg.faults);
+        // Crashing a machine destroys its shard replicas for the
+        // outage; refuse placements that cannot survive the plan's
+        // declared tolerance (ShardPlacement availability validator).
+        if (cfg.sharding.has_value() && cfg.faults.faultTolerance > 0)
+            drs_assert(cfg.sharding->placement.replicatedFor(
+                           cfg.faults.faultTolerance),
+                       "placement replication below the declared "
+                       "fault tolerance");
+    }
+    if (cfg.hedge.enabled()) {
+        drs_assert(cfg.sharding.has_value(),
+                   "hedged requests need a sharded tier (only fan-out "
+                   "parts hedge)");
+        drs_assert(cfg.hedge.delayFor(cfg.overload.deadlineSeconds) > 0.0,
+                   "hedge delay must resolve positive (set delaySeconds "
+                   "or a deadline for delayFraction)");
     }
 }
 
@@ -199,7 +264,36 @@ ClusterSimulator::run(const QueryTrace& trace, RoutingPolicy& policy) const
     // consumes it so the disabled path stays the historical driver.
     std::vector<double> pendingJoinCost(cfg.machines.size(), 0.0);
 
-    LiveView view(cfg.machines, machines, inFlight, pendingJoinCost);
+    // Fault-injection state. When the plan is disabled every vector
+    // stays at its identity value and no new branch is taken, so the
+    // run is bitwise-identical to the fault-free driver.
+    const bool faultsOn = cfg.faults.enabled();
+    const bool hedgeOn = cfg.hedge.enabled();
+    const double hedgeDelay =
+        cfg.hedge.delayFor(cfg.overload.deadlineSeconds);
+    std::vector<uint8_t> down(cfg.machines.size(), 0);
+    std::vector<int> downDepth(cfg.machines.size(), 0);
+    std::vector<int> grayDepth(cfg.machines.size(), 0);
+    std::vector<int> netDepth(cfg.machines.size(), 0);
+    std::vector<double> netFactor(cfg.machines.size(), 1.0);
+    std::vector<uint32_t> engineEpoch(cfg.machines.size(), 0);
+    size_t upCount = cfg.machines.size();
+    std::vector<uint64_t> lostBuf;
+    // Engines advanced by a crash may run ahead of lastEventTime; the
+    // final utilization advance must not move their clocks backwards.
+    double lastFaultAdvance = trace.front().arrivalSeconds;
+    std::vector<FaultEvent> faultSchedule;
+    if (faultsOn) {
+        faultSchedule = buildFaultSchedule(
+            cfg.faults, static_cast<uint32_t>(cfg.machines.size()),
+            trace.front().arrivalSeconds, trace.back().arrivalSeconds);
+        for (size_t i = 0; i < faultSchedule.size(); i++)
+            events.push(faultSchedule[i].time, SimEvent::Kind::Fault,
+                        faultSchedule[i].machine, i);
+    }
+
+    LiveView view(cfg.machines, machines, inFlight, pendingJoinCost,
+                  down, upCount);
     // Overload control: only constructed when enabled, so the disabled
     // path is the historical driver plus one boolean test per arrival.
     std::optional<AdmissionController> admission;
@@ -239,7 +333,7 @@ ClusterSimulator::run(const QueryTrace& trace, RoutingPolicy& policy) const
         const uint32_t m = parts[part_idx].machine;
         scheduled.clear();
         machines[m].admit(spec, now, scheduled);
-        events.pushAll(scheduled, m);
+        events.pushAll(scheduled, m, engineEpoch[m]);
     };
 
     // A part reaches its machine (after the forward hop, if any).
@@ -307,7 +401,7 @@ ClusterSimulator::run(const QueryTrace& trace, RoutingPolicy& policy) const
 
     // A part finished all of its local work.
     auto finish_part = [&](uint64_t part_idx, double now, bool gpu) {
-        const PartRec& part = parts[part_idx];
+        PartRec& part = parts[part_idx];
         if (obs_) {
             obs_->onPartDone(
                 part.queryIdx, part.machine, stageOf(part.kind),
@@ -320,24 +414,53 @@ ClusterSimulator::run(const QueryTrace& trace, RoutingPolicy& policy) const
         inFlight[part.machine]--;
         QueryState& q = queries[part.queryIdx];
 
+        if (faultsOn || hedgeOn) {
+            part.done = true;
+            // A completion of a killed dispatch is a ghost: the query
+            // already failed over (or was lost) and this part's share
+            // was accounted at the kill.
+            if (part.gen != q.gen || q.dead)
+                return;
+            if (part.partner != PartRec::kNoPartner) {
+                const PartRec& twin = parts[part.partner];
+                if (twin.done) {
+                    // The twin got here first; this copy's answer is
+                    // discarded (tied-request loser).
+                    result.faults.hedgeWasted++;
+                    return;
+                }
+                if (part.hedged)
+                    result.faults.hedgeWins++;
+            }
+        }
+
         if (part.kind == PartRec::Kind::FanEmb &&
             cfg.join == JoinModel::TwoStage) {
             // Pooled embeddings travel to the leader; the dense phase
             // starts once the last part (the leader's own hop-free)
-            // lands.
+            // lands. A degraded NIC on either end stretches the hop.
             const double to_leader = part.leader
                 ? 0.0
                 : cfg.network.oneWaySeconds(
                       static_cast<double>(q.size) *
-                      cfg.network.embeddingBytesPerSample);
+                      cfg.network.embeddingBytesPerSample) *
+                      std::max(netFactor[part.machine],
+                               netFactor[q.machine]);
             q.leaderReady = std::max(q.leaderReady, now + to_leader);
             drs_assert(q.partsLeft > 0, "query with no pending parts");
             if (--q.partsLeft > 0)
                 return;
             q.partsLeft = 1;    // the dense phase itself
+            const uint64_t query_idx = part.queryIdx;
             const uint64_t dense_idx = parts.size();
-            parts.push_back({part.queryIdx, q.machine, 0.0, 0.0, true,
-                             PartRec::Kind::FanDense});
+            PartRec dense;
+            dense.queryIdx = query_idx;
+            dense.machine = q.machine;
+            dense.embFraction = 0.0;
+            dense.leader = true;
+            dense.kind = PartRec::Kind::FanDense;
+            dense.gen = q.gen;
+            parts.push_back(std::move(dense));
             inFlight[q.machine]++;
             result.perMachine[q.machine].joinPhases++;
             events.push(q.leaderReady, SimEvent::Kind::JoinPhase,
@@ -349,11 +472,174 @@ ClusterSimulator::run(const QueryTrace& trace, RoutingPolicy& policy) const
         // return scores to the router and join there.
         const double back = cfg.network.oneWaySeconds(
             static_cast<double>(q.size) *
-            cfg.network.responseBytesPerSample);
+            cfg.network.responseBytesPerSample) *
+            netFactor[part.machine];
         q.joinTime = std::max(q.joinTime, now + back);
         drs_assert(q.partsLeft > 0, "query with no pending parts");
         if (--q.partsLeft == 0)
             complete_query(part.queryIdx);
+    };
+
+    // A failure destroyed query @p idx's current dispatch. Release
+    // its committed join cost, then either fail over (schedule a
+    // re-present with exponential client backoff) or record the final
+    // loss. Callers guarantee the query is live (not dead, current
+    // generation).
+    auto fail_query = [&](uint64_t idx, double now) {
+        QueryState& q = queries[idx];
+        q.dead = true;
+        if (q.joinCommitted) {
+            pendingJoinCost[q.machine] -=
+                machines[q.machine].joinPhaseCostSeconds(q.size);
+            q.joinCommitted = false;
+        }
+        if (q.failovers < cfg.faults.maxFailovers) {
+            q.failovers++;
+            result.faults.failovers++;
+            const double delay = cfg.faults.failoverDelaySeconds *
+                static_cast<double>(
+                    1u << std::min<uint32_t>(q.failovers - 1, 16));
+            events.push(now + delay, SimEvent::Kind::Retry, 0, idx);
+            if (obs_)
+                obs_->onQueryFailover(idx, now, q.failovers, delay);
+        } else {
+            result.faults.lost++;
+            result.faults.lostQueries.push_back(idx);
+            result.machineOfQuery[idx] = ClusterResult::lostMachine;
+            if (idx >= warmup)
+                span.onArrival(trace[idx].arrivalSeconds);
+            if (obs_)
+                obs_->onQueryLost(idx, now);
+        }
+    };
+
+    // A live part was destroyed (its machine crashed, or its forwarded
+    // RPC landed on a dead machine). Decide the owning query's fate.
+    auto lost_part_fate = [&](uint64_t part_idx, double now) {
+        PartRec& part = parts[part_idx];
+        part.cancelled = true;
+        drs_assert(inFlight[part.machine] > 0,
+                   "lost part with nothing in flight");
+        inFlight[part.machine]--;
+        result.faults.partsLost++;
+        QueryState& q = queries[part.queryIdx];
+        if (part.gen != q.gen || q.dead)
+            return;    // that dispatch already died
+        if (part.partner != PartRec::kNoPartner) {
+            const PartRec& twin = parts[part.partner];
+            if (twin.done)
+                return;    // the share already completed via the twin
+            if (!twin.cancelled) {
+                // The twin is still running and carries the share —
+                // the hedge just saved this query from the crash.
+                result.faults.hedgeSaves++;
+                return;
+            }
+        }
+        fail_query(part.queryIdx, now);
+    };
+
+    // Fail-stop crash of machine @p m: epoch-fence its pending engine
+    // completions, destroy queued and in-flight work, mark it
+    // non-accepting. Depth-counted so overlapping windows (random +
+    // correlated) stay idempotent.
+    auto on_crash = [&](uint32_t m, double now) {
+        if (downDepth[m]++ > 0)
+            return;
+        down[m] = 1;
+        upCount--;
+        result.faults.crashes++;
+        engineEpoch[m]++;
+        lastFaultAdvance = std::max(lastFaultAdvance, now);
+        lostBuf.clear();
+        machines[m].crash(now, lostBuf);
+        if (obs_)
+            obs_->onMachineDown(m, now);
+        for (uint64_t lost_part : lostBuf)
+            lost_part_fate(lost_part, now);
+    };
+
+    auto on_recover = [&](uint32_t m, double now) {
+        drs_assert(downDepth[m] > 0, "recovery of a machine never down");
+        if (--downDepth[m] > 0)
+            return;
+        down[m] = 0;
+        upCount++;
+        result.faults.recoveries++;
+        if (obs_)
+            obs_->onMachineUp(m, now);
+    };
+
+    // Tail-at-scale hedging: the query is still missing fan-out parts
+    // hedgeDelay after dispatch. Duplicate each unfinished, unhedged,
+    // non-leader embedding part onto the least-loaded accepting
+    // replica of its tables and let the copies race.
+    auto hedge_query = [&](uint64_t idx, double now) {
+        QueryState& q = queries[idx];
+        const uint64_t first = q.firstPart;
+        const uint32_t width = q.numParts;
+        for (uint32_t i = 0; i < width; i++) {
+            const uint64_t pi = first + i;
+            if (parts[pi].done || parts[pi].cancelled ||
+                parts[pi].leader ||
+                parts[pi].partner != PartRec::kNoPartner ||
+                parts[pi].kind != PartRec::Kind::FanEmb)
+                continue;
+            const uint32_t src = parts[pi].machine;
+            const ShardPlacement& placement = cfg.sharding->placement;
+            size_t best = machines.size();
+            double best_load = 0.0;
+            for (size_t m = 0; m < machines.size(); m++) {
+                if (m == src || down[m])
+                    continue;
+                if (!placement.holdsAll(m, parts[pi].tables))
+                    continue;
+                // The router's load signal (outstanding work scaled
+                // by machine speed), lowest index winning ties.
+                const double load =
+                    static_cast<double>(inFlight[m] +
+                                        machines[m].queuedWork()) *
+                    cfg.machines[m].slowdown;
+                if (best == machines.size() || load < best_load) {
+                    best = m;
+                    best_load = load;
+                }
+            }
+            if (best == machines.size())
+                continue;    // no surviving replica to hedge onto
+            const uint64_t dup_idx = parts.size();
+            PartRec dup;
+            dup.queryIdx = idx;
+            dup.machine = static_cast<uint32_t>(best);
+            dup.embFraction = parts[pi].embFraction;
+            dup.leader = false;
+            dup.kind = PartRec::Kind::FanEmb;
+            dup.gen = q.gen;
+            dup.partner = pi;
+            dup.hedged = true;
+            dup.tables = parts[pi].tables;
+            parts.push_back(std::move(dup));
+            parts[pi].partner = dup_idx;
+            inFlight[best]++;
+            result.perMachine[best].remoteParts++;
+            result.numParts++;
+            result.partMachinesOfQuery[idx].push_back(
+                static_cast<uint32_t>(best));
+            result.faults.hedged++;
+            if (obs_)
+                obs_->onPartHedged(idx, now, src,
+                                   static_cast<uint32_t>(best));
+            const double forward = cfg.network.oneWaySeconds(
+                static_cast<double>(q.size) *
+                cfg.network.requestBytesPerSample) * netFactor[best];
+            if (forward > 0.0) {
+                events.push(now + forward, SimEvent::Kind::PartArrival,
+                            static_cast<uint32_t>(best), dup_idx);
+            } else {
+                machines[best].advanceTo(now);
+                start_part(dup_idx, now);
+            }
+        }
     };
 
     // Present query @p idx to the router at @p now — its trace
@@ -370,7 +656,7 @@ ClusterSimulator::run(const QueryTrace& trace, RoutingPolicy& policy) const
             ? std::min(in.priorityClass, cfg.overload.priorityClasses - 1)
             : 0;
         ClassOverloadStats* cs = class_stats(q.cls);
-        if (cs && q.attempt == 0)
+        if (cs && q.attempt == 0 && q.failovers == 0)
             cs->offered++;
 
         Query served = in;
@@ -414,26 +700,39 @@ ClusterSimulator::run(const QueryTrace& trace, RoutingPolicy& policy) const
                 }
                 return;
             }
-            if (verdict.servedSize < in.size) {
+            if (verdict.servedSize < in.size)
                 served.size = verdict.servedSize;
-                result.overload.degraded++;
-                if (cs)
-                    cs->degraded++;
-                result.overload.degradedQueries.push_back(
-                    {idx, in.size, verdict.servedSize});
-                if (obs_)
-                    obs_->onQueryDegrade(idx, now, in.size,
-                                         verdict.servedSize);
-            }
             quality = verdict.quality;
+        }
+
+        // Route before committing the admission books: under fault
+        // injection the query may be unservable (no accepting replica
+        // set covers its tables), which is neither an admission nor a
+        // drop — admission never saw a servable query.
+        std::vector<ShardTarget> plan;
+        if (!faultsOn || upCount > 0)
+            plan = policy.routeParts(served, view);
+        if (plan.empty()) {
+            drs_assert(faultsOn, "policy returned no targets");
+            lastEventTime = std::max(lastEventTime, now);
+            if (idx >= warmup)
+                span.onArrival(in.arrivalSeconds);
+            result.faults.unroutable++;
+            fail_query(idx, now);
+            return;
+        }
+        if (admission && served.size < in.size) {
+            result.overload.degraded++;
+            if (cs)
+                cs->degraded++;
+            result.overload.degradedQueries.push_back(
+                {idx, in.size, served.size});
+            if (obs_)
+                obs_->onQueryDegrade(idx, now, in.size, served.size);
         }
         result.overload.admitted++;
         if (cs)
             cs->admitted++;
-
-        const std::vector<ShardTarget> plan =
-            policy.routeParts(served, view);
-        drs_assert(!plan.empty(), "policy returned no targets");
         lastEventTime = std::max(lastEventTime, now);
 
         q.arrival = in.arrivalSeconds;
@@ -443,6 +742,11 @@ ClusterSimulator::run(const QueryTrace& trace, RoutingPolicy& policy) const
         q.leaderReady = now;
         q.quality = quality;
         q.measured = idx >= warmup;
+        q.gen++;
+        q.dead = false;
+        q.firstPart = parts.size();
+        q.numParts = static_cast<uint32_t>(plan.size());
+        q.joinCommitted = false;
         if (q.measured)
             span.onArrival(in.arrivalSeconds);
 
@@ -455,15 +759,17 @@ ClusterSimulator::run(const QueryTrace& trace, RoutingPolicy& policy) const
                                   forward, q.measured);
 
         size_t leaders = 0;
-        for (const ShardTarget& target : plan) {
+        for (ShardTarget& target : plan) {
             drs_assert(target.machine < machines.size(),
                        "policy routed out of range");
             const uint32_t m = target.machine;
+            drs_assert(!down[m], "policy routed to a down machine");
             machines[m].advanceTo(now);
             inFlight[m]++;
             if (target.leader) {
                 leaders++;
                 q.machine = m;
+                q.leaderEpoch = engineEpoch[m];
                 result.machineOfQuery[idx] = m;
                 result.perMachine[m].queriesDispatched++;
             } else {
@@ -477,20 +783,31 @@ ClusterSimulator::run(const QueryTrace& trace, RoutingPolicy& policy) const
                              plan.size() == 1
                                  ? PartRec::Kind::Whole
                                  : PartRec::Kind::FanEmb});
+            parts.back().gen = q.gen;
+            if (hedgeOn)
+                parts.back().tables = std::move(target.tables);
             result.numParts++;
             if (forward > 0.0) {
-                events.push(now + forward, SimEvent::Kind::PartArrival, m,
-                            part_idx);
+                events.push(now + forward * netFactor[m],
+                            SimEvent::Kind::PartArrival, m, part_idx);
             } else {
                 start_part(part_idx, now);
             }
         }
         drs_assert(leaders == 1, "plan needs exactly one leader");
         // Commit the leader's future dense phase to the estimator's
-        // second-order backlog (released at the JoinPhase event).
-        if (trackJoinCost && plan.size() > 1)
+        // second-order backlog (released exactly once, at the
+        // JoinPhase event or when a failure kills the dispatch).
+        if (trackJoinCost && plan.size() > 1) {
             pendingJoinCost[q.machine] +=
                 machines[q.machine].joinPhaseCostSeconds(served.size);
+            q.joinCommitted = true;
+        }
+        // Arm the tail-at-scale hedge for fanned-out dispatches; the
+        // check goes stale if the query completes or fails first.
+        if (hedgeOn && plan.size() > 1)
+            events.push(now + hedgeDelay, SimEvent::Kind::HedgeCheck, 0,
+                        idx, q.gen);
     };
 
     size_t nextArrival = 0;
@@ -513,31 +830,124 @@ ClusterSimulator::run(const QueryTrace& trace, RoutingPolicy& policy) const
         }
 
         const SimEvent ev = events.pop();
+
+        // Fault transitions and hedge checks are environment, not
+        // traffic: they are handled before the generic advance so they
+        // never stretch the measured span or utilization window.
+        if (ev.kind == SimEvent::Kind::Fault) {
+            const FaultEvent& fe = faultSchedule[ev.partIdx];
+            switch (fe.kind) {
+              case FaultEvent::Kind::Crash:
+                on_crash(fe.machine, ev.time);
+                break;
+              case FaultEvent::Kind::Recover:
+                on_recover(fe.machine, ev.time);
+                break;
+              case FaultEvent::Kind::GrayStart:
+                // Depth-counted: overlapping windows extend, the first
+                // open sets the factor, the last close clears it.
+                if (grayDepth[fe.machine]++ == 0) {
+                    machines[fe.machine].setServiceFactor(fe.factor);
+                    result.faults.grayWindows++;
+                }
+                break;
+              case FaultEvent::Kind::GrayEnd:
+                if (--grayDepth[fe.machine] == 0)
+                    machines[fe.machine].setServiceFactor(1.0);
+                break;
+              case FaultEvent::Kind::NetDegradeStart:
+                if (netDepth[fe.machine]++ == 0) {
+                    netFactor[fe.machine] = fe.factor;
+                    result.faults.netDegradeWindows++;
+                }
+                break;
+              case FaultEvent::Kind::NetDegradeEnd:
+                if (--netDepth[fe.machine] == 0)
+                    netFactor[fe.machine] = 1.0;
+                break;
+            }
+            continue;
+        }
+        if (ev.kind == SimEvent::Kind::HedgeCheck) {
+            const QueryState& hq = queries[ev.partIdx];
+            if (ev.slot == hq.gen && !hq.dead && hq.partsLeft > 0)
+                hedge_query(ev.partIdx, ev.time);
+            continue;
+        }
+        // A completion stamped by a dead engine incarnation is a
+        // ghost: the crash already accounted for its part.
+        if (faultsOn && ev.epoch != engineEpoch[ev.machine] &&
+            (ev.kind == SimEvent::Kind::CpuRequest ||
+             ev.kind == SimEvent::Kind::GpuQuery))
+            continue;
+
         machines[ev.machine].advanceTo(ev.time);
         lastEventTime = std::max(lastEventTime, ev.time);
 
         switch (ev.kind) {
           case SimEvent::Kind::PartArrival:
+            if (faultsOn) {
+                PartRec& part = parts[ev.partIdx];
+                const QueryState& q = queries[part.queryIdx];
+                if (part.gen != q.gen || q.dead) {
+                    // The dispatch died while this RPC was in flight;
+                    // the client cancelled it.
+                    part.cancelled = true;
+                    drs_assert(inFlight[ev.machine] > 0,
+                               "cancel with nothing in flight");
+                    inFlight[ev.machine]--;
+                    break;
+                }
+                if (down[ev.machine]) {
+                    // Forwarded onto a machine that died en route.
+                    lost_part_fate(ev.partIdx, ev.time);
+                    break;
+                }
+            }
             start_part(ev.partIdx, ev.time);
             break;
 
-          case SimEvent::Kind::JoinPhase:
+          case SimEvent::Kind::JoinPhase: {
+            PartRec& part = parts[ev.partIdx];
+            QueryState& q = queries[part.queryIdx];
+            if (faultsOn && (part.gen != q.gen || q.dead)) {
+                // Stale join of a killed dispatch — its committed
+                // cost was already released at the kill.
+                part.cancelled = true;
+                drs_assert(inFlight[ev.machine] > 0,
+                           "cancel with nothing in flight");
+                inFlight[ev.machine]--;
+                break;
+            }
             // The committed phase becomes real queued work here; the
             // subtraction mirrors the addition at fan-out dispatch
             // exactly (identical joinPhaseCostSeconds inputs).
-            if (trackJoinCost)
+            if (q.joinCommitted) {
                 pendingJoinCost[ev.machine] -=
-                    machines[ev.machine].joinPhaseCostSeconds(
-                        queries[parts[ev.partIdx].queryIdx].size);
+                    machines[ev.machine].joinPhaseCostSeconds(q.size);
+                q.joinCommitted = false;
+            }
+            if (faultsOn && engineEpoch[q.machine] != q.leaderEpoch) {
+                // The leader restarted since dispatch: the pooled
+                // embeddings of this query died with it.
+                part.cancelled = true;
+                drs_assert(inFlight[ev.machine] > 0,
+                           "cancel with nothing in flight");
+                inFlight[ev.machine]--;
+                fail_query(part.queryIdx, ev.time);
+                break;
+            }
             start_part(ev.partIdx, ev.time);
             break;
+          }
 
           case SimEvent::Kind::CpuRequest:
             scheduled.clear();
             if (machines[ev.machine].cpuRequestDone(ev.slot, ev.partIdx,
                                                     ev.time, scheduled))
                 finish_part(ev.partIdx, ev.time, false);
-            events.pushAll(scheduled, ev.machine);
+            events.pushAll(scheduled, ev.machine,
+                           engineEpoch[ev.machine]);
             break;
 
           case SimEvent::Kind::GpuQuery:
@@ -545,13 +955,19 @@ ClusterSimulator::run(const QueryTrace& trace, RoutingPolicy& policy) const
             machines[ev.machine].gpuQueryDone(ev.slot, ev.partIdx,
                                               ev.time, scheduled);
             finish_part(ev.partIdx, ev.time, true);
-            events.pushAll(scheduled, ev.machine);
+            events.pushAll(scheduled, ev.machine,
+                           engineEpoch[ev.machine]);
             break;
 
           case SimEvent::Kind::Retry:
-            // A client re-presents a shed query after its backoff.
+            // A client re-presents a shed or failed-over query after
+            // its backoff.
             present(ev.partIdx, ev.time);
             break;
+
+          case SimEvent::Kind::Fault:
+          case SimEvent::Kind::HedgeCheck:
+            drs_panic("fault events are handled before the switch");
 
           case SimEvent::Kind::Control:
           case SimEvent::Kind::MachineUp:
@@ -575,9 +991,13 @@ ClusterSimulator::run(const QueryTrace& trace, RoutingPolicy& policy) const
     }
 
     const double full_span = lastEventTime - trace.front().arrivalSeconds;
+    // A crash may have advanced an engine past the last traffic event;
+    // the final advance must never move a clock backwards. Busy time
+    // cannot accrue on an idle machine, so the integrals are unchanged.
+    const double finalAdvance = std::max(lastEventTime, lastFaultAdvance);
     double util_sum = 0.0;
     for (size_t m = 0; m < machines.size(); m++) {
-        machines[m].advanceTo(lastEventTime);
+        machines[m].advanceTo(finalAdvance);
         MachineStats& stats = result.perMachine[m];
         stats.requestsDispatched = machines[m].requestsDispatched();
         stats.busyCoreSeconds = machines[m].busyCoreSeconds();
@@ -593,6 +1013,12 @@ ClusterSimulator::run(const QueryTrace& trace, RoutingPolicy& policy) const
     }
     result.meanCpuUtilization =
         util_sum / static_cast<double>(machines.size());
+
+    // The three-way conservation algebra holds exactly on every run —
+    // chaos or not — at any thread count.
+    assertFaultConservation(result.overload, result.faults,
+                            result.numDispatched, result.numCompleted,
+                            trace.size());
     return result;
 }
 

@@ -49,6 +49,7 @@
 
 #include "base/stats.hh"
 #include "cluster/admission.hh"
+#include "cluster/fault_plan.hh"
 #include "cluster/network.hh"
 #include "cluster/routing_policy.hh"
 #include "cluster/shard_placement.hh"
@@ -88,6 +89,22 @@ struct ClusterConfig
      * driver (tests/test_engine_diff.cc holds it to that).
      */
     OverloadConfig overload;
+
+    /**
+     * Deterministic fault injection (cluster/fault_plan.hh): seeded
+     * crash / gray-failure / network-degradation schedules plus the
+     * failover budget. Disabled by default, in which case every new
+     * code path is gated off and runs are bitwise-identical to the
+     * fault-free driver.
+     */
+    FaultPlan faults;
+
+    /**
+     * Tail-at-scale hedged requests for fanned-out dispatches
+     * (cluster/fault_plan.hh). Requires a sharded tier; only fan-out
+     * embedding parts are hedged. Disabled by default.
+     */
+    HedgeConfig hedge;
 };
 
 /** Per-machine embedding-memory budgets (SimConfig::memoryBytes). */
@@ -117,11 +134,15 @@ struct ClusterResult
     std::vector<MachineStats> perMachine;
 
     /** Leader machine per trace index (for conservation checks);
-     *  queries shed at the router carry the droppedMachine sentinel. */
+     *  queries shed at the router carry the droppedMachine sentinel
+     *  and queries destroyed by a failure carry lostMachine. */
     std::vector<uint32_t> machineOfQuery;
 
     /** machineOfQuery value of a query shed at the router. */
     static constexpr uint32_t droppedMachine = UINT32_MAX;
+
+    /** machineOfQuery value of a query destroyed by a failure. */
+    static constexpr uint32_t lostMachine = UINT32_MAX - 1;
 
     /**
      * Every machine that served a part of each query, leader first.
@@ -142,8 +163,14 @@ struct ClusterResult
     double meanCpuUtilization = 0;     ///< average across machines
 
     /** Drop/degrade/goodput accounting (cluster/admission.hh). Count
-     *  fields always reconcile: offered == dropped + numDispatched. */
+     *  fields always reconcile with the fault books under the
+     *  three-way algebra: offered == completed + droppedFinal + lost
+     *  (assertFaultConservation in cluster/fault_plan.hh). */
     OverloadStats overload;
+
+    /** Crash/failover/hedge accounting (cluster/fault_plan.hh); all
+     *  zero when the run carries no FaultPlan and no HedgeConfig. */
+    FaultStats faults;
 
     /** Fleet-wide p95 latency in milliseconds. */
     double

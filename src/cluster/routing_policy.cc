@@ -269,7 +269,10 @@ class ShardAwarePolicy final : public RoutingPolicy
     size_t
     route(const Query& query, const ClusterView& view) override
     {
-        return routeParts(query, view).front().machine;
+        const std::vector<ShardTarget> parts = routeParts(query, view);
+        drs_assert(!parts.empty(),
+                   "uncovered table with no accepting replica");
+        return parts.front().machine;
     }
 
     std::vector<ShardTarget>
@@ -291,9 +294,12 @@ class ShardAwarePolicy final : public RoutingPolicy
                 candidates.push_back(m);
         }
         if (!candidates.empty()) {
-            const uint32_t m =
+            ShardTarget whole;
+            whole.machine =
                 static_cast<uint32_t>(leastLoaded(view, candidates));
-            return {{m, 1.0, true}};
+            whole.embFraction = 1.0;
+            whole.leader = true;
+            return {whole};
         }
 
         // Greedy set cover over replicas; the first pick covers the
@@ -324,19 +330,27 @@ class ShardAwarePolicy final : public RoutingPolicy
                     best_load = load;
                 }
             }
-            drs_assert(best < view.numMachines(),
-                       "uncovered table with no accepting replica");
+            // With machines down, a table can lose its last accepting
+            // replica mid-run; report the query unservable (empty
+            // plan) and let the fault-aware driver fail it over.
+            // Fault-free runs never reach this: feasible placements
+            // cover every table and static tiers accept everywhere.
+            if (best == view.numMachines())
+                return {};
             used[best] = true;
+            ShardTarget part;
+            part.machine = static_cast<uint32_t>(best);
+            part.leader = parts.empty();
             for (size_t i = 0; i < tables.size(); i++) {
                 if (!covered[i] && placement.holds(best, tables[i])) {
                     covered[i] = true;
                     uncovered--;
+                    part.tables.push_back(tables[i]);
                 }
             }
-            parts.push_back({static_cast<uint32_t>(best),
-                             static_cast<double>(best_cover) /
-                                 static_cast<double>(tables.size()),
-                             parts.empty()});
+            part.embFraction = static_cast<double>(best_cover) /
+                               static_cast<double>(tables.size());
+            parts.push_back(std::move(part));
         }
         return parts;
     }

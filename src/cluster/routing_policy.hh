@@ -155,6 +155,13 @@ struct ShardTarget
 
     /** The leader also runs the dense + interaction + predict stacks. */
     bool leader = false;
+
+    /**
+     * The tables this part covers (shard-aware fan-out only; empty
+     * for single-hop and whole-query dispatches). Hedged requests use
+     * it to find another replica able to serve the same share.
+     */
+    std::vector<uint32_t> tables;
 };
 
 /**
@@ -174,12 +181,20 @@ class RoutingPolicy
      * Full dispatch plan for @p query: which machines serve it and
      * what share of the work each takes. The default wraps route()
      * into one whole-query part; only shard-aware policies fan out.
-     * Parts are distinct machines and exactly one part leads.
+     * Parts are distinct machines and exactly one part leads. An
+     * *empty* plan means no accepting replica set covers the query —
+     * only possible under fault injection when machines are down;
+     * fault-aware drivers treat it as unservable (the query fails
+     * over or is lost) and fault-free runs never see it.
      */
     virtual std::vector<ShardTarget>
     routeParts(const Query& query, const ClusterView& view)
     {
-        return {{static_cast<uint32_t>(route(query, view)), 1.0, true}};
+        ShardTarget whole;
+        whole.machine = static_cast<uint32_t>(route(query, view));
+        whole.embFraction = 1.0;
+        whole.leader = true;
+        return {whole};
     }
 
     /** The policy family. */

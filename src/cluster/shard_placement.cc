@@ -219,6 +219,36 @@ ShardPlacement::build(const std::vector<EmbeddingTableInfo>& tables,
       }
     }
 
+    // Availability pass: top every table up to minReplicas copies,
+    // largest tables first (they are the hardest to fit, so they get
+    // first pick of the remaining space), each extra copy onto the
+    // machine with the most free bytes not already holding the table.
+    // Best-effort: a table that fits nowhere keeps fewer copies and
+    // replicatedFor() reports the shortfall.
+    if (spec.minReplicas > 1) {
+        for (size_t idx : bySizeDesc(tables)) {
+            const EmbeddingTableInfo& t = tables[idx];
+            while (p.machinesOfTable_[t.id].size() < spec.minReplicas) {
+                size_t best = machines;
+                uint64_t best_free = 0;
+                for (size_t m = 0; m < machines; m++) {
+                    if (p.holds_[m][t.id])
+                        continue;
+                    const uint64_t free =
+                        freeBytes(budget_bytes[m], p.bytesOnMachine_[m]);
+                    if (free >= t.bytes &&
+                        (best == machines || free > best_free)) {
+                        best = m;
+                        best_free = free;
+                    }
+                }
+                if (best == machines ||
+                    !p.assign(t.id, best, t.bytes, budget_bytes))
+                    break;
+            }
+        }
+    }
+
     for (auto& on_machine : p.tablesOnMachine_)
         std::sort(on_machine.begin(), on_machine.end());
     p.feasible_ = !tables.empty();
@@ -254,6 +284,17 @@ ShardPlacement::totalReplicas() const
     for (const auto& machines : machinesOfTable_)
         replicas += machines.size();
     return replicas;
+}
+
+uint32_t
+ShardPlacement::minReplication() const
+{
+    if (machinesOfTable_.empty())
+        return 0;
+    size_t least = machinesOfTable_.front().size();
+    for (const auto& machines : machinesOfTable_)
+        least = std::min(least, machines.size());
+    return static_cast<uint32_t>(least);
 }
 
 std::vector<uint32_t>

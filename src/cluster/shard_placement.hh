@@ -89,6 +89,17 @@ struct PlacementSpec
      * first table that would overflow this reserve on any machine.
      */
     double hotReplicaFraction = 0.5;
+
+    /**
+     * Replication-for-availability floor: after the strategy runs,
+     * every table is replicated onto additional machines (most free
+     * bytes first) until it has this many copies or no machine fits
+     * another. 1 (the default) keeps historical single-copy behavior.
+     * Best-effort — callers that *require* the floor check
+     * replicatedFor() afterwards; fault-aware drivers refuse
+     * placements below FaultPlan::faultTolerance.
+     */
+    uint32_t minReplicas = 1;
 };
 
 /**
@@ -146,6 +157,23 @@ class ShardPlacement
 
     /** Total replicas across machines (= numTables when single-copy). */
     uint64_t totalReplicas() const;
+
+    /** Replica count of the least-replicated table (0 when a table is
+     *  unplaced or the placement is empty). */
+    uint32_t minReplication() const;
+
+    /**
+     * Availability validator: true when every table has at least
+     * @p required replicas (vacuously true at 0). A placement below a
+     * tier's FaultPlan::faultTolerance loses data — and queries — on
+     * the first crash of the wrong machine, so fault-aware drivers
+     * refuse to run one.
+     */
+    bool
+    replicatedFor(uint32_t required) const
+    {
+        return minReplication() >= required;
+    }
 
     /** The spec the placement was built from. */
     const PlacementSpec& spec() const { return spec_; }

@@ -243,6 +243,67 @@ RunObserver::onTablesTouched(const std::vector<uint32_t>& tables)
 }
 
 void
+RunObserver::onMachineDown(uint32_t machine, double t_s)
+{
+    if (cfg_.metrics)
+        registry_.counter("machines_crashed").add();
+    if (cfg_.traceSpans) {
+        writer_.instant("machine_down", "fault", 1 + machine, t_s,
+                        "\"machine\": " + std::to_string(machine));
+    }
+}
+
+void
+RunObserver::onMachineUp(uint32_t machine, double t_s)
+{
+    if (cfg_.metrics)
+        registry_.counter("machines_recovered").add();
+    if (cfg_.traceSpans) {
+        writer_.instant("machine_up", "fault", 1 + machine, t_s,
+                        "\"machine\": " + std::to_string(machine));
+    }
+}
+
+void
+RunObserver::onPartHedged(uint64_t idx, double t_s, uint32_t from_machine,
+                          uint32_t to_machine)
+{
+    if (cfg_.metrics)
+        registry_.counter("parts_hedged").add();
+    if (sampledQuery(idx)) {
+        writer_.instant("hedge", "router", 0, t_s,
+                        "\"query\": " + std::to_string(idx) +
+                            ", \"from\": " + std::to_string(from_machine) +
+                            ", \"to\": " + std::to_string(to_machine));
+    }
+}
+
+void
+RunObserver::onQueryFailover(uint64_t idx, double t_s, uint32_t attempt,
+                             double delay_s)
+{
+    if (cfg_.metrics)
+        registry_.counter("queries_failover").add();
+    if (sampledQuery(idx)) {
+        writer_.instant("failover", "router", 0, t_s,
+                        "\"query\": " + std::to_string(idx) +
+                            ", \"attempt\": " + std::to_string(attempt) +
+                            ", \"delay_s\": " + std::to_string(delay_s));
+    }
+}
+
+void
+RunObserver::onQueryLost(uint64_t idx, double t_s)
+{
+    if (cfg_.metrics)
+        registry_.counter("queries_lost").add();
+    if (sampledQuery(idx)) {
+        writer_.instant("lost", "router", 0, t_s,
+                        "\"query\": " + std::to_string(idx));
+    }
+}
+
+void
 RunObserver::onScaleEvent(double t_s, size_t serving_before,
                           size_t target, size_t granted)
 {

@@ -233,6 +233,33 @@ class RunObserver
     /** Shard-aware routing touched these tables (per-table load). */
     void onTablesTouched(const std::vector<uint32_t>& tables);
 
+    // ------------------------------------------------- fault hooks
+    /** Machine @p machine crashed (or was fault-injected down) at
+     *  @p t_s. Counted under `machines_crashed`; always emitted as a
+     *  `machine_down` instant when tracing (not query-sampled — an
+     *  outage is fleet state, not query state). */
+    void onMachineDown(uint32_t machine, double t_s);
+
+    /** Machine @p machine rejoined service at @p t_s (counter
+     *  `machines_recovered`, instant `machine_up`). */
+    void onMachineUp(uint32_t machine, double t_s);
+
+    /** The router hedged a straggling part of query @p idx at @p t_s:
+     *  a duplicate was issued on @p to_machine to race the original on
+     *  @p from_machine (counter `parts_hedged`, instant `hedge`). */
+    void onPartHedged(uint64_t idx, double t_s, uint32_t from_machine,
+                      uint32_t to_machine);
+
+    /** Query @p idx was killed by a failure at @p t_s and will be
+     *  re-presented (attempt @p attempt, 1-based) after @p delay_s
+     *  (counter `queries_failover`, instant `failover`). */
+    void onQueryFailover(uint64_t idx, double t_s, uint32_t attempt,
+                         double delay_s);
+
+    /** Query @p idx was destroyed by a failure at @p t_s with no
+     *  failover budget left (counter `queries_lost`, instant `lost`). */
+    void onQueryLost(uint64_t idx, double t_s);
+
     /** The elastic tier applied a scale decision (instant event). */
     void onScaleEvent(double t_s, size_t serving_before, size_t target,
                       size_t granted);

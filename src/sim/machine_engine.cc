@@ -34,6 +34,34 @@ MachineEngine::advanceTo(double now)
     lastEventTime = now;
 }
 
+void
+MachineEngine::crash(double now, std::vector<uint64_t>& lost_parts)
+{
+    // Bill busy time up to the instant of death, then drop the world.
+    advanceTo(now);
+    for (const PartBook& book : slab) {
+        if (book.active)
+            lost_parts.push_back(book.partIdx);
+    }
+    slab.clear();
+    freeSlots.clear();
+    cpuQueue.clear();
+    gpuQueue.clear();
+    busyCores_ = 0;
+    gpuBusy = false;
+    queuedSamples_ = 0;
+    queuedCostSeconds_ = 0;
+    serviceFactor_ = 1.0;
+    lastFinishedFirstStart_ = -1.0;
+}
+
+void
+MachineEngine::setServiceFactor(double factor)
+{
+    drs_assert(factor > 0.0, "service factor must be positive");
+    serviceFactor_ = factor;
+}
+
 MachineEngine::PartBook&
 MachineEngine::bookAt(uint32_t slot, uint64_t part_idx)
 {
@@ -132,7 +160,7 @@ MachineEngine::dispatchCpu(double now, std::vector<EngineEvent>& out)
                  : cfg->cpu.partialRequestSeconds(req.batch, busyCores_,
                                                   book.embFraction,
                                                   book.leader)) *
-            cfg->slowdown;
+            cfg->slowdown * serviceFactor_;
         out.push_back({now + service, EngineEvent::Kind::CpuRequest,
                        book.partIdx, req.slot});
         requestsDispatched_++;
@@ -153,7 +181,8 @@ MachineEngine::startGpu(double now, std::vector<EngineEvent>& out)
     if (book.firstStart < 0)
         book.firstStart = now;
     const double service =
-        cfg->gpu->querySeconds(book.samples) * cfg->slowdown;
+        cfg->gpu->querySeconds(book.samples) * cfg->slowdown *
+        serviceFactor_;
     out.push_back({now + service, EngineEvent::Kind::GpuQuery,
                    book.partIdx, slot});
 }

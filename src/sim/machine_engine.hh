@@ -176,6 +176,31 @@ class MachineEngine
     /** Advance the utilization integrals to @p now (monotone). */
     void advanceTo(double now);
 
+    /**
+     * Fail-stop crash at @p now: every queued and in-flight part is
+     * lost. The driver ids of all live parts are appended to
+     * @p lost_parts (in slot order — deterministic) so the driver can
+     * account each loss; the engine then resets to an empty fresh
+     * process — queues cleared, cores and accelerator freed, the gray
+     * service factor back to 1 — while the busy-time integrals keep
+     * accumulating across the incarnation (the machine, not the
+     * process, owns them). Completions already scheduled by the dead
+     * incarnation must be discarded by the driver (SimEvent::epoch).
+     */
+    void crash(double now, std::vector<uint64_t>& lost_parts);
+
+    /**
+     * Gray failure: multiply every service time dispatched from now on
+     * by @p factor (> 1 is slower; 1 restores health). Deliberately
+     * invisible to queuedCostSeconds()/joinPhaseCostSeconds() — a gray
+     * machine lies to the admission estimator exactly the way a real
+     * straggler lies to a load balancer that prices on specs.
+     */
+    void setServiceFactor(double factor);
+
+    /** Current gray-failure service multiplier (1 when healthy). */
+    double serviceFactor() const { return serviceFactor_; }
+
     // ----------------------------------------------------- live view
     /** Work items (requests/queries) waiting in the two queues. */
     size_t queuedWork() const { return cpuQueue.size() + gpuQueue.size(); }
@@ -325,6 +350,7 @@ class MachineEngine
     bool gpuBusy = false;
     size_t queuedSamples_ = 0;
     double queuedCostSeconds_ = 0;
+    double serviceFactor_ = 1.0;   ///< gray-failure multiplier
 
     // Lazy utilization integrals: advanced whenever the driver says.
     double lastEventTime;
@@ -348,8 +374,15 @@ class MachineEngine
  * and MachineUp is a warmed-up machine joining the accepting set.
  * Retry is a client re-presenting a query the router shed earlier,
  * after a jittered backoff (cluster overload control; partIdx is the
- * trace index). They share the queue with service completions so
- * scale and retry events interleave with traffic in one deterministic
+ * trace index), and also carries failover re-presentations of queries
+ * a crash killed. Fault is a scheduled FaultPlan transition (crash,
+ * recovery, gray-failure or network-degradation window edge; partIdx
+ * indexes the precomputed fault schedule) and HedgeCheck is the
+ * router revisiting a straggling fan-out to duplicate unfinished
+ * parts (partIdx is the trace index; slot carries the dispatch
+ * generation so checks for a re-dispatched query go stale). They all
+ * share the queue with service completions so faults, hedges, scale
+ * and retry events interleave with traffic in one deterministic
  * (time, seq) order.
  */
 struct SimEvent
@@ -365,12 +398,22 @@ struct SimEvent
         Control,
         MachineUp,
         Retry,
+        Fault,
+        HedgeCheck,
     } kind = Kind::CpuRequest;
     uint32_t machine = 0;
     uint64_t partIdx = 0;
 
     /** Engine slab slot for CpuRequest/GpuQuery completions. */
     uint32_t slot = 0;
+
+    /**
+     * Engine incarnation that emitted this completion. A crash bumps
+     * the driver's per-machine epoch, so completions scheduled by the
+     * dead incarnation are recognized as stale and discarded instead
+     * of being fed to the fresh engine (whose slab they would corrupt).
+     */
+    uint32_t epoch = 0;
 
     bool
     operator>(const SimEvent& other) const
@@ -412,22 +455,25 @@ class EventQueue
     /** Enqueue a driver event (stamps the tie-break sequence). */
     void
     push(double time, SimEvent::Kind kind, uint32_t machine,
-         uint64_t part_idx, uint32_t slot = 0)
+         uint64_t part_idx, uint32_t slot = 0, uint32_t epoch = 0)
     {
-        heap.push_back({time, nextSeq++, kind, machine, part_idx, slot});
+        heap.push_back(
+            {time, nextSeq++, kind, machine, part_idx, slot, epoch});
         std::push_heap(heap.begin(), heap.end(), std::greater<SimEvent>());
     }
 
-    /** Enqueue engine completions for @p machine in emission order. */
+    /** Enqueue engine completions for @p machine in emission order,
+     *  stamped with the machine's current engine @p epoch. */
     void
-    pushAll(const std::vector<EngineEvent>& events, uint32_t machine)
+    pushAll(const std::vector<EngineEvent>& events, uint32_t machine,
+            uint32_t epoch = 0)
     {
         for (const EngineEvent& ev : events) {
             push(ev.time,
                  ev.kind == EngineEvent::Kind::CpuRequest
                      ? SimEvent::Kind::CpuRequest
                      : SimEvent::Kind::GpuQuery,
-                 machine, ev.partIdx, ev.slot);
+                 machine, ev.partIdx, ev.slot, epoch);
         }
     }
 

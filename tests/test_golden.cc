@@ -425,5 +425,98 @@ TEST(Golden, OverloadGoodputCurve)
     checkGolden("overload_goodput.json", measured);
 }
 
+TEST(Golden, ChaosAvailabilityCurve)
+{
+    // The availability ladder under heavy chaos — pins the whole
+    // fault path: the seeded schedule, crash kills, failover retries,
+    // replica re-routing, and hedged twins. Single copy must lose a
+    // visible slice of the trace; replication plus failover must hold
+    // the four-nines neighborhood on the very same fault schedule.
+    const ModelProfile profile = ModelProfile::forModel(ModelId::DlrmRmc2);
+    const std::vector<EmbeddingTableInfo> tables =
+        embeddingTables(modelConfig(ModelId::DlrmRmc2));
+
+    LoadSpec load;
+    load.arrivalSeed = 0xc4a05;
+    load.sizeSeed = 0xc4a06;
+    TraceTemplate tmpl(load);
+    tmpl.ensure(4000);
+    const QueryTrace trace = tmpl.materialize(1000.0, 4000);
+
+    struct Posture
+    {
+        const char* name;
+        uint32_t minReplicas;
+        uint32_t faultTolerance;
+        uint32_t maxFailovers;
+        double hedgeDelaySeconds;
+    };
+    const Posture postures[] = {
+        {"single_copy", 1, 0, 0, 0.0},
+        {"replicated", 2, 2, 4, 0.0},
+        {"replicated_hedge", 2, 2, 4, 0.02},
+    };
+
+    GoldenMap measured;
+    for (const Posture& p : postures) {
+        ClusterConfig cluster;
+        for (size_t m = 0; m < 8; m++) {
+            SchedulerPolicy policy;
+            policy.perRequestBatch = 256;
+            SimConfig machine{
+                CpuCostModel(profile, CpuPlatform::skylake()),
+                std::nullopt, policy, 0.05, 1.0};
+            // Two full copies of RMC2 need headroom over 2 GB x 8.
+            machine.memoryBytes = p.minReplicas > 1
+                ? 3'000'000'000ULL : 2'000'000'000ULL;
+            cluster.machines.push_back(machine);
+        }
+        cluster.network.hopSeconds = 150e-6;
+        cluster.network.gigabytesPerSecond = 12.5;
+        PlacementSpec placement_spec;
+        placement_spec.strategy = PlacementStrategy::GreedyBySize;
+        placement_spec.minReplicas = p.minReplicas;
+        const ShardPlacement placement = ShardPlacement::build(
+            tables, machineMemoryBudgets(cluster.machines),
+            placement_spec);
+        ASSERT_TRUE(placement.feasible());
+        ASSERT_TRUE(placement.replicatedFor(p.minReplicas));
+        TableSetSpec table_set;
+        table_set.numTables = static_cast<uint32_t>(
+            modelConfig(ModelId::DlrmRmc2).numTables);
+        table_set.tablesPerQuery = 8;
+        cluster.sharding = ShardingConfig{placement, table_set};
+
+        cluster.faults.crashesPerHour = 240.0;
+        cluster.faults.grayPerHour = 120.0;
+        cluster.faults.repairSeconds = 1.5;
+        cluster.faults.faultTolerance = p.faultTolerance;
+        cluster.faults.maxFailovers = p.maxFailovers;
+        cluster.faults.failoverDelaySeconds = 0.25;
+        cluster.hedge.delaySeconds = p.hedgeDelaySeconds;
+
+        const ClusterResult r = ClusterSimulator(cluster).run(
+            trace, RoutingSpec{RoutingKind::ShardAware});
+        EXPECT_EQ(trace.size(), r.numCompleted + r.faults.lost);
+        const double availability =
+            static_cast<double>(r.numCompleted) /
+            static_cast<double>(trace.size());
+        GoldenRow row;
+        row["availability"] = availability;
+        row["lost"] = static_cast<double>(r.faults.lost);
+        row["failovers"] = static_cast<double>(r.faults.failovers);
+        row["hedged"] = static_cast<double>(r.faults.hedged);
+        row["p99_ms"] = r.p99Ms();
+        measured[p.name] = row;
+    }
+    // The acceptance floor, independent of the pinned numbers: chaos
+    // this heavy must visibly wound a single-copy tier, and the
+    // hardened postures must shrug it off.
+    EXPECT_LE(measured["single_copy"]["availability"], 0.95);
+    EXPECT_GE(measured["replicated"]["availability"], 0.99);
+    EXPECT_GE(measured["replicated_hedge"]["availability"], 0.99);
+    checkGolden("chaos_availability.json", measured);
+}
+
 } // namespace
 } // namespace deeprecsys

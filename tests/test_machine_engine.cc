@@ -186,6 +186,73 @@ TEST(MachineEngine, SlowdownScalesServiceTimes)
     EXPECT_NEAR(ob[0].time, 2.0 * oa[0].time, 1e-12);
 }
 
+TEST(MachineEngine, CrashLosesLiveWorkAndResetsTheProcess)
+{
+    const SimConfig cfg = engineConfig(1);
+    MachineEngine engine(&cfg, 0.0);
+    const size_t cores = cfg.cpu.platform().cores;
+    std::vector<EngineEvent> out;
+    // Saturate the cores and leave a second part queued behind them.
+    engine.admit({5, static_cast<uint32_t>(2 * cores), 1.0, true, true},
+                 0.0, out);
+    engine.admit({9, 1, 1.0, true, true}, 0.0, out);
+    ASSERT_EQ(engine.partsInService(), 2u);
+    ASSERT_GT(engine.queuedWork(), 0u);
+    engine.setServiceFactor(4.0);
+    engine.advanceTo(0.25);
+
+    std::vector<uint64_t> lost;
+    engine.crash(0.25, lost);
+    // Every live part reported once, in slot order: queued work dies
+    // with the process just like in-flight work.
+    ASSERT_EQ(lost.size(), 2u);
+    EXPECT_EQ(lost[0], 5u);
+    EXPECT_EQ(lost[1], 9u);
+    // Fresh-process state: nothing queued, nothing running, health
+    // restored...
+    EXPECT_EQ(engine.queuedWork(), 0u);
+    EXPECT_EQ(engine.queuedSamples(), 0u);
+    EXPECT_EQ(engine.busyCores(), 0u);
+    EXPECT_EQ(engine.partsInService(), 0u);
+    EXPECT_DOUBLE_EQ(engine.queuedCostSeconds(), 0.0);
+    EXPECT_DOUBLE_EQ(engine.serviceFactor(), 1.0);
+    // ...but the machine's busy-time integral survives the reboot.
+    EXPECT_DOUBLE_EQ(engine.busyCoreSeconds(),
+                     0.25 * static_cast<double>(cores));
+
+    // The repaired incarnation serves normally.
+    out.clear();
+    engine.admit({11, 1, 1.0, true, true}, 1.0, out);
+    ASSERT_EQ(out.size(), 1u);
+    std::vector<EngineEvent> none;
+    EXPECT_TRUE(engine.cpuRequestDone(out[0].slot, out[0].partIdx,
+                                      out[0].time, none));
+}
+
+TEST(MachineEngine, ServiceFactorScalesDispatchedTimesOnly)
+{
+    const SimConfig cfg = engineConfig(128);
+    MachineEngine healthy(&cfg, 0.0);
+    MachineEngine gray(&cfg, 0.0);
+    gray.setServiceFactor(4.0);
+    std::vector<EngineEvent> oh, og;
+    healthy.admit({0, 128, 1.0, true, true}, 0.0, oh);
+    gray.admit({0, 128, 1.0, true, true}, 0.0, og);
+    ASSERT_EQ(oh.size(), 1u);
+    ASSERT_EQ(og.size(), 1u);
+    EXPECT_NEAR(og[0].time, 4.0 * oh[0].time, 1e-12);
+    // The lie: the estimator-facing backlog price is identical — a
+    // gray machine looks exactly as cheap as a healthy one.
+    std::vector<EngineEvent> out;
+    healthy.admit({1, 300, 1.0, true, true}, 0.0, out);
+    gray.admit({1, 300, 1.0, true, true}, 0.0, out);
+    EXPECT_DOUBLE_EQ(gray.queuedCostSeconds(),
+                     healthy.queuedCostSeconds());
+    // Health restores for future dispatches.
+    gray.setServiceFactor(1.0);
+    EXPECT_DOUBLE_EQ(gray.serviceFactor(), 1.0);
+}
+
 TEST(MachineEngineDeath, RejectsBadConfigs)
 {
     SimConfig zero_batch = engineConfig();

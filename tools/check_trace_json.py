@@ -12,6 +12,7 @@ per metric per snapshot. Stdlib only.
 
 Usage: check_trace_json.py TRACE.json [--metrics METRICS.json]
        [--require-spans name,name,...]
+       [--require-instants name,name,...]
 """
 
 import argparse
@@ -23,7 +24,13 @@ KNOWN_SPAN_NAMES = {
     "query", "queue", "service", "gpu_service",
     "net_fwd", "net_ret", "join_wait",
 }
-KNOWN_INSTANT_NAMES = {"scale_up", "scale_down"}
+KNOWN_INSTANT_NAMES = {
+    "scale_up", "scale_down",
+    # Overload control (cluster/admission.hh).
+    "drop", "retry", "degrade",
+    # Fault injection and recovery (cluster/fault_plan.hh).
+    "machine_down", "machine_up", "hedge", "failover", "lost",
+}
 
 
 def fail(errors):
@@ -32,7 +39,7 @@ def fail(errors):
     sys.exit(1)
 
 
-def check_trace(path, require_spans):
+def check_trace(path, require_spans, require_instants):
     errors = []
     with open(path, encoding="utf-8") as fh:
         doc = json.load(fh)
@@ -46,6 +53,7 @@ def check_trace(path, require_spans):
         fail([f"{path}: traceEvents is not an array"])
 
     seen_names = set()
+    seen_instants = set()
     seen_non_meta = False
     for i, ev in enumerate(events):
         where = f"{path}: traceEvents[{i}]"
@@ -79,12 +87,19 @@ def check_trace(path, require_spans):
                 errors.append(f"{where}: unknown span name "
                               f"{ev.get('name')!r}")
             seen_names.add(ev.get("name"))
-        if ph == "i" and ev.get("name") not in KNOWN_INSTANT_NAMES:
-            errors.append(f"{where}: unknown instant {ev.get('name')!r}")
+        if ph == "i":
+            if ev.get("name") not in KNOWN_INSTANT_NAMES:
+                errors.append(f"{where}: unknown instant "
+                              f"{ev.get('name')!r}")
+            seen_instants.add(ev.get("name"))
 
     for name in require_spans:
         if name not in seen_names:
             errors.append(f"{path}: required span {name!r} never emitted")
+    for name in require_instants:
+        if name not in seen_instants:
+            errors.append(f"{path}: required instant {name!r} "
+                          "never emitted")
     return errors, len(events)
 
 
@@ -127,10 +142,14 @@ def main():
     parser.add_argument("--metrics", help="windowed metrics JSON file")
     parser.add_argument("--require-spans", default="",
                         help="comma-separated span names that must appear")
+    parser.add_argument("--require-instants", default="",
+                        help="comma-separated instant names that must "
+                             "appear")
     args = parser.parse_args()
 
     require = [s for s in args.require_spans.split(",") if s]
-    errors, num_events = check_trace(args.trace, require)
+    require_i = [s for s in args.require_instants.split(",") if s]
+    errors, num_events = check_trace(args.trace, require, require_i)
     summary = f"{args.trace}: {num_events} events ok"
     if args.metrics:
         merrors, num_snaps, num_metrics = check_metrics(args.metrics)
