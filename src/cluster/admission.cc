@@ -81,52 +81,72 @@ AdmissionController::AdmissionController(
                    "qualityExponent must be positive");
     }
 
-    cpu.reserve(machines.size());
+    // Widest binding count across the tier: the calibration vectors
+    // below are flattened per (machine, model). On a single-model
+    // tier numModels_ is 1 and the layout degenerates to the
+    // historical one-entry-per-machine vectors.
+    for (const SimConfig& m : machines)
+        numModels_ = std::max(numModels_, m.numModels());
+
+    cpu.reserve(machines.size() * numModels_);
     slowdown.reserve(machines.size());
     cores.reserve(machines.size());
-    batch.reserve(machines.size());
+    batch.reserve(machines.size() * numModels_);
     for (const SimConfig& m : machines) {
-        // Keep each machine's own cost model: the efficiency curves
-        // are saturating (per-sample cost falls with batch), so no
-        // linear fit prices a mid-size request honestly. Estimates
-        // are priced under full core contention — the steady state an
-        // overloaded machine actually runs in, which is when the
-        // estimate matters.
-        cpu.push_back(m.cpu);
         slowdown.push_back(m.slowdown);
         cores.push_back(static_cast<double>(m.cpu.platform().cores));
-        batch.push_back(static_cast<double>(
-            std::max<size_t>(1, m.policy.perRequestBatch)));
+        for (uint32_t k = 0; k < numModels_; ++k) {
+            // Keep each binding's own cost model: the efficiency
+            // curves are saturating (per-sample cost falls with
+            // batch), so no linear fit prices a mid-size request
+            // honestly. Estimates are priced under full core
+            // contention — the steady state an overloaded machine
+            // actually runs in, which is when the estimate matters.
+            // Slots for models this machine does not serve hold the
+            // primary binding as a placeholder; candidate filtering
+            // (bestServiceSeconds) guarantees they are never priced.
+            const bool served = m.servesModel(k);
+            const CpuCostModel& c =
+                served && k > 0 ? m.coModels[k - 1].cpu : m.cpu;
+            const SchedulerPolicy& p =
+                served && k > 0 ? m.coModels[k - 1].policy : m.policy;
+            cpu.push_back(c);
+            batch.push_back(static_cast<double>(
+                std::max<size_t>(1, p.perRequestBatch)));
+        }
     }
 }
 
 double
-AdmissionController::requestSecondsAt(size_t m, size_t req_batch) const
+AdmissionController::requestSecondsAt(size_t m, size_t req_batch,
+                                      uint32_t model) const
 {
     // On a sharded tier a machine serves only its local slice of the
     // embedding work (the leader also runs the dense stacks, the
     // longest per-machine path) — price that, not the whole model.
-    return requestSecondsAt(m, req_batch, embShare, true);
+    return requestSecondsAt(m, req_batch, embShare, true, model);
 }
 
 double
 AdmissionController::requestSecondsAt(size_t m, size_t req_batch,
                                       double emb_fraction,
-                                      bool include_dense) const
+                                      bool include_dense,
+                                      uint32_t model) const
 {
-    const size_t c = cpu[m].platform().cores;
+    const CpuCostModel& c = cpu[bindAt(m, model)];
+    const size_t pool = c.platform().cores;
     const double seconds =
         emb_fraction < 1.0 || !include_dense
-            ? cpu[m].partialRequestSeconds(req_batch, c, emb_fraction,
-                                           include_dense)
-            : cpu[m].requestSeconds(req_batch, c);
+            ? c.partialRequestSeconds(req_batch, pool, emb_fraction,
+                                      include_dense)
+            : c.requestSeconds(req_batch, pool);
     return seconds * slowdown[m];
 }
 
 double
 AdmissionController::backlogSeconds(size_t m, const ClusterView& view) const
 {
-    drs_assert(m < cpu.size(), "backlog of unknown machine");
+    drs_assert(m < cores.size(), "backlog of unknown machine");
     // Live views expose the engine's own running queue-cost sum —
     // each queued request priced through the machine's cost model
     // with its true batch, shard fraction, and leader flag — which no
@@ -229,49 +249,58 @@ AdmissionController::queueWaitSeconds(const ClusterView& view) const
 }
 
 double
-AdmissionController::serviceSeconds(size_t m, uint32_t size) const
+AdmissionController::serviceSeconds(size_t m, uint32_t size,
+                                    uint32_t model) const
 {
-    return partServiceSeconds(m, size, embShare, true);
+    return partServiceSeconds(m, size, embShare, true, model);
 }
 
 double
 AdmissionController::partServiceSeconds(size_t m, uint32_t size,
                                         double emb_fraction,
-                                        bool include_dense) const
+                                        bool include_dense,
+                                        uint32_t model) const
 {
-    drs_assert(m < cpu.size(), "service on unknown machine");
+    drs_assert(m < cores.size(), "service on unknown machine");
     // The query splits into ceil(size / batch) requests that run on
     // up to `cores` cores at once: critical path is total work over
     // the achievable parallelism. Single-request queries (the common
     // case) are priced exactly.
-    const double requests = std::ceil(static_cast<double>(size) / batch[m]);
+    const double b = batch[bindAt(m, model)];
+    const double requests = std::ceil(static_cast<double>(size) / b);
     const double parallelism = std::min(cores[m], requests);
-    const size_t req_batch = std::min<size_t>(
-        size, static_cast<size_t>(batch[m]));
+    const size_t req_batch =
+        std::min<size_t>(size, static_cast<size_t>(b));
     const double work = requests *
         requestSecondsAt(m, std::max<size_t>(1, req_batch), emb_fraction,
-                         include_dense);
+                         include_dense, model);
     return work / parallelism;
 }
 
 double
 AdmissionController::bestServiceSeconds(const ClusterView& view,
                                         uint32_t size, double emb_fraction,
-                                        bool include_dense) const
+                                        bool include_dense,
+                                        uint32_t model) const
 {
+    // Only machines that carry a binding for the query's model are
+    // admission candidates — a colocated tier may be partially
+    // heterogeneous, and pricing a model on a machine that cannot
+    // serve it would consult the placeholder calibration slots.
     double best = std::numeric_limits<double>::infinity();
     const size_t n = view.numMachines();
     for (size_t m = 0; m < n; ++m) {
-        if (view.accepting(m))
+        if (view.accepting(m) && view.servesModel(m, model))
             best = std::min(best, partServiceSeconds(m, size, emb_fraction,
-                                                     include_dense));
+                                                     include_dense, model));
     }
     return best;
 }
 
 double
 AdmissionController::serviceAndHopSeconds(uint32_t size,
-                                          const ClusterView& view) const
+                                          const ClusterView& view,
+                                          uint32_t model) const
 {
     const double samples = static_cast<double>(size);
     const double fwd =
@@ -280,7 +309,8 @@ AdmissionController::serviceAndHopSeconds(uint32_t size,
         net.oneWaySeconds(samples * net.responseBytesPerSample);
     if (embShare >= 1.0) {
         // Unsharded: one round trip around one whole-query service.
-        return fwd + bestServiceSeconds(view, size, embShare, true) + ret;
+        return fwd + bestServiceSeconds(view, size, embShare, true, model) +
+            ret;
     }
     if (joinModel == JoinModel::TwoStage) {
         // Sharded two-stage: embedding-only parts, the pooled-
@@ -288,19 +318,22 @@ AdmissionController::serviceAndHopSeconds(uint32_t size,
         // queue wait is in queueWaitSeconds).
         const double embHop =
             net.oneWaySeconds(samples * net.embeddingBytesPerSample);
-        return fwd + bestServiceSeconds(view, size, embShare, false) +
-            embHop + bestServiceSeconds(view, size, 0.0, true) + ret;
+        return fwd +
+            bestServiceSeconds(view, size, embShare, false, model) +
+            embHop + bestServiceSeconds(view, size, 0.0, true, model) + ret;
     }
     // Optimistic join: the leader part (local embedding share plus
     // dense, the longest per-machine path) bounds the join.
-    return fwd + bestServiceSeconds(view, size, embShare, true) + ret;
+    return fwd + bestServiceSeconds(view, size, embShare, true, model) +
+        ret;
 }
 
 double
 AdmissionController::estimatedResponseSeconds(uint32_t size,
-                                              const ClusterView& view) const
+                                              const ClusterView& view,
+                                              uint32_t model) const
 {
-    return queueWaitSeconds(view) + serviceAndHopSeconds(size, view);
+    return queueWaitSeconds(view) + serviceAndHopSeconds(size, view, model);
 }
 
 AdmissionDecision
@@ -383,7 +416,11 @@ AdmissionController::decide(const Query& query,
         // queue wait(s) plus per-shape service and network terms —
         // fits the class budget. Queries estimated dead on arrival
         // are shed at the door.
-        const double est = wait + serviceAndHopSeconds(d.servedSize, view);
+        // Service terms priced through the query's own model binding;
+        // the queue-wait term stays a total — queues are shared, so
+        // an arrival drains behind every model's queued work.
+        const double est =
+            wait + serviceAndHopSeconds(d.servedSize, view, query.model);
         const double budget = cfg.deadlineSeconds * (1.0 - margin);
         d.admit = est <= budget;
         if (!d.admit) {

@@ -411,12 +411,15 @@ class AdmissionController
     double pressureBacklogSeconds(const ClusterView& view) const;
 
     /**
-     * Estimated service seconds of a @p size-sample query on machine
-     * @p m once it reaches the front of the queue (batch-split across
-     * the core pool). On a sharded tier this is the leader-part price
-     * (local embedding share plus dense stacks).
+     * Estimated service seconds of a @p size-sample query of mix
+     * model @p model on machine @p m once it reaches the front of the
+     * queue (batch-split across the core pool). On a sharded tier
+     * this is the leader-part price (local embedding share plus dense
+     * stacks). Model 0 (the default) prices through the machine's
+     * primary binding — the historical single-model arithmetic.
      */
-    double serviceSeconds(size_t m, uint32_t size) const;
+    double serviceSeconds(size_t m, uint32_t size,
+                          uint32_t model = 0) const;
 
     /**
      * Total projected queue-wait seconds of the critical path: mean
@@ -431,13 +434,17 @@ class AdmissionController
     double queueWaitSeconds(const ClusterView& view) const;
 
     /**
-     * Estimated response seconds of a @p size-sample query admitted
-     * now: queueWaitSeconds plus the per-shape service and network
-     * terms (see the file comment for the three shapes). This against
-     * the class budget is the deadline admission test.
+     * Estimated response seconds of a @p size-sample query of mix
+     * model @p model admitted now: queueWaitSeconds plus the
+     * per-shape service and network terms (see the file comment for
+     * the three shapes). The queue-wait terms are *totals* across
+     * models — the tier's queues are shared, so a new arrival drains
+     * behind every model's queued work — while the service terms are
+     * priced through the query's own model binding. This against the
+     * class budget is the deadline admission test.
      */
-    double estimatedResponseSeconds(uint32_t size,
-                                    const ClusterView& view) const;
+    double estimatedResponseSeconds(uint32_t size, const ClusterView& view,
+                                    uint32_t model = 0) const;
 
     const OverloadConfig& config() const { return cfg; }
 
@@ -447,12 +454,14 @@ class AdmissionController
     /** Per-request seconds for a @p req_batch-sample request on
      *  machine @p m under full core contention, slowdown applied
      *  (leader-part shape: embShare of the gathers plus dense). */
-    double requestSecondsAt(size_t m, size_t req_batch) const;
+    double requestSecondsAt(size_t m, size_t req_batch,
+                            uint32_t model = 0) const;
 
     /** Same, for an arbitrary part shape: @p emb_fraction of the
      *  embedding gathers, dense stacks iff @p include_dense. */
     double requestSecondsAt(size_t m, size_t req_batch,
-                            double emb_fraction, bool include_dense) const;
+                            double emb_fraction, bool include_dense,
+                            uint32_t model = 0) const;
 
     /**
      * Estimated service seconds of a @p size-sample part of the given
@@ -460,24 +469,44 @@ class AdmissionController
      * serviceSeconds above is the (embShare, dense) instance.
      */
     double partServiceSeconds(size_t m, uint32_t size,
-                              double emb_fraction,
-                              bool include_dense) const;
+                              double emb_fraction, bool include_dense,
+                              uint32_t model = 0) const;
 
-    /** Cheapest accepting machine's price for a part shape. */
+    /** Cheapest machine's price for a part shape over the machines
+     *  that are accepting *and* carry a binding for @p model. */
     double bestServiceSeconds(const ClusterView& view, uint32_t size,
-                              double emb_fraction,
-                              bool include_dense) const;
+                              double emb_fraction, bool include_dense,
+                              uint32_t model = 0) const;
 
     /** Worst accepting machine's backlogSeconds. */
     double worstBacklogSeconds(const ClusterView& view) const;
 
     /** The service and network terms of the response estimate — i.e.
      *  estimatedResponseSeconds minus queueWaitSeconds. */
-    double serviceAndHopSeconds(uint32_t size,
-                                const ClusterView& view) const;
+    double serviceAndHopSeconds(uint32_t size, const ClusterView& view,
+                                uint32_t model = 0) const;
 
-    /** Each machine's own CPU cost model — the efficiency curves are
-     *  too nonlinear in batch for scalar calibration. */
+    /** Index of machine @p m's binding for @p model in the flattened
+     *  per-(machine, model) calibration vectors below. */
+    size_t
+    bindAt(size_t m, uint32_t model) const
+    {
+        return m * numModels_ + model;
+    }
+
+    /**
+     * Widest model count across the tier's machines (1 on every
+     * single-model tier, where the flattened calibration layout below
+     * degenerates to the historical one-entry-per-machine vectors).
+     */
+    size_t numModels_ = 1;
+
+    /** Each (machine, model) binding's own CPU cost model, flattened
+     *  [m * numModels_ + model] — the efficiency curves are too
+     *  nonlinear in batch for scalar calibration. Slots for models a
+     *  machine does not serve hold its primary binding as a
+     *  placeholder; bestServiceSeconds never consults them because it
+     *  filters candidates by ClusterView::servesModel. */
     std::vector<CpuCostModel> cpu;
 
     /** Per-machine slowdown factor (SimConfig::slowdown). */
@@ -495,7 +524,8 @@ class AdmissionController
     /** Core count per machine (backlog drains across the pool). */
     std::vector<double> cores;
 
-    /** Configured per-request batch per machine (latency estimate). */
+    /** Configured per-request batch per (machine, model) binding,
+     *  flattened like `cpu` (latency estimate). */
     std::vector<double> batch;
 
     /**

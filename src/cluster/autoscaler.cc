@@ -286,6 +286,7 @@ struct QueryState
     double joinTime = 0;
     double leaderReady = 0;
     double quality = 1.0;     ///< answer quality (< 1 when degraded)
+    uint32_t model = 0;       ///< mix model (0 on single-model tiers)
     uint32_t cls = 0;         ///< effective priority class
     uint32_t attempt = 0;     ///< client retries so far
     bool measured = true;
@@ -348,6 +349,27 @@ class ElasticView final : public ClusterView
     pendingJoinCostSeconds(size_t m) const override
     {
         return pendingJoinCost[m];
+    }
+
+    size_t
+    numModels() const override
+    {
+        size_t widest = 1;
+        for (const SimConfig& c : cfgs)
+            widest = std::max(widest, c.numModels());
+        return widest;
+    }
+
+    bool
+    servesModel(size_t m, uint32_t model) const override
+    {
+        return cfgs[m].servesModel(model);
+    }
+
+    double
+    queuedCostSecondsOfModel(size_t m, uint32_t model) const override
+    {
+        return engines[m].queuedCostSeconds(model);
     }
 
     bool
@@ -419,6 +441,18 @@ Autoscaler::Autoscaler(AutoscaleSpec spec) : spec_(std::move(spec))
     drs_assert(!cfg.hedge.enabled(),
                "hedged requests are a static-tier feature; the elastic"
                " driver does not hedge");
+    if (!cfg.modelMix.empty()) {
+        // Machines power on and off, so every machine must serve the
+        // whole mix or a scale-down could strand a model unservable.
+        for (const SimConfig& machine : cfg.machines)
+            drs_assert(machine.numModels() >= cfg.modelMix.size(),
+                       "every elastic machine needs a binding per mix"
+                       " entry");
+        if (cfg.modelMix.size() > 1 && cfg.sharding.has_value())
+            drs_assert(cfg.sharding->models.size() == cfg.modelMix.size(),
+                       "a sharded mix needs one table namespace per"
+                       " entry");
+    }
     if (cfg.faults.enabled()) {
         validateFaultPlan(cfg.faults);
         if (cfg.sharding.has_value() && cfg.faults.faultTolerance > 0)
@@ -736,6 +770,7 @@ Autoscaler::run(const QueryTrace& trace, ScalingPolicy& policy) const
         PartSpec spec;
         spec.partIdx = part_idx;
         spec.samples = q.size;
+        spec.model = q.model;
         switch (part.kind) {
           case PartRec::Kind::Whole:
             break;
@@ -874,7 +909,7 @@ Autoscaler::run(const QueryTrace& trace, ScalingPolicy& policy) const
             endedDispatches++;
         if (q.joinCommitted) {
             pendingJoinCost[q.machine] -=
-                machines[q.machine].joinPhaseCostSeconds(q.size);
+                machines[q.machine].joinPhaseCostSeconds(q.size, q.model);
             q.joinCommitted = false;
         }
         if (q.joinLeadership) {
@@ -1091,6 +1126,9 @@ Autoscaler::run(const QueryTrace& trace, ScalingPolicy& policy) const
     auto present = [&](uint64_t idx, double now) {
         const Query& in = trace[idx];
         QueryState& q = queries[idx];
+        drs_assert(in.model == 0 || in.model < cfg.machines[0].numModels(),
+                   "query of a model the elastic tier does not serve");
+        q.model = in.model;
         q.cls = cfg.overload.priorityClasses > 1
             ? std::min(in.priorityClass, cfg.overload.priorityClasses - 1)
             : 0;
@@ -1236,7 +1274,8 @@ Autoscaler::run(const QueryTrace& trace, ScalingPolicy& policy) const
         // JoinPhase event or when a failure kills the dispatch).
         if (trackJoinCost && plan.size() > 1) {
             pendingJoinCost[q.machine] +=
-                machines[q.machine].joinPhaseCostSeconds(served.size);
+                machines[q.machine].joinPhaseCostSeconds(served.size,
+                                                         q.model);
             q.joinCommitted = true;
         }
     };
@@ -1372,7 +1411,8 @@ Autoscaler::run(const QueryTrace& trace, ScalingPolicy& policy) const
             // exactly (identical joinPhaseCostSeconds inputs).
             if (q.joinCommitted) {
                 pendingJoinCost[ev.machine] -=
-                    machines[ev.machine].joinPhaseCostSeconds(q.size);
+                    machines[ev.machine].joinPhaseCostSeconds(q.size,
+                                                              q.model);
                 q.joinCommitted = false;
             }
             if (faultsOn && engineEpoch[q.machine] != q.leaderEpoch) {

@@ -36,6 +36,16 @@ planCapacity(const CapacityPlanSpec& spec)
     if (sharded)
         drs_assert(spec.tableSet.numTables == spec.tables.size(),
                    "table-set model must match the table list");
+    const bool mixOn = !spec.modelMix.empty();
+    if (mixOn) {
+        drs_assert(!sharded,
+                   "multi-model plans must be unsharded — a colocated "
+                   "placement depends on the fixed tier size "
+                   "(colocatedSharding); drive ClusterSimulator directly");
+        for (const SimConfig& m : spec.unitMachines)
+            drs_assert(m.numModels() >= spec.modelMix.size(),
+                       "every unit machine needs a binding per mix entry");
+    }
 
     CapacityPlan plan;
 
@@ -61,10 +71,15 @@ planCapacity(const CapacityPlanSpec& spec)
     // The query population is drawn once and re-timed per candidate
     // (bit-identical to regenerating); larger tiers consume a longer
     // prefix. ensure() only ever runs on this thread, between
-    // generations — materialize() is what the workers share.
+    // generations — materialize() is what the workers share. A
+    // multi-model plan draws the mixed trace instead (per-model
+    // substreams merged by arrival).
     LoadSpec load = spec.load;
     load.qps = spec.targetQps;
     TraceTemplate trace_template(load);
+    MixedTraceTemplate mixed_template(
+        load, mixOn ? mixFractions(spec.modelMix)
+                    : std::vector<double>{1.0});
     auto trace_length = [&](size_t units) {
         return std::max(spec.minQueries,
                         spec.queriesPerMachine * units *
@@ -77,6 +92,7 @@ planCapacity(const CapacityPlanSpec& spec)
         -> std::pair<ClusterResult, bool> {
         ClusterConfig cluster = clusterOfUnits(spec, units);
         cluster.network = spec.network;
+        cluster.modelMix = spec.modelMix;
         if (sharded) {
             std::optional<ShardPlacement> placement = placement_for(units);
             if (!placement.has_value())
@@ -84,11 +100,15 @@ planCapacity(const CapacityPlanSpec& spec)
             cluster.sharding =
                 ShardingConfig{std::move(*placement), spec.tableSet};
         }
-        const QueryTrace trace = trace_template.materialize(
-            spec.targetQps, trace_length(units));
+        const QueryTrace trace = mixOn
+            ? mixed_template.materialize(spec.targetQps,
+                                         trace_length(units))
+            : trace_template.materialize(spec.targetQps,
+                                         trace_length(units));
         ClusterResult r =
             ClusterSimulator(cluster).run(trace, spec.routing);
-        const bool meets = r.tailMs(spec.percentile) <= spec.slaMs;
+        const bool meets = r.tailMs(spec.percentile) <= spec.slaMs &&
+            meetsPerModelSla(r, spec.modelMix, spec.percentile);
         return {std::move(r), meets};
     };
 
@@ -101,7 +121,10 @@ planCapacity(const CapacityPlanSpec& spec)
     ClusterResult atHi;
     bool found = false;
     auto consume = [&](const std::vector<size_t>& counts) {
-        trace_template.ensure(trace_length(counts.back()));
+        if (mixOn)
+            mixed_template.ensure(trace_length(counts.back()));
+        else
+            trace_template.ensure(trace_length(counts.back()));
         consumeGeneration(
             counts, evaluate,
             [&](size_t i, std::pair<ClusterResult, bool>& point) {

@@ -17,6 +17,14 @@
  * tier whose shard placement fits at all, then sizes for throughput
  * from there — the two provisioning axes of capacity-driven scale-out.
  *
+ * Multi-model plans (CapacityPlanSpec::modelMix non-empty) size a
+ * *consolidated* tier: the unit machines carry one binding per mix
+ * entry, evaluations draw the mixed trace, and a unit count is
+ * feasible only if the fleet tail and every per-model SLA hold — the
+ * machine count one colocated tier needs to serve the whole zoo,
+ * which bench/colocation_sweep.cc compares against dedicated
+ * per-model tiers.
+ *
  * Units: SLA targets in milliseconds, rates in queries/second, memory
  * in bytes. Determinism: planCapacity is a pure function of its spec;
  * fixed seeds reproduce the plan exactly.
@@ -58,6 +66,21 @@ struct CapacityPlanSpec
     PlacementSpec placement;    ///< strategy for @p tables
     TableSetSpec tableSet;      ///< per-query working-set model
     NetworkConfig network;      ///< router hop cost of the tier
+
+    /**
+     * Model mix the planned tier serves (cluster/model_mix.hh). Empty
+     * (default) plans the historical single-model tier. When set, the
+     * unit machines must carry a binding per mix entry (typically
+     * built by colocatedMachine), each evaluation draws the mixed
+     * trace, and a unit count is feasible only if the fleet tail AND
+     * every per-model SLA hold — so the plan answers "how many
+     * consolidated machines serve the whole mix". Multi-model plans
+     * must be unsharded (tables empty): a sharded colocated tier's
+     * placement depends on the mix's combined table space, which
+     * colocatedSharding builds for a *fixed* tier size — drive
+     * ClusterSimulator directly for that study.
+     */
+    std::vector<ModelMixEntry> modelMix;
 
     /** Global trace sized so each machine sees this many queries. */
     size_t queriesPerMachine = 300;

@@ -8,6 +8,20 @@
 
 namespace deeprecsys {
 
+bool
+meetsPerModelSla(const ClusterResult& r,
+                 const std::vector<ModelMixEntry>& mix, double pct)
+{
+    for (size_t k = 0; k < mix.size(); ++k) {
+        if (mix[k].slaMs <= 0.0)
+            continue;
+        if (k >= r.perModel.size() ||
+            r.perModel[k].tailMs(pct) > mix[k].slaMs)
+            return false;
+    }
+    return true;
+}
+
 size_t
 clusterTraceLength(const ClusterConfig& cluster, const ClusterQpsSpec& spec)
 {
@@ -20,13 +34,17 @@ ClusterResult
 evaluateClusterAtQps(const ClusterConfig& cluster, const ClusterQpsSpec& spec,
                      double qps)
 {
+    const size_t num_queries = clusterTraceLength(cluster, spec);
+    const ClusterSimulator sim(cluster);
+    if (!cluster.modelMix.empty()) {
+        MixedTraceTemplate mixed(spec.load, mixFractions(cluster.modelMix));
+        mixed.ensure(num_queries);
+        return sim.run(mixed.materialize(qps, num_queries), spec.routing);
+    }
     LoadSpec load = spec.load;
     load.qps = qps;
     QueryStream stream(load);
-    const QueryTrace trace =
-        stream.generate(clusterTraceLength(cluster, spec));
-    const ClusterSimulator sim(cluster);
-    return sim.run(trace, spec.routing);
+    return sim.run(stream.generate(num_queries), spec.routing);
 }
 
 ClusterQpsResult
@@ -36,17 +54,30 @@ findClusterMaxQps(const ClusterConfig& cluster, const ClusterQpsSpec& spec)
 
     // Drawn once, re-timed per candidate rate (bit-identical to
     // regenerating); the simulator is built once and shared — run()
-    // is const and the routing policy is rebuilt per evaluation.
+    // is const and the routing policy is rebuilt per evaluation. A
+    // multi-model tier draws its mixed trace instead (per-model
+    // substreams, merged by arrival) and a rate is feasible only if
+    // the fleet tail AND every per-model SLA hold — the consolidated
+    // tier is provisioned for its most demanding tenant.
     const size_t num_queries = clusterTraceLength(cluster, spec);
+    const bool mixOn = !cluster.modelMix.empty();
     TraceTemplate trace_template(spec.load);
-    trace_template.ensure(num_queries);
+    MixedTraceTemplate mixed_template(
+        spec.load, mixOn ? mixFractions(cluster.modelMix)
+                         : std::vector<double>{1.0});
+    if (mixOn)
+        mixed_template.ensure(num_queries);
+    else
+        trace_template.ensure(num_queries);
     const ClusterSimulator sim(cluster);
 
     auto eval = [&](double qps) -> std::pair<ClusterResult, bool> {
-        const QueryTrace trace =
-            trace_template.materialize(qps, num_queries);
+        const QueryTrace trace = mixOn
+            ? mixed_template.materialize(qps, num_queries)
+            : trace_template.materialize(qps, num_queries);
         ClusterResult r = sim.run(trace, spec.routing);
-        const bool meets = r.tailMs(spec.percentile) <= spec.slaMs;
+        const bool meets = r.tailMs(spec.percentile) <= spec.slaMs &&
+            meetsPerModelSla(r, cluster.modelMix, spec.percentile);
         return {std::move(r), meets};
     };
 

@@ -9,6 +9,14 @@
  * ClusterConfig carries the placement and network hop model, so a
  * ShardAware RoutingSpec prices fan-out/join into the found rate.
  *
+ * Multi-model tiers (ClusterConfig::modelMix non-empty) draw the
+ * mixed trace — per-model substreams split by traffic fraction and
+ * merged by arrival — and tighten feasibility: a candidate rate
+ * passes only if the fleet-wide tail meets spec.slaMs AND every mix
+ * entry with a positive slaMs meets its own per-model tail target, so
+ * the found rate is what the consolidated tier sustains without
+ * violating any tenant's SLA.
+ *
  * Units: slaMs in milliseconds, rates in queries/second. Determinism:
  * the same seeds re-time the same query population at every candidate
  * rate and the routing policy is rebuilt from its seed per
@@ -55,6 +63,16 @@ struct ClusterQpsResult
     size_t evaluations = 0;
 };
 
+/**
+ * Per-model SLA feasibility of one evaluated run: every mix entry
+ * with a positive slaMs must meet its own tail target at @p pct.
+ * Vacuously true on single-model runs (empty mix), so fleet-only
+ * feasibility tests are unchanged there. Shared by the QPS search and
+ * the capacity planner.
+ */
+bool meetsPerModelSla(const ClusterResult& r,
+                      const std::vector<ModelMixEntry>& mix, double pct);
+
 /** Effective trace length for one evaluation of @p spec. */
 size_t clusterTraceLength(const ClusterConfig& cluster,
                           const ClusterQpsSpec& spec);
@@ -65,9 +83,11 @@ ClusterResult evaluateClusterAtQps(const ClusterConfig& cluster,
 
 /**
  * Find the maximum global arrival rate at which the cluster's
- * fleet-wide tail latency meets the SLA. Deterministic: the same seeds
- * re-time the same query population at every candidate rate, and the
- * routing policy is rebuilt from its seed per evaluation.
+ * fleet-wide tail latency meets the SLA — and, on a multi-model tier,
+ * every mix entry with a positive slaMs meets its own per-model tail
+ * target. Deterministic: the same seeds re-time the same query
+ * population at every candidate rate, and the routing policy is
+ * rebuilt from its seed per evaluation.
  */
 ClusterQpsResult findClusterMaxQps(const ClusterConfig& cluster,
                                    const ClusterQpsSpec& spec);

@@ -81,6 +81,7 @@ struct QueryState
     double quality = 1.0;     ///< answer quality (< 1 when degraded)
     uint32_t cls = 0;         ///< effective priority class
     uint32_t attempt = 0;     ///< retries scheduled so far
+    uint32_t model = 0;       ///< mix model (0 on single-model tiers)
     bool measured = true;
 
     // --- fault/hedge bookkeeping (untouched on the fault-free path) ---
@@ -104,10 +105,14 @@ class LiveView final : public ClusterView
              const std::vector<uint64_t>& in_flight,
              const std::vector<double>& pending_join_cost,
              const std::vector<uint8_t>& down_mask,
-             const size_t& up_count)
+             const size_t& up_count, size_t num_mix,
+             const std::vector<uint64_t>& in_flight_by_model,
+             const std::vector<double>& pending_join_by_model)
         : cfgs(configs), engines(engines), inFlight(in_flight),
           pendingJoinCost(pending_join_cost), down(down_mask),
-          upCount(up_count)
+          upCount(up_count), numMix(num_mix),
+          inFlightByModel(in_flight_by_model),
+          pendingJoinByModel(pending_join_by_model)
     {
     }
 
@@ -163,6 +168,38 @@ class LiveView final : public ClusterView
         return upCount == engines.size();
     }
 
+    // Per-model slices (multi-model tiers; the defaults degrade to
+    // the totals when the driver keeps no per-model books).
+    size_t numModels() const override { return numMix; }
+
+    bool
+    servesModel(size_t m, uint32_t model) const override
+    {
+        return cfgs[m].servesModel(model);
+    }
+
+    size_t
+    inFlightQueriesOfModel(size_t m, uint32_t model) const override
+    {
+        return inFlightByModel.empty()
+            ? inFlight[m]
+            : inFlightByModel[m * numMix + model];
+    }
+
+    double
+    queuedCostSecondsOfModel(size_t m, uint32_t model) const override
+    {
+        return engines[m].queuedCostSeconds(model);
+    }
+
+    double
+    pendingJoinCostSecondsOfModel(size_t m, uint32_t model) const override
+    {
+        return pendingJoinByModel.empty()
+            ? pendingJoinCost[m]
+            : pendingJoinByModel[m * numMix + model];
+    }
+
   private:
     const std::vector<SimConfig>& cfgs;
     const std::vector<MachineEngine>& engines;
@@ -174,6 +211,12 @@ class LiveView final : public ClusterView
     /** Driver-maintained crash mask (all up on the fault-free path). */
     const std::vector<uint8_t>& down;
     const size_t& upCount;
+
+    /** Mix width and per-(machine, model) books; the vectors stay
+     *  empty on single-model runs (slices fall back to totals). */
+    const size_t numMix;
+    const std::vector<uint64_t>& inFlightByModel;
+    const std::vector<double>& pendingJoinByModel;
 };
 
 } // namespace
@@ -184,6 +227,21 @@ ClusterSimulator::ClusterSimulator(ClusterConfig config)
     drs_assert(!cfg.machines.empty(), "cluster needs machines");
     for (const SimConfig& machine : cfg.machines)
         MachineEngine::validate(machine);
+    if (!cfg.modelMix.empty()) {
+        // Fraction rules are the trace splitter's (non-negative, sum
+        // to 1); every mix model needs a binding somewhere or no
+        // routing policy could legally place its queries.
+        (void)splitCountByFraction(mixFractions(cfg.modelMix), 0);
+        size_t max_served = 0;
+        for (const SimConfig& machine : cfg.machines)
+            max_served = std::max(max_served, machine.numModels());
+        drs_assert(max_served >= cfg.modelMix.size(),
+                   "no machine serves the mix's last model");
+        if (cfg.modelMix.size() > 1 && cfg.sharding.has_value())
+            drs_assert(cfg.sharding->models.size() == cfg.modelMix.size(),
+                       "a multi-model sharded tier needs one table "
+                       "namespace per mix model");
+    }
     if (cfg.sharding.has_value()) {
         const ShardPlacement& placement = cfg.sharding->placement;
         drs_assert(placement.feasible(),
@@ -226,6 +284,13 @@ ClusterSimulator::run(const QueryTrace& trace, RoutingPolicy& policy) const
 {
     ClusterResult result;
     result.perMachine.resize(cfg.machines.size());
+    // Multi-model colocation: per-model books are kept only when the
+    // config carries a mix, so single-model runs take no new branch
+    // with observable state (bitwise-identical to the historical
+    // driver; the differential suite pins it).
+    const bool mixOn = !cfg.modelMix.empty();
+    const size_t numMix = std::max<size_t>(1, cfg.modelMix.size());
+    result.perModel.resize(cfg.modelMix.size());
     if (cfg.sharding.has_value()) {
         for (size_t m = 0; m < cfg.machines.size(); m++)
             result.perMachine[m].embBytesStored =
@@ -246,6 +311,27 @@ ClusterSimulator::run(const QueryTrace& trace, RoutingPolicy& policy) const
     for (const SimConfig& machine : cfg.machines)
         machines.emplace_back(&machine, trace.front().arrivalSeconds);
     std::vector<uint64_t> inFlight(cfg.machines.size(), 0);
+    // Per-(machine, model) flight and committed-join books of a mixed
+    // tier, flattened [m * numMix + model]; empty (never touched) on
+    // single-model runs.
+    std::vector<uint64_t> inFlightByModel(
+        mixOn ? cfg.machines.size() * numMix : 0, 0);
+    std::vector<double> pendingJoinByModel(
+        mixOn ? cfg.machines.size() * numMix : 0, 0.0);
+
+    auto flight_add = [&](uint32_t m, uint32_t model) {
+        inFlight[m]++;
+        if (mixOn)
+            inFlightByModel[m * numMix + model]++;
+    };
+    auto flight_sub = [&](uint32_t m, uint32_t model, const char* what) {
+        drs_assert(inFlight[m] > 0, what);
+        inFlight[m]--;
+        if (mixOn) {
+            drs_assert(inFlightByModel[m * numMix + model] > 0, what);
+            inFlightByModel[m * numMix + model]--;
+        }
+    };
 
     EventQueue events;
     // Pre-size the heap: per machine at most one completion per busy
@@ -293,7 +379,8 @@ ClusterSimulator::run(const QueryTrace& trace, RoutingPolicy& policy) const
     }
 
     LiveView view(cfg.machines, machines, inFlight, pendingJoinCost,
-                  down, upCount);
+                  down, upCount, numMix, inFlightByModel,
+                  pendingJoinByModel);
     // Overload control: only constructed when enabled, so the disabled
     // path is the historical driver plus one boolean test per arrival.
     std::optional<AdmissionController> admission;
@@ -345,6 +432,7 @@ ClusterSimulator::run(const QueryTrace& trace, RoutingPolicy& policy) const
         PartSpec spec;
         spec.partIdx = part_idx;
         spec.samples = q.size;
+        spec.model = q.model;
         switch (part.kind) {
           case PartRec::Kind::Whole:
             break;    // full-model path, offload-eligible
@@ -370,10 +458,14 @@ ClusterSimulator::run(const QueryTrace& trace, RoutingPolicy& policy) const
         QueryState& q = queries[query_idx];
         result.numCompleted++;
         result.perMachine[q.machine].queriesCompleted++;
+        if (mixOn)
+            result.perModel[q.model].completed++;
         if (q.measured) {
             const double latency = q.joinTime - q.arrival;
             result.fleetLatencySeconds.add(latency);
             result.perMachine[q.machine].latencySeconds.add(latency);
+            if (mixOn)
+                result.perModel[q.model].latencySeconds.add(latency);
             span.onCompletion(q.joinTime);
             if (cfg.overload.deadlineSeconds > 0.0) {
                 result.overload.measuredCompleted++;
@@ -409,9 +501,8 @@ ClusterSimulator::run(const QueryTrace& trace, RoutingPolicy& policy) const
                 machines[part.machine].lastFinishedFirstServiceStart(),
                 now);
         }
-        drs_assert(inFlight[part.machine] > 0,
+        flight_sub(part.machine, queries[part.queryIdx].model,
                    "completion with nothing in flight");
-        inFlight[part.machine]--;
         QueryState& q = queries[part.queryIdx];
 
         if (faultsOn || hedgeOn) {
@@ -461,7 +552,7 @@ ClusterSimulator::run(const QueryTrace& trace, RoutingPolicy& policy) const
             dense.kind = PartRec::Kind::FanDense;
             dense.gen = q.gen;
             parts.push_back(std::move(dense));
-            inFlight[q.machine]++;
+            flight_add(q.machine, q.model);
             result.perMachine[q.machine].joinPhases++;
             events.push(q.leaderReady, SimEvent::Kind::JoinPhase,
                         q.machine, dense_idx);
@@ -489,8 +580,11 @@ ClusterSimulator::run(const QueryTrace& trace, RoutingPolicy& policy) const
         QueryState& q = queries[idx];
         q.dead = true;
         if (q.joinCommitted) {
-            pendingJoinCost[q.machine] -=
-                machines[q.machine].joinPhaseCostSeconds(q.size);
+            const double phase =
+                machines[q.machine].joinPhaseCostSeconds(q.size, q.model);
+            pendingJoinCost[q.machine] -= phase;
+            if (mixOn)
+                pendingJoinByModel[q.machine * numMix + q.model] -= phase;
             q.joinCommitted = false;
         }
         if (q.failovers < cfg.faults.maxFailovers) {
@@ -505,6 +599,8 @@ ClusterSimulator::run(const QueryTrace& trace, RoutingPolicy& policy) const
         } else {
             result.faults.lost++;
             result.faults.lostQueries.push_back(idx);
+            if (mixOn)
+                result.perModel[q.model].lost++;
             result.machineOfQuery[idx] = ClusterResult::lostMachine;
             if (idx >= warmup)
                 span.onArrival(trace[idx].arrivalSeconds);
@@ -518,9 +614,8 @@ ClusterSimulator::run(const QueryTrace& trace, RoutingPolicy& policy) const
     auto lost_part_fate = [&](uint64_t part_idx, double now) {
         PartRec& part = parts[part_idx];
         part.cancelled = true;
-        drs_assert(inFlight[part.machine] > 0,
+        flight_sub(part.machine, queries[part.queryIdx].model,
                    "lost part with nothing in flight");
-        inFlight[part.machine]--;
         result.faults.partsLost++;
         QueryState& q = queries[part.queryIdx];
         if (part.gen != q.gen || q.dead)
@@ -620,7 +715,7 @@ ClusterSimulator::run(const QueryTrace& trace, RoutingPolicy& policy) const
             dup.tables = parts[pi].tables;
             parts.push_back(std::move(dup));
             parts[pi].partner = dup_idx;
-            inFlight[best]++;
+            flight_add(static_cast<uint32_t>(best), q.model);
             result.perMachine[best].remoteParts++;
             result.numParts++;
             result.partMachinesOfQuery[idx].push_back(
@@ -652,6 +747,9 @@ ClusterSimulator::run(const QueryTrace& trace, RoutingPolicy& policy) const
     auto present = [&](uint64_t idx, double now) {
         const Query& in = trace[idx];
         QueryState& q = queries[idx];
+        drs_assert(in.model < numMix,
+                   "query's model is outside the tier's mix");
+        q.model = in.model;
         q.cls = cfg.overload.priorityClasses > 1
             ? std::min(in.priorityClass, cfg.overload.priorityClasses - 1)
             : 0;
@@ -692,6 +790,8 @@ ClusterSimulator::run(const QueryTrace& trace, RoutingPolicy& policy) const
                     result.overload.droppedFinal++;
                     if (cs)
                         cs->droppedFinal++;
+                    if (mixOn)
+                        result.perModel[in.model].droppedFinal++;
                     result.machineOfQuery[idx] =
                         ClusterResult::droppedMachine;
                     result.overload.droppedQueries.push_back(idx);
@@ -751,6 +851,8 @@ ClusterSimulator::run(const QueryTrace& trace, RoutingPolicy& policy) const
             span.onArrival(in.arrivalSeconds);
 
         result.numDispatched++;
+        if (mixOn)
+            result.perModel[q.model].dispatched++;
         const double forward = cfg.network.oneWaySeconds(
             static_cast<double>(served.size) *
             cfg.network.requestBytesPerSample);
@@ -765,7 +867,7 @@ ClusterSimulator::run(const QueryTrace& trace, RoutingPolicy& policy) const
             const uint32_t m = target.machine;
             drs_assert(!down[m], "policy routed to a down machine");
             machines[m].advanceTo(now);
-            inFlight[m]++;
+            flight_add(m, q.model);
             if (target.leader) {
                 leaders++;
                 q.machine = m;
@@ -799,8 +901,11 @@ ClusterSimulator::run(const QueryTrace& trace, RoutingPolicy& policy) const
         // second-order backlog (released exactly once, at the
         // JoinPhase event or when a failure kills the dispatch).
         if (trackJoinCost && plan.size() > 1) {
-            pendingJoinCost[q.machine] +=
-                machines[q.machine].joinPhaseCostSeconds(served.size);
+            const double phase = machines[q.machine].joinPhaseCostSeconds(
+                served.size, q.model);
+            pendingJoinCost[q.machine] += phase;
+            if (mixOn)
+                pendingJoinByModel[q.machine * numMix + q.model] += phase;
             q.joinCommitted = true;
         }
         // Arm the tail-at-scale hedge for fanned-out dispatches; the
@@ -824,6 +929,11 @@ ClusterSimulator::run(const QueryTrace& trace, RoutingPolicy& policy) const
                                trace[nextArrival - 1].arrivalSeconds,
                        "trace must be sorted by arrival");
             result.overload.offered++;
+            if (mixOn) {
+                drs_assert(in.model < numMix,
+                           "query's model is outside the tier's mix");
+                result.perModel[in.model].offered++;
+            }
             present(nextArrival, in.arrivalSeconds);
             nextArrival++;
             continue;
@@ -893,9 +1003,8 @@ ClusterSimulator::run(const QueryTrace& trace, RoutingPolicy& policy) const
                     // The dispatch died while this RPC was in flight;
                     // the client cancelled it.
                     part.cancelled = true;
-                    drs_assert(inFlight[ev.machine] > 0,
+                    flight_sub(ev.machine, q.model,
                                "cancel with nothing in flight");
-                    inFlight[ev.machine]--;
                     break;
                 }
                 if (down[ev.machine]) {
@@ -914,26 +1023,28 @@ ClusterSimulator::run(const QueryTrace& trace, RoutingPolicy& policy) const
                 // Stale join of a killed dispatch — its committed
                 // cost was already released at the kill.
                 part.cancelled = true;
-                drs_assert(inFlight[ev.machine] > 0,
+                flight_sub(ev.machine, q.model,
                            "cancel with nothing in flight");
-                inFlight[ev.machine]--;
                 break;
             }
             // The committed phase becomes real queued work here; the
             // subtraction mirrors the addition at fan-out dispatch
             // exactly (identical joinPhaseCostSeconds inputs).
             if (q.joinCommitted) {
-                pendingJoinCost[ev.machine] -=
-                    machines[ev.machine].joinPhaseCostSeconds(q.size);
+                const double phase = machines[ev.machine]
+                    .joinPhaseCostSeconds(q.size, q.model);
+                pendingJoinCost[ev.machine] -= phase;
+                if (mixOn)
+                    pendingJoinByModel[ev.machine * numMix + q.model] -=
+                        phase;
                 q.joinCommitted = false;
             }
             if (faultsOn && engineEpoch[q.machine] != q.leaderEpoch) {
                 // The leader restarted since dispatch: the pooled
                 // embeddings of this query died with it.
                 part.cancelled = true;
-                drs_assert(inFlight[ev.machine] > 0,
+                flight_sub(ev.machine, q.model,
                            "cancel with nothing in flight");
-                inFlight[ev.machine]--;
                 fail_query(part.queryIdx, ev.time);
                 break;
             }
@@ -1019,6 +1130,25 @@ ClusterSimulator::run(const QueryTrace& trace, RoutingPolicy& policy) const
     assertFaultConservation(result.overload, result.faults,
                             result.numDispatched, result.numCompleted,
                             trace.size());
+    if (mixOn) {
+        // The same algebra per model, plus the cross-model sum checks:
+        // every query is exactly one model's, so the per-model books
+        // must tile the fleet totals with nothing left over.
+        uint64_t sum_offered = 0;
+        uint64_t sum_completed = 0;
+        for (const ModelStats& ms : result.perModel) {
+            drs_assert(ms.offered ==
+                           ms.completed + ms.droppedFinal + ms.lost,
+                       "per-model conservation violated");
+            sum_offered += ms.offered;
+            sum_completed += ms.completed;
+        }
+        drs_assert(sum_offered == result.overload.offered,
+                   "per-model offered books do not tile the fleet total");
+        drs_assert(sum_completed == result.numCompleted,
+                   "per-model completion books do not tile the fleet "
+                   "total");
+    }
     return result;
 }
 

@@ -50,6 +50,7 @@
 #include "base/stats.hh"
 #include "cluster/admission.hh"
 #include "cluster/fault_plan.hh"
+#include "cluster/model_mix.hh"
 #include "cluster/network.hh"
 #include "cluster/routing_policy.hh"
 #include "cluster/shard_placement.hh"
@@ -105,6 +106,18 @@ struct ClusterConfig
      * embedding parts are hedged. Disabled by default.
      */
     HedgeConfig hedge;
+
+    /**
+     * The model mix a colocated tier serves (cluster/model_mix.hh):
+     * Query::model indexes this vector, every machine must carry a
+     * binding for each model it receives, and per-model statistics
+     * (ClusterResult::perModel) and SLA checks key off it. Empty on
+     * single-model tiers — the historical configuration, in which the
+     * whole multi-model layer is bitwise invisible. Traffic fractions
+     * must sum to 1; a multi-model *sharded* tier additionally needs
+     * one ShardingConfig::models namespace per mix entry.
+     */
+    std::vector<ModelMixEntry> modelMix;
 };
 
 /** Per-machine embedding-memory budgets (SimConfig::memoryBytes). */
@@ -125,6 +138,37 @@ struct MachineStats
     double cpuUtilization = 0;         ///< over the cluster event span
     double gpuUtilization = 0;
     SampleStats latencySeconds;        ///< measured queries only
+};
+
+/**
+ * Per-model outcome of one multi-model run. The integer books obey
+ * the same three-way conservation algebra as the fleet totals —
+ * offered == completed + droppedFinal + lost, per model — and each
+ * book sums exactly to its fleet counterpart across the mix (the
+ * colocation property suite pins both).
+ */
+struct ModelStats
+{
+    uint64_t offered = 0;        ///< trace arrivals of this model
+    uint64_t dispatched = 0;     ///< routed dispatches (incl. retries)
+    uint64_t completed = 0;      ///< all completions (incl. warmup)
+    uint64_t droppedFinal = 0;   ///< shed at the router, never served
+    uint64_t lost = 0;           ///< destroyed by failures
+    SampleStats latencySeconds;  ///< measured completions only
+
+    /** This model's p99 latency in milliseconds. */
+    double
+    p99Ms() const
+    {
+        return latencySeconds.percentile(99) * 1e3;
+    }
+
+    /** This model's tail latency at a percentile, in milliseconds. */
+    double
+    tailMs(double pct) const
+    {
+        return latencySeconds.percentile(pct) * 1e3;
+    }
 };
 
 /** Aggregate outcome of one cluster run. */
@@ -171,6 +215,10 @@ struct ClusterResult
     /** Crash/failover/hedge accounting (cluster/fault_plan.hh); all
      *  zero when the run carries no FaultPlan and no HedgeConfig. */
     FaultStats faults;
+
+    /** Per-mix-model books (one entry per ClusterConfig::modelMix
+     *  entry; empty on single-model runs). */
+    std::vector<ModelStats> perModel;
 
     /** Fleet-wide p95 latency in milliseconds. */
     double

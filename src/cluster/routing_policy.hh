@@ -51,6 +51,19 @@ enum class RoutingKind
     PowerOfTwoChoices,
     SizeAware,
     ShardAware,
+
+    /**
+     * Model-aware balancing for multi-model tiers: each query is
+     * routed within its own model's replica set (the machines with a
+     * binding for query.model) on that model's own load signal —
+     * JSQ over per-model in-flight queries, or power-of-two-choices
+     * over the same signal. On a single-model tier both degrade to
+     * their classic counterparts' candidate sets (every machine
+     * serves model 0), though ModelAwareJsq's signal differs from
+     * JoinShortestQueue's (per-model in-flight vs in-flight+queued).
+     */
+    ModelAwareJsq,
+    ModelAwarePo2c,
 };
 
 /** Name for printing. */
@@ -59,7 +72,9 @@ const char* routingKindName(RoutingKind kind);
 /**
  * Every self-contained routing policy, in declaration order (for
  * sweeps). Excludes ShardAware, which cannot be built from a bare
- * RoutingSpec — it needs a ShardingConfig.
+ * RoutingSpec — it needs a ShardingConfig — and the model-aware
+ * kinds, which only make sense against a multi-model view; generic
+ * single-model sweeps over this list stay byte-identical.
  */
 const std::vector<RoutingKind>& allRoutingKinds();
 
@@ -137,6 +152,44 @@ class ClusterView
      * maintained counter, never an O(n) scan.
      */
     virtual bool allAccepting() const { return true; }
+
+    // ------------------------------------------------- per-model view
+    // The multi-model tier's slice of the same signals, consumed by
+    // the model-aware policies and the per-model admission pricing.
+    // Single-model views keep the defaults: one model, served
+    // everywhere, whose slice IS the total.
+
+    /** Models in the tier's mix (1 on single-model tiers). */
+    virtual size_t numModels() const { return 1; }
+
+    /** True when machine @p m has a binding for mix model @p model. */
+    virtual bool
+    servesModel(size_t, uint32_t model) const
+    {
+        return model == 0;
+    }
+
+    /** Mix model @p model's share of inFlightQueries(@p m). */
+    virtual size_t
+    inFlightQueriesOfModel(size_t m, uint32_t) const
+    {
+        return inFlightQueries(m);
+    }
+
+    /** Mix model @p model's slice of queuedCostSeconds(@p m)
+     *  (negative means unavailable, like the total). */
+    virtual double
+    queuedCostSecondsOfModel(size_t m, uint32_t) const
+    {
+        return queuedCostSeconds(m);
+    }
+
+    /** Mix model @p model's slice of pendingJoinCostSeconds(@p m). */
+    virtual double
+    pendingJoinCostSecondsOfModel(size_t m, uint32_t) const
+    {
+        return pendingJoinCostSeconds(m);
+    }
 };
 
 /**

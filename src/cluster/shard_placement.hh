@@ -227,13 +227,33 @@ std::vector<uint32_t> tablesOfQuery(uint64_t query_id,
                                     const std::vector<double>& popularity);
 
 /**
+ * One model's namespace within a multi-model sharded tier: its own
+ * working-set spec (seeded per model so two models' draws are
+ * independent) and the offset of its tables within the concatenated
+ * table id space the placement was built over. Query-time table ids
+ * are drawn in the model's local space and shifted by @p base, so two
+ * colocated models never alias each other's tables.
+ */
+struct ModelTableSpace
+{
+    TableSetSpec set;
+    uint32_t base = 0;   ///< first global table id of this model
+};
+
+/**
  * Everything the cluster tier needs to serve a sharded model: the
  * table-to-machine assignment and the per-query working-set model.
+ *
+ * Multi-model tiers additionally carry one ModelTableSpace per mix
+ * model; entry k namespaces mix model k's tables within the combined
+ * placement (tableSet then describes the concatenated space). Empty
+ * on every single-model tier — the historical configuration.
  */
 struct ShardingConfig
 {
     ShardPlacement placement;
     TableSetSpec tableSet;
+    std::vector<ModelTableSpace> models = {};
 };
 
 } // namespace deeprecsys

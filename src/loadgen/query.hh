@@ -30,7 +30,26 @@ struct Query
      * (assignPriorityClasses in loadgen/query_stream.hh).
      */
     uint32_t priorityClass = 0;
+
+    /**
+     * Which model of the serving tier's mix this query targets: an
+     * index into ClusterConfig::modelMix (NOT the ModelId enum, so a
+     * mix may serve two variants of the same Table-1 model). Single-
+     * model traffic is all 0 — the historical path — and a machine's
+     * primary cost/policy fields serve model 0, so the default is
+     * bitwise invisible.
+     */
+    uint32_t model = 0;
 };
+
+/**
+ * Query-id stride of mixed-model traces: model k's queries carry ids
+ * k * kMixedQueryIdStride + per-model-index, so each model's id
+ * sequence — and everything hashed off it (shard table draws, retry
+ * jitter, priority classes) — is stable under mix changes. Model 0
+ * degenerates to plain indices 0..n-1, the single-model id sequence.
+ */
+constexpr uint64_t kMixedQueryIdStride = 1ULL << 40;
 
 /** A generated query trace. */
 using QueryTrace = std::vector<Query>;

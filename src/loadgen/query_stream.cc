@@ -1,6 +1,8 @@
 #include "query_stream.hh"
 
+#include <algorithm>
 #include <cmath>
+#include <utility>
 
 #include "base/logging.hh"
 
@@ -139,6 +141,123 @@ mix64(uint64_t x)
 }
 
 } // namespace
+
+uint64_t
+modelSubstreamSeed(uint64_t base_seed, uint32_t model)
+{
+    // Model 0 IS the historical single-model stream; everyone else
+    // gets a splitmix64-derived substream far from the base seed and
+    // from each other.
+    if (model == 0)
+        return base_seed;
+    return mix64(base_seed ^
+                 (0x9e3779b97f4a7c15ULL * (static_cast<uint64_t>(model) + 1)));
+}
+
+std::vector<size_t>
+splitCountByFraction(const std::vector<double>& fractions, size_t count)
+{
+    drs_assert(!fractions.empty(), "a mix needs at least one model");
+    double sum = 0.0;
+    for (double f : fractions) {
+        drs_assert(f >= 0.0, "traffic fractions must be non-negative");
+        sum += f;
+    }
+    drs_assert(std::abs(sum - 1.0) <= 1e-9,
+               "traffic fractions must sum to 1");
+    std::vector<size_t> counts(fractions.size());
+    // (fractional part, index) pairs; the leftover queries go to the
+    // largest remainders, ties to the lowest index (stable sort on a
+    // strictly-greater comparator keeps index order within ties).
+    std::vector<std::pair<double, size_t>> remainder;
+    remainder.reserve(fractions.size());
+    size_t assigned = 0;
+    for (size_t k = 0; k < fractions.size(); k++) {
+        const double exact = fractions[k] * static_cast<double>(count);
+        counts[k] = static_cast<size_t>(std::floor(exact));
+        if (counts[k] > count)
+            counts[k] = count;
+        assigned += counts[k];
+        remainder.emplace_back(exact - static_cast<double>(counts[k]), k);
+    }
+    std::stable_sort(remainder.begin(), remainder.end(),
+                     [](const std::pair<double, size_t>& a,
+                        const std::pair<double, size_t>& b) {
+                         return a.first > b.first;
+                     });
+    drs_assert(assigned <= count, "largest-remainder overflow");
+    for (size_t i = 0; i < count - assigned; i++)
+        counts[remainder[i % remainder.size()].second]++;
+    return counts;
+}
+
+MixedTraceTemplate::MixedTraceTemplate(const LoadSpec& base,
+                                       const std::vector<double>& fractions)
+    : fractions_(fractions)
+{
+    // Validate the fractions eagerly (same rules as the splitter).
+    (void)splitCountByFraction(fractions_, 0);
+    perModel.reserve(fractions_.size());
+    for (uint32_t k = 0; k < fractions_.size(); k++) {
+        LoadSpec spec = base;
+        spec.arrivalSeed = modelSubstreamSeed(base.arrivalSeed, k);
+        spec.sizeSeed = modelSubstreamSeed(base.sizeSeed, k);
+        perModel.emplace_back(spec);
+    }
+}
+
+void
+MixedTraceTemplate::ensure(size_t count)
+{
+    const auto counts = splitCountByFraction(fractions_, count);
+    for (uint32_t k = 0; k < perModel.size(); k++)
+        perModel[k].ensure(counts[k]);
+}
+
+size_t
+MixedTraceTemplate::countOfModel(uint32_t model, size_t total) const
+{
+    drs_assert(model < fractions_.size(), "model out of mix range");
+    return splitCountByFraction(fractions_, total)[model];
+}
+
+QueryTrace
+MixedTraceTemplate::materialize(double qps, size_t count) const
+{
+    const auto counts = splitCountByFraction(fractions_, count);
+    // Each model re-times its own independent stream at its share of
+    // the total rate; fraction 1.0 * qps is exact, so a 1-model mix
+    // takes the single-model template's bit pattern literally.
+    std::vector<QueryTrace> parts(perModel.size());
+    for (uint32_t k = 0; k < perModel.size(); k++)
+        parts[k] = perModel[k].materialize(fractions_[k] * qps, counts[k]);
+
+    // K-way merge by arrival time, ties to the lower model index —
+    // a deterministic total order.
+    QueryTrace out;
+    out.reserve(count);
+    std::vector<size_t> pos(parts.size(), 0);
+    while (out.size() < count) {
+        size_t best = SIZE_MAX;
+        for (size_t k = 0; k < parts.size(); k++) {
+            if (pos[k] >= parts[k].size())
+                continue;
+            if (best == SIZE_MAX ||
+                parts[k][pos[k]].arrivalSeconds <
+                    parts[best][pos[best]].arrivalSeconds)
+                best = k;
+        }
+        drs_assert(best != SIZE_MAX, "mixed merge ran dry");
+        Query q = parts[best][pos[best]++];
+        // Per-model ids are strided so a model's id sequence (and the
+        // shard tables, retry jitter, and classes hashed off it)
+        // never shifts when the mix changes; model 0 keeps plain ids.
+        q.model = static_cast<uint32_t>(best);
+        q.id += static_cast<uint64_t>(best) * kMixedQueryIdStride;
+        out.push_back(q);
+    }
+    return out;
+}
 
 void
 assignPriorityClasses(QueryTrace& trace, uint32_t classes, uint64_t seed)

@@ -109,6 +109,76 @@ class TraceTemplate
 };
 
 /**
+ * Per-model substream seed of a mixed-model trace. Model 0 keeps the
+ * base seed verbatim — its stream IS the historical single-model
+ * stream — and model k > 0 derives an independent splitmix64
+ * substream, so adding a model to a mix never perturbs another
+ * model's draws.
+ */
+uint64_t modelSubstreamSeed(uint64_t base_seed, uint32_t model);
+
+/**
+ * Largest-remainder split of @p count queries over @p fractions:
+ * each model gets floor(f_k * count), and the leftover queries go to
+ * the largest fractional parts (ties to the lowest index). Exact:
+ * the parts always sum to @p count. A single fraction of 1.0 yields
+ * {count}.
+ */
+std::vector<size_t> splitCountByFraction(
+    const std::vector<double>& fractions, size_t count);
+
+/**
+ * The mixed-model form of TraceTemplate: one independent per-model
+ * template (model k's seeds derived via modelSubstreamSeed, so model
+ * 0's stream is bit-identical to the single-model TraceTemplate on
+ * the same LoadSpec), merged at materialize time by arrival. Each
+ * model k runs at rate fraction_k * qps; counts split by largest
+ * remainder; ids are strided per model (kMixedQueryIdStride) so a
+ * model's id sequence never shifts when the mix changes.
+ *
+ * Degeneration contract: a 1-model mix at fraction 1.0 materializes
+ * **bit-identical** to TraceTemplate::materialize — same gaps, sizes,
+ * ids — which the differential suite pins.
+ *
+ * Thread-safety: like TraceTemplate — ensure() single-threaded,
+ * materialize() const and concurrent-safe afterwards.
+ */
+class MixedTraceTemplate
+{
+  public:
+    /** @p fractions must be non-negative and sum to 1 (±1e-9). */
+    MixedTraceTemplate(const LoadSpec& base,
+                       const std::vector<double>& fractions);
+
+    /** Draw through @p count total queries (prefix-stable per model:
+     *  growing the total never redraws any model's stream). */
+    void ensure(size_t count);
+
+    /**
+     * First @p count queries (across all models) re-timed at total
+     * rate @p qps, merged by arrival time (ties to the lower model
+     * index). Requires ensure(count).
+     */
+    QueryTrace materialize(double qps, size_t count) const;
+
+    /** Model k's share of a @p total -query trace. */
+    size_t countOfModel(uint32_t model, size_t total) const;
+
+    size_t numModels() const { return fractions_.size(); }
+    const std::vector<double>& fractions() const { return fractions_; }
+
+    /** Model k's underlying single-model template. */
+    const TraceTemplate& templateOf(uint32_t model) const
+    {
+        return perModel[model];
+    }
+
+  private:
+    std::vector<double> fractions_;
+    std::vector<TraceTemplate> perModel;
+};
+
+/**
  * Assign each query of @p trace a priority class in [0, classes) by
  * hashing (query id, seed) — stateless and order-free, so the same
  * trace re-timed at another rate keeps every query's class, and a

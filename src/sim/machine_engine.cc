@@ -11,6 +11,7 @@ MachineEngine::MachineEngine(const SimConfig* config, double start_time)
 {
     drs_assert(cfg != nullptr, "engine needs a machine config");
     validate(*cfg);
+    queuedCostByModel_.resize(cfg->numModels(), 0.0);
 }
 
 void
@@ -21,6 +22,16 @@ MachineEngine::validate(const SimConfig& config)
     drs_assert(config.slowdown > 0.0, "slowdown must be positive");
     if (config.policy.gpuEnabled)
         drs_assert(config.gpu.has_value(), "GPU policy without a GPU model");
+    for (const ModelService& co : config.coModels) {
+        drs_assert(co.policy.perRequestBatch >= 1,
+                   "co-model per-request batch must be >= 1");
+        if (co.policy.gpuEnabled)
+            drs_assert(co.gpu.has_value(),
+                       "co-model GPU policy without a GPU model");
+        // Every binding shares this machine's physical core pool.
+        drs_assert(co.cpu.platform().cores == config.cpu.platform().cores,
+                   "co-model platform core count differs from the machine");
+    }
 }
 
 void
@@ -51,6 +62,7 @@ MachineEngine::crash(double now, std::vector<uint64_t>& lost_parts)
     gpuBusy = false;
     queuedSamples_ = 0;
     queuedCostSeconds_ = 0;
+    std::fill(queuedCostByModel_.begin(), queuedCostByModel_.end(), 0.0);
     serviceFactor_ = 1.0;
     lastFinishedFirstStart_ = -1.0;
 }
@@ -97,26 +109,30 @@ MachineEngine::queuedRequestCost(const PartBook& book, uint32_t batch) const
     // Priced at full contention — the steady state of a machine deep
     // enough in backlog for this estimate to matter. The expression is
     // evaluated once at enqueue and once at dequeue with identical
-    // inputs, so the running sum reverses to the same double.
+    // inputs, so the running sum reverses to the same double. Priced
+    // through the part's own model binding (model 0 = the primary
+    // fields, the historical arithmetic verbatim).
+    const CpuCostModel& cpu = cpuOf(book.model);
     const size_t cores = cfg->cpu.platform().cores;
     return (book.whole
-                ? cfg->cpu.requestSeconds(batch, cores)
-                : cfg->cpu.partialRequestSeconds(batch, cores,
-                                                 book.embFraction,
-                                                 book.leader)) *
+                ? cpu.requestSeconds(batch, cores)
+                : cpu.partialRequestSeconds(batch, cores,
+                                            book.embFraction,
+                                            book.leader)) *
            cfg->slowdown;
 }
 
 double
 MachineEngine::queuedGpuCost(const PartBook& book) const
 {
-    return cfg->gpu->querySeconds(book.samples) * cfg->slowdown;
+    return gpuOf(book.model)->querySeconds(book.samples) * cfg->slowdown;
 }
 
 double
-MachineEngine::joinPhaseCostSeconds(uint32_t samples) const
+MachineEngine::joinPhaseCostSeconds(uint32_t samples, uint32_t model) const
 {
     drs_assert(samples >= 1, "join phase needs samples");
+    drs_assert(cfg->servesModel(model), "join phase for an unserved model");
     // Mirror the admit() batch split and queuedRequestCost pricing of
     // a dense-only leader part, so the value a driver adds when a
     // fan-out commits this phase equals, bit for bit, the value the
@@ -125,8 +141,9 @@ MachineEngine::joinPhaseCostSeconds(uint32_t samples) const
     book.embFraction = 0.0;
     book.leader = true;
     book.whole = false;
+    book.model = model;
     const uint32_t batch = static_cast<uint32_t>(
-        std::min<size_t>(cfg->policy.perRequestBatch, samples));
+        std::min<size_t>(policyOf(model).perRequestBatch, samples));
     double cost = 0.0;
     uint32_t remaining = samples;
     while (remaining > 0) {
@@ -147,19 +164,23 @@ MachineEngine::dispatchCpu(double now, std::vector<EngineEvent>& out)
         queuedSamples_ -= req.batch;
         busyCores_++;
         PartBook& book = slab[req.slot];
-        queuedCostSeconds_ -= queuedRequestCost(book, req.batch);
+        const double queued_cost = queuedRequestCost(book, req.batch);
+        queuedCostSeconds_ -= queued_cost;
+        queuedCostByModel_[book.model] -= queued_cost;
         if (book.firstStart < 0)
             book.firstStart = now;
         // Whole queries take the historical full-model path; shard
         // parts are charged their local share of the embedding work
         // (plus the dense stacks when they lead). The contention term
         // sees how many cores are busy at dispatch, this one included.
+        // Service is priced through the part's own model binding.
+        const CpuCostModel& cpu = cpuOf(book.model);
         const double service =
             (book.whole
-                 ? cfg->cpu.requestSeconds(req.batch, busyCores_)
-                 : cfg->cpu.partialRequestSeconds(req.batch, busyCores_,
-                                                  book.embFraction,
-                                                  book.leader)) *
+                 ? cpu.requestSeconds(req.batch, busyCores_)
+                 : cpu.partialRequestSeconds(req.batch, busyCores_,
+                                             book.embFraction,
+                                             book.leader)) *
             cfg->slowdown * serviceFactor_;
         out.push_back({now + service, EngineEvent::Kind::CpuRequest,
                        book.partIdx, req.slot});
@@ -177,11 +198,13 @@ MachineEngine::startGpu(double now, std::vector<EngineEvent>& out)
     gpuBusy = true;
     PartBook& book = slab[slot];
     queuedSamples_ -= book.samples;
-    queuedCostSeconds_ -= queuedGpuCost(book);
+    const double queued_cost = queuedGpuCost(book);
+    queuedCostSeconds_ -= queued_cost;
+    queuedCostByModel_[book.model] -= queued_cost;
     if (book.firstStart < 0)
         book.firstStart = now;
     const double service =
-        cfg->gpu->querySeconds(book.samples) * cfg->slowdown *
+        gpuOf(book.model)->querySeconds(book.samples) * cfg->slowdown *
         serviceFactor_;
     out.push_back({now + service, EngineEvent::Kind::GpuQuery,
                    book.partIdx, slot});
@@ -192,6 +215,8 @@ MachineEngine::admit(const PartSpec& part, double now,
                      std::vector<EngineEvent>& out)
 {
     drs_assert(part.samples >= 1, "part needs samples");
+    drs_assert(cfg->servesModel(part.model),
+               "part admitted for a model this machine does not serve");
     const uint32_t slot = allocSlot();
     PartBook& book = slab[slot];
     book.partIdx = part.partIdx;
@@ -202,17 +227,23 @@ MachineEngine::admit(const PartSpec& part, double now,
     book.leader = part.leader;
     book.whole = part.whole;
     book.active = true;
+    book.model = part.model;
 
     if (part.whole)
         totalSamples_ += part.samples;
-    const SchedulerPolicy& sched = cfg->policy;
+    // Batch formation and offload follow the part's own model
+    // binding; the query is the batch-split source, so requests never
+    // mix models (model 0 = the primary policy, historical path).
+    const SchedulerPolicy& sched = policyOf(part.model);
     const bool offload = part.whole && sched.gpuEnabled &&
         part.samples >= sched.gpuQueryThreshold;
     if (offload) {
         gpuSamples_ += part.samples;
         gpuQueue.push_back(slot);
         queuedSamples_ += part.samples;
-        queuedCostSeconds_ += queuedGpuCost(book);
+        const double queued_cost = queuedGpuCost(book);
+        queuedCostSeconds_ += queued_cost;
+        queuedCostByModel_[book.model] += queued_cost;
         startGpu(now, out);
         return;
     }
@@ -223,7 +254,9 @@ MachineEngine::admit(const PartSpec& part, double now,
         const uint32_t take = std::min(remaining, batch);
         cpuQueue.push_back({slot, take});
         queuedSamples_ += take;
-        queuedCostSeconds_ += queuedRequestCost(book, take);
+        const double queued_cost = queuedRequestCost(book, take);
+        queuedCostSeconds_ += queued_cost;
+        queuedCostByModel_[book.model] += queued_cost;
         book.requestsLeft++;
         remaining -= take;
     }

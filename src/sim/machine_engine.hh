@@ -60,6 +60,20 @@ struct SchedulerPolicy
     uint32_t gpuQueryThreshold = 1;
 };
 
+/**
+ * One co-served model's machine-side binding on a multi-model tier:
+ * its own cost models and scheduler policy. Entry k of
+ * SimConfig::coModels serves mix model k+1; the SimConfig's primary
+ * cpu/gpu/policy fields serve model 0 (the historical single-model
+ * path, kept verbatim so single-model arithmetic is untouched).
+ */
+struct ModelService
+{
+    CpuCostModel cpu;
+    std::optional<GpuCostModel> gpu;
+    SchedulerPolicy policy;
+};
+
 /** Configuration of one simulated serving machine. */
 struct SimConfig
 {
@@ -80,6 +94,21 @@ struct SimConfig
      * the capacity planner treats it as a hard provisioning limit.
      */
     uint64_t memoryBytes = 0;
+
+    /**
+     * Additional models this machine co-serves (multi-model tiers):
+     * binding k serves mix model k+1. Empty on every single-model
+     * machine — the historical configuration, bitwise untouched. All
+     * bindings share this machine's core pool, slowdown, and memory
+     * budget; only pricing and batch policy are per-model.
+     */
+    std::vector<ModelService> coModels = {};
+
+    /** Models this machine serves (primary + co-served bindings). */
+    size_t numModels() const { return 1 + coModels.size(); }
+
+    /** True when mix model @p model has a binding on this machine. */
+    bool servesModel(uint32_t model) const { return model < numModels(); }
 };
 
 /** What one admitted part asks of its machine. */
@@ -103,6 +132,16 @@ struct PartSpec
      * join phases are not whole and always run on the core pool.
      */
     bool whole = true;
+
+    /**
+     * Mix model this part belongs to (index into the machine's model
+     * bindings; 0 = the primary model, the historical default). The
+     * engine prices, batch-splits, and offloads the part through that
+     * model's own binding, and never merges requests across models —
+     * each query is its own batch-split source, so a batch is
+     * model-homogeneous by construction.
+     */
+    uint32_t model = 0;
 };
 
 /** A completion the engine schedules; the driver enqueues it. */
@@ -229,17 +268,34 @@ class MachineEngine
     }
 
     /**
+     * Mix model @p model's slice of queuedCostSeconds(): the same
+     * push/pop-symmetric book, kept per model alongside the total
+     * (each update adds the identical addend to both, so the slices
+     * sum exactly to the total at all times). This is what lets the
+     * per-model view and the colocation tests attribute queue
+     * pressure to the model that caused it.
+     */
+    double queuedCostSeconds(uint32_t model) const
+    {
+        return model < queuedCostByModel_.size()
+            ? std::max(0.0, queuedCostByModel_[model])
+            : 0.0;
+    }
+
+    /**
      * Estimated service seconds of a dense-only TwoStage join phase
-     * of @p samples on this machine (embFraction 0, leader, not
-     * whole), batch-split exactly as admit() would and priced at full
-     * core contention — the same expression the phase will add to
-     * queuedCostSeconds when it is eventually admitted. Drivers call
-     * it with identical inputs when a fan-out commits a future join
-     * phase to this machine (+) and when that phase is admitted (−),
-     * so their running committed-second-visit sum
+     * of @p samples of mix model @p model on this machine
+     * (embFraction 0, leader, not whole), batch-split exactly as
+     * admit() would under that model's policy and priced at full core
+     * contention through that model's cost model — the same
+     * expression the phase will add to queuedCostSeconds when it is
+     * eventually admitted. Drivers call it with identical inputs when
+     * a fan-out commits a future join phase to this machine (+) and
+     * when that phase is admitted (−), so their running
+     * committed-second-visit sum
      * (ClusterView::pendingJoinCostSeconds) reverses exactly.
      */
-    double joinPhaseCostSeconds(uint32_t samples) const;
+    double joinPhaseCostSeconds(uint32_t samples, uint32_t model = 0) const;
 
     /** Cores currently serving a request. */
     size_t busyCores() const { return busyCores_; }
@@ -308,6 +364,7 @@ class MachineEngine
         bool leader = true;
         bool whole = true;
         bool active = false;       ///< slot occupied (free-list guard)
+        uint32_t model = 0;        ///< mix model binding of the part
     };
 
     /** A queued CPU request: part of a part awaiting a core. */
@@ -319,6 +376,28 @@ class MachineEngine
 
     void dispatchCpu(double now, std::vector<EngineEvent>& out);
     void startGpu(double now, std::vector<EngineEvent>& out);
+
+    // Model-binding lookups. Model 0 returns the SimConfig's primary
+    // fields — the very same objects the single-model engine always
+    // priced through, so the model-0 arithmetic is bit-identical to
+    // the pre-colocation engine.
+    const CpuCostModel&
+    cpuOf(uint32_t model) const
+    {
+        return model == 0 ? cfg->cpu : cfg->coModels[model - 1].cpu;
+    }
+
+    const std::optional<GpuCostModel>&
+    gpuOf(uint32_t model) const
+    {
+        return model == 0 ? cfg->gpu : cfg->coModels[model - 1].gpu;
+    }
+
+    const SchedulerPolicy&
+    policyOf(uint32_t model) const
+    {
+        return model == 0 ? cfg->policy : cfg->coModels[model - 1].policy;
+    }
 
     /**
      * Estimated service seconds of a queued CPU request of @p batch
@@ -350,6 +429,8 @@ class MachineEngine
     bool gpuBusy = false;
     size_t queuedSamples_ = 0;
     double queuedCostSeconds_ = 0;
+    /** Per-mix-model slices of queuedCostSeconds_ (sized numModels). */
+    std::vector<double> queuedCostByModel_;
     double serviceFactor_ = 1.0;   ///< gray-failure multiplier
 
     // Lazy utilization integrals: advanced whenever the driver says.

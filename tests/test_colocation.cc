@@ -1,0 +1,384 @@
+/**
+ * @file
+ * Property suite of the multi-model colocation layer.
+ *
+ * A colocated tier serves several Table-1 models from one machine
+ * pool; these tests pin the structural invariants that make that
+ * sound rather than any particular latency number:
+ *
+ *  - the mixed trace generator degenerates bitwise to the
+ *    single-model stream at one model, stays prefix-stable under
+ *    growth, and splits counts by largest remainder;
+ *  - a batch is model-homogeneous by construction — each part
+ *    batch-splits under its own model's policy, and the per-model
+ *    queue-cost books tile the machine total exactly;
+ *  - per-model conservation holds under overload (offered ==
+ *    completed + droppedFinal + lost per ModelId) and the per-model
+ *    books sum exactly to the fleet totals;
+ *  - a model's tail latency is monotone in its own offered fraction
+ *    when it is the heavier co-tenant;
+ *  - model-aware routing decisions are bitwise identical at 1 and
+ *    many threads (ColocationParallelDiff — run under TSan in CI).
+ */
+
+#include <gtest/gtest.h>
+
+#include "base/thread_pool.hh"
+#include "cluster/cluster_qps_search.hh"
+#include "cluster/cluster_sim.hh"
+#include "cluster/model_mix.hh"
+#include "loadgen/query_stream.hh"
+
+namespace deeprecsys {
+namespace {
+
+LoadSpec
+mixLoad(double qps = 1000.0, uint64_t seed = 0x101)
+{
+    LoadSpec load;
+    load.qps = qps;
+    load.arrivalSeed = seed;
+    load.sizeSeed = seed + 1;
+    return load;
+}
+
+/** Mix entry with an explicit per-request batch (no SLA target). */
+ModelMixEntry
+mixEntry(ModelId id, double fraction, size_t batch)
+{
+    ModelMixEntry entry;
+    entry.id = id;
+    entry.trafficFraction = fraction;
+    entry.policy.perRequestBatch = batch;
+    return entry;
+}
+
+// ------------------------------------------------- mixed trace stream
+
+TEST(Colocation, MixedTemplateDegeneratesToSingleModel)
+{
+    // A 1.0-fraction mix must reproduce the historical single-model
+    // stream bit for bit: same ids, arrivals, and sizes, every query
+    // tagged model 0.
+    const LoadSpec load = mixLoad(1400.0);
+    const size_t count = 900;
+
+    TraceTemplate plain(load);
+    plain.ensure(count);
+    const QueryTrace a = plain.materialize(load.qps, count);
+
+    MixedTraceTemplate mixed(load, {1.0});
+    mixed.ensure(count);
+    const QueryTrace b = mixed.materialize(load.qps, count);
+
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t i = 0; i < a.size(); i++) {
+        EXPECT_EQ(a[i].id, b[i].id);
+        EXPECT_EQ(a[i].arrivalSeconds, b[i].arrivalSeconds);
+        EXPECT_EQ(a[i].size, b[i].size);
+        EXPECT_EQ(b[i].model, 0u);
+    }
+}
+
+TEST(Colocation, MixedTemplatePrefixStableUnderGrowth)
+{
+    // Growing the drawn population must never redraw or re-merge the
+    // queries an earlier, shorter materialization produced.
+    const LoadSpec load = mixLoad(2000.0, 0x202);
+    const std::vector<double> fractions = {0.5, 0.3, 0.2};
+
+    MixedTraceTemplate small(load, fractions);
+    small.ensure(1000);
+    const QueryTrace a = small.materialize(load.qps, 1000);
+
+    MixedTraceTemplate grown(load, fractions);
+    grown.ensure(4000);
+    const QueryTrace b = grown.materialize(load.qps, 1000);
+
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t i = 0; i < a.size(); i++) {
+        EXPECT_EQ(a[i].id, b[i].id);
+        EXPECT_EQ(a[i].arrivalSeconds, b[i].arrivalSeconds);
+        EXPECT_EQ(a[i].size, b[i].size);
+        EXPECT_EQ(a[i].model, b[i].model);
+    }
+}
+
+TEST(Colocation, MixedTraceSortedTaggedAndSplitByLargestRemainder)
+{
+    const LoadSpec load = mixLoad(3000.0, 0x303);
+    const std::vector<double> fractions = {0.45, 0.35, 0.2};
+    MixedTraceTemplate mixed(load, fractions);
+
+    for (size_t total : {7u, 100u, 999u, 2048u}) {
+        SCOPED_TRACE(total);
+        mixed.ensure(total);
+        const QueryTrace trace = mixed.materialize(load.qps, total);
+        ASSERT_EQ(trace.size(), total);
+
+        std::vector<size_t> seen(fractions.size(), 0);
+        size_t expected_total = 0;
+        for (uint32_t k = 0; k < fractions.size(); k++)
+            expected_total += mixed.countOfModel(k, total);
+        EXPECT_EQ(expected_total, total)
+            << "largest-remainder split must partition the trace";
+
+        for (size_t i = 0; i < trace.size(); i++) {
+            const Query& q = trace[i];
+            ASSERT_LT(q.model, fractions.size());
+            seen[q.model]++;
+            // Ids are strided per model so two models' queries can
+            // never collide in any id-keyed book.
+            EXPECT_EQ(q.id / kMixedQueryIdStride, q.model);
+            if (i > 0) {
+                EXPECT_GE(q.arrivalSeconds, trace[i - 1].arrivalSeconds)
+                    << "merged trace must be sorted by arrival";
+            }
+        }
+        for (uint32_t k = 0; k < fractions.size(); k++)
+            EXPECT_EQ(seen[k], mixed.countOfModel(k, total));
+    }
+}
+
+// ------------------------------------------------- engine-level batch
+
+TEST(Colocation, NoCrossModelBatchEverForms)
+{
+    // Drive one MachineEngine directly with interleaved parts of two
+    // models whose batch policies differ. Every part must split into
+    // exactly ceil(samples / ownBatch) requests — a merged (cross-
+    // model) batch would change the request count of some part — and
+    // the per-model queue-cost books must tile the machine total at
+    // every step of the run.
+    const size_t batch0 = 64;
+    const size_t batch1 = 16;
+    const std::vector<ModelMixEntry> mix = {
+        mixEntry(ModelId::DlrmRmc1, 0.5, batch0),
+        mixEntry(ModelId::WideAndDeep, 0.5, batch1),
+    };
+    const SimConfig machine = colocatedMachine(mix, CpuPlatform::skylake());
+    ASSERT_EQ(machine.numModels(), 2u);
+    MachineEngine engine(&machine, 0.0);
+
+    const uint32_t samples = 100;
+    const size_t parts_per_model = 24;
+    const uint64_t requests0 = (samples + batch0 - 1) / batch0; // 2
+    const uint64_t requests1 = (samples + batch1 - 1) / batch1; // 7
+
+    EventQueue events;
+    std::vector<EngineEvent> out;
+    for (size_t i = 0; i < 2 * parts_per_model; i++) {
+        PartSpec part;
+        part.partIdx = i;
+        part.samples = samples;
+        part.model = static_cast<uint32_t>(i % 2);
+        out.clear();
+        engine.admit(part, 0.0, out);
+        events.pushAll(out, 0);
+    }
+    // With every part admitted at t=0 the queue is deep: the slices
+    // must account for the whole backlog with nothing unattributed.
+    EXPECT_GT(engine.queuedCostSeconds(), 0.0);
+    // The slice books receive the identical addends as the total but
+    // in a different summation grouping, so they tile it to within
+    // ulp-scale rounding, not bit-exactly.
+    EXPECT_NEAR(engine.queuedCostSeconds(0) +
+                    engine.queuedCostSeconds(1),
+                engine.queuedCostSeconds(), 1e-9);
+
+    std::vector<uint64_t> requests_of_part(2 * parts_per_model, 0);
+    size_t finished = 0;
+    while (!events.empty()) {
+        const SimEvent ev = events.pop();
+        ASSERT_EQ(ev.kind, SimEvent::Kind::CpuRequest)
+            << "no accelerator configured — only CPU requests exist";
+        requests_of_part[ev.partIdx]++;
+        out.clear();
+        if (engine.cpuRequestDone(ev.slot, ev.partIdx, ev.time, out))
+            finished++;
+        events.pushAll(out, 0);
+        EXPECT_NEAR(engine.queuedCostSeconds(0) +
+                        engine.queuedCostSeconds(1),
+                    engine.queuedCostSeconds(), 1e-9);
+    }
+
+    EXPECT_EQ(finished, 2 * parts_per_model);
+    for (size_t i = 0; i < requests_of_part.size(); i++) {
+        EXPECT_EQ(requests_of_part[i], i % 2 == 0 ? requests0 : requests1)
+            << "part " << i << " was not batch-split under its own "
+            << "model's policy";
+    }
+    EXPECT_EQ(engine.requestsDispatched(),
+              parts_per_model * (requests0 + requests1));
+    // The push/pop-symmetric books reverse to zero up to ulp-scale
+    // floating-point residue (the accessor clamps negatives only).
+    EXPECT_NEAR(engine.queuedCostSeconds(), 0.0, 1e-12);
+    EXPECT_NEAR(engine.queuedCostSeconds(0), 0.0, 1e-12);
+    EXPECT_NEAR(engine.queuedCostSeconds(1), 0.0, 1e-12);
+}
+
+// ----------------------------------------------- cluster conservation
+
+TEST(Colocation, PerModelConservationUnderOverload)
+{
+    // Deep overload with load shedding: every model's books must
+    // close (offered == completed + droppedFinal + lost) and the
+    // per-model books must sum exactly to the fleet totals — no query
+    // double-counted, none unattributed, drops included.
+    const std::vector<ModelMixEntry> mix = {
+        mixEntry(ModelId::DlrmRmc2, 0.4, 256),
+        mixEntry(ModelId::WideAndDeep, 0.4, 256),
+        mixEntry(ModelId::Ncf, 0.2, 256),
+    };
+    ClusterConfig cluster;
+    for (size_t m = 0; m < 2; m++)
+        cluster.machines.push_back(
+            colocatedMachine(mix, CpuPlatform::skylake()));
+    cluster.modelMix = mix;
+    cluster.overload.admission = AdmissionKind::Deadline;
+    cluster.overload.deadlineSeconds = 0.05;
+    cluster.overload.degrade = true;
+
+    MixedTraceTemplate mixed(mixLoad(), mixFractions(mix));
+    mixed.ensure(4000);
+    const QueryTrace trace = mixed.materialize(4000.0, 4000);
+
+    const ClusterResult r = ClusterSimulator(cluster).run(
+        trace, RoutingSpec{RoutingKind::PowerOfTwoChoices});
+
+    ASSERT_EQ(r.perModel.size(), mix.size());
+    EXPECT_GT(r.overload.droppedFinal, 0u)
+        << "overload scenario is not biting — nothing was shed";
+
+    uint64_t sum_offered = 0;
+    uint64_t sum_dispatched = 0;
+    uint64_t sum_completed = 0;
+    uint64_t sum_dropped = 0;
+    uint64_t sum_lost = 0;
+    size_t sum_measured = 0;
+    for (uint32_t k = 0; k < mix.size(); k++) {
+        const ModelStats& ms = r.perModel[k];
+        SCOPED_TRACE(modelName(mix[k].id));
+        EXPECT_GT(ms.offered, 0u);
+        EXPECT_EQ(ms.offered, ms.completed + ms.droppedFinal + ms.lost);
+        sum_offered += ms.offered;
+        sum_dispatched += ms.dispatched;
+        sum_completed += ms.completed;
+        sum_dropped += ms.droppedFinal;
+        sum_lost += ms.lost;
+        sum_measured += ms.latencySeconds.count();
+    }
+    EXPECT_EQ(sum_offered, trace.size());
+    EXPECT_EQ(sum_offered, r.overload.offered);
+    EXPECT_EQ(sum_dispatched, r.numDispatched);
+    EXPECT_EQ(sum_completed, r.numCompleted);
+    EXPECT_EQ(sum_dropped, r.overload.droppedFinal);
+    EXPECT_EQ(sum_lost, 0u);
+    EXPECT_EQ(sum_measured, r.fleetLatencySeconds.count());
+}
+
+// --------------------------------------------------- tail monotonicity
+
+TEST(Colocation, HeavyModelTailMonotoneInItsOfferedFraction)
+{
+    // At a fixed total rate on a fixed tier, shifting traffic share
+    // toward the heavier co-tenant (embedding-bound RMC2, against the
+    // light Wide&Deep) strictly adds work, so RMC2's own p99 must be
+    // monotone non-decreasing in its offered fraction.
+    const SimConfig machine = colocatedMachine(
+        {mixEntry(ModelId::DlrmRmc2, 0.5, 256),
+         mixEntry(ModelId::WideAndDeep, 0.5, 256)},
+        CpuPlatform::skylake());
+
+    double last_p99 = 0.0;
+    for (double fraction : {0.25, 0.5, 0.75}) {
+        SCOPED_TRACE(fraction);
+        const std::vector<ModelMixEntry> mix = {
+            mixEntry(ModelId::DlrmRmc2, fraction, 256),
+            mixEntry(ModelId::WideAndDeep, 1.0 - fraction, 256),
+        };
+        ClusterConfig cluster;
+        for (size_t m = 0; m < 3; m++)
+            cluster.machines.push_back(machine);
+        cluster.modelMix = mix;
+
+        MixedTraceTemplate mixed(mixLoad(1500.0, 0x404),
+                                 mixFractions(mix));
+        mixed.ensure(5000);
+        const QueryTrace trace = mixed.materialize(1500.0, 5000);
+        const ClusterResult r = ClusterSimulator(cluster).run(
+            trace, RoutingSpec{RoutingKind::PowerOfTwoChoices});
+
+        const double p99 = r.perModel[0].p99Ms();
+        EXPECT_GE(p99, last_p99)
+            << "RMC2's p99 fell as its own offered fraction rose";
+        last_p99 = p99;
+    }
+}
+
+// ------------------------------------------------ thread-count parity
+
+TEST(ColocationParallelDiff, ModelAwareRoutingBitwiseAcrossThreadCounts)
+{
+    // Model-aware routing reads per-model queue signals the engines
+    // maintain during the run; the search layer above it is the only
+    // parallel code. Both must be bitwise thread-invariant: the same
+    // per-query routing decisions and the same found rate at 1 and at
+    // many threads.
+    const std::vector<ModelMixEntry> mix = {
+        mixEntry(ModelId::DlrmRmc2, 0.5, 256),
+        mixEntry(ModelId::WideAndDeep, 0.5, 256),
+    };
+    ClusterConfig cluster;
+    for (size_t m = 0; m < 3; m++)
+        cluster.machines.push_back(
+            colocatedMachine(mix, CpuPlatform::skylake()));
+    cluster.modelMix = mix;
+
+    MixedTraceTemplate mixed(mixLoad(2200.0, 0x505), mixFractions(mix));
+    mixed.ensure(4000);
+    const QueryTrace trace = mixed.materialize(2200.0, 4000);
+
+    for (RoutingKind kind :
+         {RoutingKind::ModelAwareJsq, RoutingKind::ModelAwarePo2c}) {
+        SCOPED_TRACE(routingKindName(kind));
+        ClusterQpsSpec spec;
+        spec.slaMs = 200.0;
+        spec.load = mixLoad(2200.0, 0x505);
+        spec.routing.kind = kind;
+
+        ThreadPool::setSharedThreads(1);
+        const ClusterResult serial_run = ClusterSimulator(cluster).run(
+            trace, RoutingSpec{kind});
+        const ClusterQpsResult serial =
+            findClusterMaxQps(cluster, spec);
+
+        ThreadPool::setSharedThreads(8);
+        const ClusterResult parallel_run = ClusterSimulator(cluster).run(
+            trace, RoutingSpec{kind});
+        const ClusterQpsResult parallel =
+            findClusterMaxQps(cluster, spec);
+        ThreadPool::setSharedThreads(1);
+
+        // Routing decisions, query for query.
+        EXPECT_EQ(serial_run.machineOfQuery, parallel_run.machineOfQuery);
+        EXPECT_EQ(serial_run.fleetLatencySeconds.raw(),
+                  parallel_run.fleetLatencySeconds.raw());
+
+        // The speculative search consumed the same candidates and
+        // found the same rate.
+        EXPECT_EQ(serial.maxQps, parallel.maxQps);
+        EXPECT_EQ(serial.evaluations, parallel.evaluations);
+        ASSERT_EQ(serial.atMax.perModel.size(),
+                  parallel.atMax.perModel.size());
+        for (size_t k = 0; k < serial.atMax.perModel.size(); k++) {
+            EXPECT_EQ(serial.atMax.perModel[k].offered,
+                      parallel.atMax.perModel[k].offered);
+            EXPECT_EQ(serial.atMax.perModel[k].latencySeconds.raw(),
+                      parallel.atMax.perModel[k].latencySeconds.raw());
+        }
+    }
+}
+
+} // namespace
+} // namespace deeprecsys

@@ -18,6 +18,7 @@
 #include "base/random.hh"
 #include "cluster/autoscaler.hh"
 #include "cluster/cluster_sim.hh"
+#include "cluster/model_mix.hh"
 #include "loadgen/query_stream.hh"
 #include "sim/serving_sim.hh"
 
@@ -373,6 +374,172 @@ TEST(EngineDiff, AutoscalerIgnoresDisabledOverloadBitwise)
     EXPECT_EQ(b.overload.dropped, 0u);
     EXPECT_GT(b.overload.goodputQps, 0.0);
     EXPECT_EQ(a.overload.goodputQps, 0.0);
+}
+
+// ------------------------------------------------ one-model model mix
+
+/** @p plain with a 1-entry model mix at traffic fraction 1.0 —
+ *  identical machine objects, so every cost-model evaluation runs the
+ *  same floating-point sequence and the multi-model layer must be
+ *  bitwise invisible. */
+ClusterConfig
+withUnitMix(const ClusterConfig& plain, ModelId id)
+{
+    ClusterConfig mixed = plain;
+    mixed.modelMix = {makeMixEntry(id, 1.0)};
+    return mixed;
+}
+
+/** The 1-entry mix's per-model books must mirror the fleet totals
+ *  exactly: same offered/completed/dropped counts, same raw latency
+ *  vector, full conservation under a single ModelId. */
+void
+expectUnitMixBooks(const ClusterResult& mixed, size_t trace_size)
+{
+    ASSERT_EQ(mixed.perModel.size(), 1u);
+    const ModelStats& ms = mixed.perModel[0];
+    EXPECT_EQ(ms.offered, trace_size);
+    EXPECT_EQ(ms.completed, mixed.numCompleted);
+    EXPECT_EQ(ms.droppedFinal, mixed.overload.dropped);
+    EXPECT_EQ(ms.offered, ms.completed + ms.droppedFinal + ms.lost);
+    EXPECT_EQ(ms.latencySeconds.raw(), mixed.fleetLatencySeconds.raw());
+}
+
+TEST(EngineDiff, OneModelMixIsBitwiseInvisibleShardless)
+{
+    // A 1-entry modelMix on a plain replicated tier: the per-model
+    // queue-cost books, batch formation keyed by model, and model-
+    // tagged join accounting must not move a single bit of the run.
+    const QueryTrace trace = poissonTrace(1800, 4200.0);
+    ClusterConfig plain;
+    for (size_t m = 0; m < 3; m++)
+        plain.machines.push_back(
+            machineConfig(ModelId::DlrmRmc1, 256, false, 1));
+    const ClusterConfig mixed = withUnitMix(plain, ModelId::DlrmRmc1);
+
+    const RoutingSpec routing{RoutingKind::PowerOfTwoChoices};
+    const ClusterResult a = ClusterSimulator(plain).run(trace, routing);
+    const ClusterResult b = ClusterSimulator(mixed).run(trace, routing);
+
+    expectIdenticalClusterRuns(a, b);
+    EXPECT_TRUE(a.perModel.empty());
+    expectUnitMixBooks(b, trace.size());
+}
+
+TEST(EngineDiff, OneModelMixIsBitwiseInvisibleSharded)
+{
+    // Sharded fan-out/join path: with the mix on, per-model
+    // pendingJoinCost books and (optionally) the namespaced table
+    // draw must reproduce the historical sharded run exactly. Model
+    // 0's namespace starts at base 0 with the same working-set spec,
+    // so the namespaced draw is the historical draw verbatim.
+    const std::vector<EmbeddingTableInfo> tables =
+        embeddingTables(modelConfig(ModelId::DlrmRmc2));
+    ClusterConfig plain;
+    for (size_t m = 0; m < 6; m++) {
+        SimConfig machine = machineConfig(ModelId::DlrmRmc2, 256,
+                                          false, 1);
+        machine.memoryBytes = 2'000'000'000ULL;
+        plain.machines.push_back(machine);
+    }
+    plain.network.hopSeconds = 150e-6;
+    plain.network.gigabytesPerSecond = 12.5;
+    PlacementSpec placement_spec;
+    placement_spec.strategy = PlacementStrategy::GreedyBySize;
+    const ShardPlacement placement = ShardPlacement::build(
+        tables, machineMemoryBudgets(plain.machines), placement_spec);
+    ASSERT_TRUE(placement.feasible());
+    TableSetSpec table_set;
+    table_set.numTables = static_cast<uint32_t>(
+        modelConfig(ModelId::DlrmRmc2).numTables);
+    table_set.tablesPerQuery = 8;
+    plain.sharding = ShardingConfig{placement, table_set};
+
+    const QueryTrace trace = poissonTrace(1600, 2200.0, 0x5eed);
+    const RoutingSpec routing{RoutingKind::ShardAware};
+    const ClusterResult a = ClusterSimulator(plain).run(trace, routing);
+
+    // Mix on, historical (un-namespaced) table space.
+    const ClusterConfig mixed = withUnitMix(plain, ModelId::DlrmRmc2);
+    const ClusterResult b = ClusterSimulator(mixed).run(trace, routing);
+    expectIdenticalClusterRuns(a, b);
+    expectUnitMixBooks(b, trace.size());
+
+    // Mix on, model 0's tables namespaced at base 0 over the same
+    // combined space — the draw shifts by zero and must stay exact.
+    ClusterConfig namespaced = mixed;
+    namespaced.sharding->models = {ModelTableSpace{table_set, 0}};
+    const ClusterResult c =
+        ClusterSimulator(namespaced).run(trace, routing);
+    expectIdenticalClusterRuns(a, c);
+    expectUnitMixBooks(c, trace.size());
+}
+
+TEST(EngineDiff, OneModelMixIsBitwiseInvisibleOverloaded)
+{
+    // Deadline admission prices the critical path through the
+    // per-model calibration tables; at numModels == 1 the flattened
+    // layout degenerates to the historical one and every admit/drop
+    // decision must be identical.
+    const QueryTrace trace = poissonTrace(2500, 9500.0, 0xdead);
+    ClusterConfig plain;
+    for (size_t m = 0; m < 3; m++)
+        plain.machines.push_back(
+            machineConfig(ModelId::DlrmRmc1, 256, false, 1));
+    plain.overload.admission = AdmissionKind::Deadline;
+    plain.overload.deadlineSeconds = 0.05;
+    plain.overload.degrade = true;
+    ASSERT_TRUE(plain.overload.enabled());
+    const ClusterConfig mixed = withUnitMix(plain, ModelId::DlrmRmc1);
+
+    const RoutingSpec routing{RoutingKind::PowerOfTwoChoices};
+    const ClusterResult a = ClusterSimulator(plain).run(trace, routing);
+    const ClusterResult b = ClusterSimulator(mixed).run(trace, routing);
+
+    expectIdenticalClusterRuns(a, b);
+    EXPECT_EQ(a.overload.dropped, b.overload.dropped);
+    EXPECT_EQ(a.overload.degraded, b.overload.degraded);
+    EXPECT_EQ(a.overload.goodputQps, b.overload.goodputQps);
+    EXPECT_GT(b.overload.dropped, 0u) << "overload scenario not biting";
+    expectUnitMixBooks(b, trace.size());
+}
+
+TEST(EngineDiff, OneModelMixIsBitwiseInvisibleAutoscaled)
+{
+    // Elastic tier: the mix must not move a completion, window
+    // boundary, or scale decision — ElasticView's per-model signals
+    // fall back to the fleet totals at one model.
+    const QueryTrace trace = poissonTrace(3000, 6000.0);
+    AutoscaleSpec spec;
+    for (size_t m = 0; m < 4; m++)
+        spec.cluster.machines.push_back(
+            machineConfig(ModelId::DlrmRmc1, 256, false, 1));
+    spec.routing.kind = RoutingKind::PowerOfTwoChoices;
+    spec.slaMs = 100.0;
+    spec.initialMachines = 2;
+    ScalingPolicySpec policy;
+    policy.kind = ScalingPolicyKind::Reactive;
+    policy.minMachines = 2;
+
+    AutoscaleSpec mixed = spec;
+    mixed.cluster.modelMix = {makeMixEntry(ModelId::DlrmRmc1, 1.0)};
+
+    const AutoscaleResult a = Autoscaler(spec).run(trace, policy);
+    const AutoscaleResult b = Autoscaler(mixed).run(trace, policy);
+
+    ASSERT_EQ(a.fleetLatencySeconds.count(), b.fleetLatencySeconds.count());
+    EXPECT_EQ(a.fleetLatencySeconds.raw(), b.fleetLatencySeconds.raw());
+    EXPECT_EQ(a.numDispatched, b.numDispatched);
+    EXPECT_EQ(a.machineSeconds, b.machineSeconds);
+    EXPECT_EQ(a.slaViolationSeconds, b.slaViolationSeconds);
+    ASSERT_EQ(a.scaleEvents.size(), b.scaleEvents.size());
+    ASSERT_EQ(a.timeline.size(), b.timeline.size());
+    for (size_t w = 0; w < a.timeline.size(); w++) {
+        EXPECT_EQ(a.timeline[w].endSeconds, b.timeline[w].endSeconds);
+        EXPECT_EQ(a.timeline[w].tailMs, b.timeline[w].tailMs);
+        EXPECT_EQ(a.timeline[w].servingMachines,
+                  b.timeline[w].servingMachines);
+    }
 }
 
 } // namespace

@@ -27,6 +27,7 @@
 
 #include "cluster/cluster_sim.hh"
 #include "cluster/fleet.hh"
+#include "cluster/model_mix.hh"
 #include "cluster/shard_placement.hh"
 #include "loadgen/query_stream.hh"
 #include "sim/serving_sim.hh"
@@ -516,6 +517,77 @@ TEST(Golden, ChaosAvailabilityCurve)
     EXPECT_GE(measured["replicated"]["availability"], 0.99);
     EXPECT_GE(measured["replicated_hedge"]["availability"], 0.99);
     checkGolden("chaos_availability.json", measured);
+}
+
+TEST(Golden, ColocationInterferencePaths)
+{
+    // The bench/colocation_sweep interference scenario: a fixed tier
+    // serving the embedding-bound RMC2 next to the compute-bound
+    // Wide&Deep 50/50, against the same tier serving the identical
+    // WnD query population alone. Pins the per-model tails of the
+    // colocated run AND the dedicated baseline, so both the mixed
+    // batch scheduler's cross-model interference and the mixed trace
+    // merge are regression-locked.
+    const std::vector<ModelMixEntry> pair = {
+        makeMixEntry(ModelId::DlrmRmc2, 0.5),
+        makeMixEntry(ModelId::WideAndDeep, 0.5),
+    };
+    std::vector<ModelMixEntry> tuned = pair;
+    for (ModelMixEntry& entry : tuned)
+        entry.policy.perRequestBatch = 256;
+
+    LoadSpec load;
+    load.arrivalSeed = 0xc07a0;
+    load.sizeSeed = 0xc07a1;
+    MixedTraceTemplate mixed(load, mixFractions(tuned));
+    mixed.ensure(8000);
+    const QueryTrace colocated_trace = mixed.materialize(2600.0, 8000);
+
+    ClusterConfig colocated_tier;
+    for (size_t m = 0; m < 4; m++)
+        colocated_tier.machines.push_back(
+            colocatedMachine(tuned, CpuPlatform::skylake()));
+    colocated_tier.modelMix = tuned;
+    const RoutingSpec routing{RoutingKind::PowerOfTwoChoices};
+    const ClusterResult colocated =
+        ClusterSimulator(colocated_tier).run(colocated_trace, routing);
+
+    // Dedicated baseline: the colocated trace's own WnD substream —
+    // same queries, same arrival instants — remapped to model 0 on a
+    // WnD-only tier of the same size.
+    QueryTrace wnd_trace;
+    for (const Query& q : colocated_trace) {
+        if (q.model != 1)
+            continue;
+        Query alone = q;
+        alone.model = 0;
+        wnd_trace.push_back(alone);
+    }
+    ClusterConfig wnd_tier;
+    ModelMixEntry wnd_alone = tuned[1];
+    wnd_alone.trafficFraction = 1.0;
+    for (size_t m = 0; m < 4; m++)
+        wnd_tier.machines.push_back(
+            colocatedMachine({wnd_alone}, CpuPlatform::skylake()));
+    const ClusterResult alone_run =
+        ClusterSimulator(wnd_tier).run(wnd_trace, routing);
+
+    ASSERT_EQ(colocated.perModel.size(), 2u);
+    GoldenMap measured;
+    measured["colocated_rmc2"] =
+        percentilesOf(colocated.perModel[0].latencySeconds);
+    measured["colocated_wnd"] =
+        percentilesOf(colocated.perModel[1].latencySeconds);
+    measured["wnd_alone"] = percentilesOf(alone_run.fleetLatencySeconds);
+
+    // The interference regression itself: the co-tenant must cost
+    // WnD tail latency, never improve it — RMC2's long embedding
+    // gathers sit ahead of WnD's short dense requests in the shared
+    // core pool even though batches never mix models.
+    EXPECT_GE(measured["colocated_wnd"]["p99_ms"],
+              measured["wnd_alone"]["p99_ms"])
+        << "colocation improved WnD's p99 — interference not biting";
+    checkGolden("colocation_sweep.json", measured);
 }
 
 } // namespace
